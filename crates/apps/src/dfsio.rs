@@ -1,0 +1,270 @@
+//! TestDFSIO — the paper's primary application benchmark (Figures 11–13).
+//!
+//! A real Hadoop TestDFSIO run is a Map/Reduce job whose map tasks
+//! stream files from (or to) HDFS with a fixed memory buffer. The model
+//! charges the Map/Reduce framework costs (task setup, per-record
+//! bookkeeping) on the client VM's vCPU and drives the genuine
+//! `DfsClient` read/write paths for the data.
+
+use vread_hdfs::client::{DfsRead, DfsReadDone, DfsWrite, DfsWriteDone};
+use vread_host::cluster::{Cluster, VmId};
+use vread_sim::prelude::*;
+
+/// Read or write benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsioMode {
+    /// TestDFSIO -read
+    Read,
+    /// TestDFSIO -write
+    Write,
+}
+
+/// Framework cost knobs (Hadoop 1.x map task behaviour).
+#[derive(Debug, Clone)]
+pub struct DfsioConfig {
+    /// Map/Reduce framework cycles per byte moved (record/serde
+    /// bookkeeping around the HDFS stream).
+    pub mr_cyc_per_byte: f64,
+    /// Framework cycles per I/O request.
+    pub mr_request_cycles: u64,
+    /// Map task setup cycles (JVM-reuse regime).
+    pub task_setup_cycles: u64,
+    /// Application buffer per request (the paper uses 1 MB).
+    pub buffer_bytes: u64,
+}
+
+impl Default for DfsioConfig {
+    fn default() -> Self {
+        DfsioConfig {
+            mr_cyc_per_byte: 0.4,
+            mr_request_cycles: 15_000,
+            task_setup_cycles: 120_000_000,
+            buffer_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The TestDFSIO driver actor.
+///
+/// Metrics: `dfsio_bytes` (payload moved), `dfsio_files` (completed map
+/// tasks), `dfsio_done` (1 when the whole job finished) and the sample
+/// `dfsio_done_at_s` (completion timestamp, seconds).
+pub struct TestDfsio {
+    client: ActorId,
+    vm: VmId,
+    mode: DfsioMode,
+    files: Vec<String>,
+    file_bytes: u64,
+    cfg: DfsioConfig,
+    cur_file: usize,
+    offset: u64,
+    req: u64,
+}
+
+struct TaskReady;
+struct MrDone {
+    bytes: u64,
+}
+
+impl TestDfsio {
+    /// Creates a driver moving `file_bytes` per file for every path in
+    /// `files` through `client`.
+    pub fn new(
+        client: ActorId,
+        vm: VmId,
+        mode: DfsioMode,
+        files: Vec<String>,
+        file_bytes: u64,
+        cfg: DfsioConfig,
+    ) -> Self {
+        assert!(!files.is_empty(), "need at least one file");
+        TestDfsio {
+            client,
+            vm,
+            mode,
+            files,
+            file_bytes,
+            cfg,
+            cur_file: 0,
+            offset: 0,
+            req: 0,
+        }
+    }
+
+    fn vcpu(&self, ctx: &Ctx<'_>) -> ThreadId {
+        ctx.world
+            .ext
+            .get::<Cluster>()
+            .expect("cluster")
+            .vm(self.vm)
+            .vcpu
+    }
+
+    fn start_task(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cur_file >= self.files.len() {
+            ctx.metrics().add("dfsio_done", 1.0);
+            let s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("dfsio_done_at_s", s);
+            return;
+        }
+        self.offset = 0;
+        let vcpu = self.vcpu(ctx);
+        let me = ctx.me();
+        ctx.chain(
+            vec![Stage::cpu(
+                vcpu,
+                self.cfg.task_setup_cycles,
+                CpuCategory::MapReduce,
+            )],
+            me,
+            TaskReady,
+        );
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>) {
+        let path = self.files[self.cur_file].clone();
+        self.req += 1;
+        let me = ctx.me();
+        match self.mode {
+            DfsioMode::Read => {
+                let len = self.cfg.buffer_bytes.min(self.file_bytes - self.offset);
+                ctx.send(
+                    self.client,
+                    DfsRead {
+                        req: self.req,
+                        reply_to: me,
+                        path,
+                        offset: self.offset,
+                        len,
+                        pread: false,
+                    },
+                );
+                self.offset += len;
+            }
+            DfsioMode::Write => {
+                // one output stream per map task; the client pipelines
+                // chunks internally
+                ctx.send(
+                    self.client,
+                    DfsWrite {
+                        req: self.req,
+                        reply_to: me,
+                        path,
+                        bytes: self.file_bytes,
+                    },
+                );
+                self.offset = self.file_bytes;
+            }
+        }
+    }
+
+    fn charge_mr(&mut self, ctx: &mut Ctx<'_>, bytes: u64) {
+        let vcpu = self.vcpu(ctx);
+        let cycles =
+            (bytes as f64 * self.cfg.mr_cyc_per_byte).round() as u64 + self.cfg.mr_request_cycles;
+        let me = ctx.me();
+        ctx.chain(
+            vec![Stage::cpu(vcpu, cycles, CpuCategory::MapReduce)],
+            me,
+            MrDone { bytes },
+        );
+    }
+}
+
+impl Actor for TestDfsio {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() {
+            let now_s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("dfsio_start_at_s", now_s);
+            self.start_task(ctx);
+            return;
+        }
+        if msg.is::<TaskReady>() {
+            self.issue(ctx);
+            return;
+        }
+        let msg = match downcast::<DfsReadDone>(msg) {
+            Ok(d) => {
+                self.charge_mr(ctx, d.bytes);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<DfsWriteDone>(msg) {
+            Ok(_) => {
+                self.charge_mr(ctx, self.file_bytes);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(d) = downcast::<MrDone>(msg) {
+            ctx.metrics().add("dfsio_bytes", d.bytes as f64);
+            if self.mode == DfsioMode::Read && self.offset < self.file_bytes && d.bytes > 0 {
+                self.issue(ctx);
+            } else {
+                ctx.metrics().incr("dfsio_files");
+                self.cur_file += 1;
+                self.start_task(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vread_hdfs::client::{add_client, VanillaPath};
+    use vread_hdfs::populate::{populate_file, Placement};
+    use vread_hdfs::deploy_hdfs;
+    use vread_host::costs::Costs;
+
+    #[test]
+    fn dfsio_reads_all_files() {
+        let mut w = World::new(4);
+        let mut cl = Cluster::new(Costs::default());
+        let h = cl.add_host(&mut w, "h", 4, 3.2);
+        let cvm = cl.add_vm(&mut w, h, "client");
+        let dvm = cl.add_vm(&mut w, h, "dn");
+        w.ext.insert(cl);
+        let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
+        for i in 0..3 {
+            populate_file(&mut w, &format!("/io/{i}"), 4 << 20, &Placement::One(dns[0]));
+        }
+        let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
+        let files = (0..3).map(|i| format!("/io/{i}")).collect();
+        let d = TestDfsio::new(client, cvm, DfsioMode::Read, files, 4 << 20, DfsioConfig::default());
+        let a = w.add_actor("dfsio", d);
+        w.send_now(a, Start);
+        w.run();
+        assert_eq!(w.metrics.counter("dfsio_done"), 1.0);
+        assert_eq!(w.metrics.counter("dfsio_files"), 3.0);
+        assert_eq!(w.metrics.counter("dfsio_bytes"), (12 << 20) as f64);
+    }
+
+    #[test]
+    fn dfsio_write_creates_files() {
+        let mut w = World::new(4);
+        let mut cl = Cluster::new(Costs::default());
+        let h = cl.add_host(&mut w, "h", 4, 3.2);
+        let cvm = cl.add_vm(&mut w, h, "client");
+        let dvm = cl.add_vm(&mut w, h, "dn");
+        w.ext.insert(cl);
+        deploy_hdfs(&mut w, cvm, &[dvm]);
+        let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
+        let d = TestDfsio::new(
+            client,
+            cvm,
+            DfsioMode::Write,
+            vec!["/out/0".into(), "/out/1".into()],
+            2 << 20,
+            DfsioConfig::default(),
+        );
+        let a = w.add_actor("dfsio", d);
+        w.send_now(a, Start);
+        w.run();
+        assert_eq!(w.metrics.counter("dfsio_done"), 1.0);
+        let meta = w.ext.get::<vread_hdfs::HdfsMeta>().unwrap();
+        assert_eq!(meta.file("/out/0").unwrap().size(), 2 << 20);
+        assert_eq!(meta.file("/out/1").unwrap().size(), 2 << 20);
+    }
+}

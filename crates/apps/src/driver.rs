@@ -1,0 +1,83 @@
+//! Experiment driving helpers.
+//!
+//! Scenarios with background load (lookbusy) never run out of events, so
+//! harnesses advance the world in slices until a completion counter
+//! reaches its target (or a simulated-time cap fires).
+
+use vread_sim::prelude::*;
+
+/// Runs the world until metric counter `key` reaches `target`, advancing
+/// in `slice` steps, up to `cap` of simulated time. Returns `true` if the
+/// target was reached.
+pub fn run_until_counter(
+    w: &mut World,
+    key: &str,
+    target: f64,
+    slice: SimDuration,
+    cap: SimDuration,
+) -> bool {
+    let deadline = w.now() + cap;
+    while w.metrics.counter(key) < target {
+        if w.now() >= deadline {
+            return false;
+        }
+        let next = (w.now() + slice).min(deadline);
+        w.run_until(next);
+    }
+    true
+}
+
+/// Elapsed seconds between two timestamp samples recorded with
+/// `metrics.sample("<k>_start_at_s" / "<k>_done_at_s", …)`.
+pub fn elapsed_secs(w: &World, prefix: &str) -> f64 {
+    let start = w.metrics.mean(&format!("{prefix}_start_at_s"));
+    let done = w.metrics.mean(&format!("{prefix}_done_at_s"));
+    (done - start).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ticker;
+    struct Tick;
+    impl Actor for Ticker {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if msg.is::<Start>() || msg.is::<Tick>() {
+                ctx.metrics().incr("ticks");
+                ctx.timer(Tick, SimDuration::from_millis(1));
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_target() {
+        let mut w = World::new(1);
+        let a = w.add_actor("t", Ticker);
+        w.send_now(a, Start);
+        let ok = run_until_counter(
+            &mut w,
+            "ticks",
+            5.0,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(1),
+        );
+        assert!(ok);
+        assert!(w.metrics.counter("ticks") >= 5.0);
+    }
+
+    #[test]
+    fn caps_out() {
+        let mut w = World::new(1);
+        let a = w.add_actor("t", Ticker);
+        w.send_now(a, Start);
+        let ok = run_until_counter(
+            &mut w,
+            "never",
+            1.0,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        assert!(!ok);
+    }
+}

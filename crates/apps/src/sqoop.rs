@@ -1,0 +1,335 @@
+//! Sqoop export — HDFS → MySQL (the paper's Table 3, right column).
+//!
+//! The export job reads the table from HDFS, serializes rows, and ships
+//! INSERT batches to a MySQL server on another physical machine. The
+//! MySQL side has its own service cost, so the job is bounded by *both*
+//! the HDFS read efficiency and the insert rate — which is why the paper
+//! measures a smaller (≈11%) improvement here.
+
+use vread_host::cluster::{with_cluster, Cluster, HostIx, VmId};
+use vread_hdfs::client::{DfsRead, DfsReadDone};
+use vread_net::conn::{add_conn, ConnRecv, ConnSend, ConnSpec, Endpoint, Flavor, Side};
+use vread_sim::prelude::*;
+
+/// Sqoop/MySQL cost knobs.
+#[derive(Debug, Clone)]
+pub struct SqoopConfig {
+    /// Serialized row size.
+    pub row_bytes: u64,
+    /// Sqoop-side cycles to serialize one row into an INSERT batch.
+    pub serialize_row_cycles: u64,
+    /// MySQL-side cycles to parse + insert one row.
+    pub mysql_row_cycles: u64,
+    /// Rows per INSERT batch on the wire.
+    pub batch_rows: u64,
+    /// Batches in flight (read/insert pipelining).
+    pub window: usize,
+}
+
+impl Default for SqoopConfig {
+    fn default() -> Self {
+        SqoopConfig {
+            row_bytes: 100,
+            serialize_row_cycles: 2_500,
+            mysql_row_cycles: 15_000,
+            batch_rows: 2_000,
+            // Sqoop map tasks read, serialize and insert synchronously.
+            window: 1,
+        }
+    }
+}
+
+/// The MySQL server process on a (physical) database host.
+pub struct MysqlServer {
+    thread: ThreadId,
+    row_cycles: u64,
+}
+
+struct InsertDone {
+    conn: ActorId,
+    side: Side,
+    tag: u64,
+}
+
+impl MysqlServer {
+    /// Creates a server whose inserts run on `thread`.
+    pub fn new(thread: ThreadId, row_cycles: u64) -> Self {
+        MysqlServer { thread, row_cycles }
+    }
+}
+
+impl Actor for MysqlServer {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        let msg = match downcast::<ConnRecv>(msg) {
+            Ok(r) => {
+                // bytes → rows (batch framing is row_bytes-per-row)
+                let rows = (r.bytes / 100).max(1);
+                let me = ctx.me();
+                ctx.chain(
+                    vec![Stage::cpu(
+                        self.thread,
+                        rows * self.row_cycles,
+                        CpuCategory::Mysql,
+                    )],
+                    me,
+                    InsertDone {
+                        conn: r.conn,
+                        side: r.side,
+                        tag: r.tag,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(d) = downcast::<InsertDone>(msg) {
+            ctx.send(
+                d.conn,
+                ConnSend {
+                    dir: d.side,
+                    bytes: 64,
+                    tag: d.tag,
+                    notify: false,
+                },
+            );
+        }
+    }
+}
+
+/// The Sqoop export job actor.
+///
+/// Metrics: `sqoop_rows`, `sqoop_done`, `sqoop_done_at_s`.
+pub struct SqoopExport {
+    client: ActorId,
+    vm: VmId,
+    table: String,
+    rows: u64,
+    cfg: SqoopConfig,
+    mysql_conn: ActorId,
+    read_offset: u64,
+    rows_acked: u64,
+    batches_inflight: usize,
+    pending_read: bool,
+    req: u64,
+}
+
+struct SerializeDone {
+    rows: u64,
+}
+
+impl SqoopExport {
+    /// Creates the export job; `mysql_conn` is the connection to the
+    /// MySQL server (see [`deploy_sqoop`]).
+    pub fn new(
+        client: ActorId,
+        vm: VmId,
+        table: String,
+        rows: u64,
+        cfg: SqoopConfig,
+        mysql_conn: ActorId,
+    ) -> Self {
+        SqoopExport {
+            client,
+            vm,
+            table,
+            rows,
+            cfg,
+            mysql_conn,
+            read_offset: 0,
+            rows_acked: 0,
+            batches_inflight: 0,
+            pending_read: false,
+            req: 0,
+        }
+    }
+
+    /// Table bytes for population.
+    pub fn table_bytes(rows: u64, cfg: &SqoopConfig) -> u64 {
+        rows * cfg.row_bytes
+    }
+
+    fn vcpu(&self, ctx: &Ctx<'_>) -> ThreadId {
+        ctx.world
+            .ext
+            .get::<Cluster>()
+            .expect("cluster")
+            .vm(self.vm)
+            .vcpu
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let total = self.rows * self.cfg.row_bytes;
+        if self.rows_acked >= self.rows {
+            ctx.metrics().add("sqoop_done", 1.0);
+            let s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("sqoop_done_at_s", s);
+            return;
+        }
+        if self.pending_read
+            || self.batches_inflight >= self.cfg.window
+            || self.read_offset >= total
+        {
+            return;
+        }
+        let len = (self.cfg.batch_rows * self.cfg.row_bytes).min(total - self.read_offset);
+        self.pending_read = true;
+        self.req += 1;
+        let me = ctx.me();
+        ctx.send(
+            self.client,
+            DfsRead {
+                req: self.req,
+                reply_to: me,
+                path: self.table.clone(),
+                offset: self.read_offset,
+                len,
+                // each export batch is fetched by a fresh record reader
+                pread: true,
+            },
+        );
+        self.read_offset += len;
+    }
+}
+
+impl Actor for SqoopExport {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() {
+            let now_s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("sqoop_start_at_s", now_s);
+            self.pump(ctx);
+            return;
+        }
+        let msg = match downcast::<BindConn>(msg) {
+            Ok(b) => {
+                self.bind(b.0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<DfsReadDone>(msg) {
+            Ok(d) => {
+                self.pending_read = false;
+                let rows = d.bytes / self.cfg.row_bytes;
+                let vcpu = self.vcpu(ctx);
+                let me = ctx.me();
+                ctx.chain(
+                    vec![Stage::cpu(
+                        vcpu,
+                        rows * self.cfg.serialize_row_cycles,
+                        CpuCategory::MapReduce,
+                    )],
+                    me,
+                    SerializeDone { rows },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<SerializeDone>(msg) {
+            Ok(s) => {
+                self.batches_inflight += 1;
+                ctx.send(
+                    self.mysql_conn,
+                    ConnSend {
+                        dir: Side::A,
+                        bytes: s.rows * self.cfg.row_bytes,
+                        tag: s.rows, // tag carries the batch row count
+                        notify: false,
+                    },
+                );
+                self.pump(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(r) = downcast::<ConnRecv>(msg) {
+            // MySQL ack: the tag is the row count of the acked batch
+            self.batches_inflight -= 1;
+            self.rows_acked += r.tag;
+            ctx.metrics().add("sqoop_rows", r.tag as f64);
+            self.pump(ctx);
+        }
+    }
+}
+
+/// Deploys a MySQL server on `db_host` and a Sqoop export job in
+/// `client_vm` shipping to it. Returns the export actor (send [`Start`]).
+pub fn deploy_sqoop(
+    w: &mut World,
+    client_vm: VmId,
+    db_host: HostIx,
+    dfs_client: ActorId,
+    table: String,
+    rows: u64,
+    cfg: SqoopConfig,
+) -> ActorId {
+    let host_id = w.ext.get::<Cluster>().expect("cluster").hosts[db_host.0].host;
+    let thread = w.add_thread(host_id, "mysqld");
+    let mysql = w.add_actor("mysql", MysqlServer::new(thread, cfg.mysql_row_cycles));
+    // The export actor is created first so the conn can point at it.
+    let export_slot = w.add_actor(
+        "sqoop",
+        SqoopExport::new(dfs_client, client_vm, table, rows, cfg, ActorId::from_raw(0)),
+    );
+    let conn = with_cluster(w, |cl, w| {
+        add_conn(
+            w,
+            cl,
+            Endpoint { actor: export_slot, flavor: Flavor::Guest(client_vm) },
+            Endpoint { actor: mysql, flavor: Flavor::HostUser { thread, cat: CpuCategory::Mysql } },
+            ConnSpec::default(),
+        )
+    });
+    // patch the conn id in via a bind message
+    w.send_now(export_slot, BindConn(conn));
+    export_slot
+}
+
+/// Internal: late-binds the MySQL connection into the export actor.
+pub struct BindConn(pub ActorId);
+
+impl SqoopExport {
+    fn bind(&mut self, conn: ActorId) {
+        self.mysql_conn = conn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vread_hdfs::client::{add_client, VanillaPath};
+    use vread_hdfs::deploy_hdfs;
+    use vread_hdfs::populate::{populate_file, Placement};
+    use vread_host::costs::Costs;
+
+    #[test]
+    fn export_ships_all_rows() {
+        let mut w = World::new(41);
+        let mut cl = Cluster::new(Costs::default());
+        let h1 = cl.add_host(&mut w, "h1", 4, 2.0);
+        let h2 = cl.add_host(&mut w, "h2", 4, 2.0);
+        let cvm = cl.add_vm(&mut w, h1, "client");
+        let dvm = cl.add_vm(&mut w, h1, "dn");
+        w.ext.insert(cl);
+        let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
+        let cfg = SqoopConfig::default();
+        let rows = 100_000u64;
+        populate_file(
+            &mut w,
+            "/t",
+            SqoopExport::table_bytes(rows, &cfg),
+            &Placement::One(dns[0]),
+        );
+        let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
+        let job = deploy_sqoop(&mut w, cvm, h2, client, "/t".into(), rows, cfg);
+        w.send_now(job, Start);
+        w.run();
+        assert_eq!(w.metrics.counter("sqoop_done"), 1.0);
+        assert_eq!(w.metrics.counter("sqoop_rows"), rows as f64);
+        // MySQL burned insert CPU
+        let mysql_cycles: f64 = (0..w.acct.len())
+            .map(|t| w.acct.cycles(t, CpuCategory::Mysql))
+            .sum();
+        assert!(mysql_cycles > 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! WordCount — the canonical Hadoop MapReduce job, as an additional
+//! consumer of the HDFS read path.
+//!
+//! The paper's introduction motivates vRead with MapReduce workloads
+//! whose inputs stream from HDFS. This model runs map tasks (tokenize +
+//! combine, CPU per byte) over input splits read through the real
+//! `DfsClient`, a shuffle/sort phase (CPU over the intermediate data),
+//! and a reduce phase that writes the (much smaller) output back to
+//! HDFS — so both directions of the DFS are exercised.
+
+use vread_hdfs::client::{DfsRead, DfsReadDone, DfsWrite, DfsWriteDone};
+use vread_host::cluster::{Cluster, VmId};
+use vread_sim::prelude::*;
+
+/// WordCount cost knobs.
+#[derive(Debug, Clone)]
+pub struct WordCountConfig {
+    /// Map-side cycles per input byte (tokenizing, hashing, combining).
+    pub map_cyc_per_byte: f64,
+    /// Shuffle+sort cycles per intermediate byte.
+    pub shuffle_cyc_per_byte: f64,
+    /// Reduce cycles per intermediate byte.
+    pub reduce_cyc_per_byte: f64,
+    /// Intermediate data size as a fraction of the input (combiners
+    /// shrink it hard for natural text).
+    pub intermediate_ratio: f64,
+    /// Output size as a fraction of the input.
+    pub output_ratio: f64,
+    /// Input split (map task) size.
+    pub split_bytes: u64,
+    /// Read buffer within a map task.
+    pub buffer_bytes: u64,
+}
+
+impl Default for WordCountConfig {
+    fn default() -> Self {
+        WordCountConfig {
+            map_cyc_per_byte: 6.0,
+            shuffle_cyc_per_byte: 2.0,
+            reduce_cyc_per_byte: 1.5,
+            intermediate_ratio: 0.10,
+            output_ratio: 0.02,
+            split_bytes: 64 << 20,
+            buffer_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Job phases (exposed in metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Map,
+    Shuffle,
+    Reduce,
+    Done,
+}
+
+struct MapCpuDone {
+    bytes: u64,
+}
+struct PhaseCpuDone;
+
+/// The WordCount driver actor.
+///
+/// Metrics: `wc_input_bytes`, `wc_done`, `wc_done_at_s`,
+/// `wc_map_done_at_s`.
+pub struct WordCount {
+    client: ActorId,
+    vm: VmId,
+    input: String,
+    input_bytes: u64,
+    cfg: WordCountConfig,
+    phase: Phase,
+    offset: u64,
+    req: u64,
+}
+
+impl WordCount {
+    /// Creates a job over `input` (`input_bytes` long, already in HDFS)
+    /// through `client`.
+    pub fn new(
+        client: ActorId,
+        vm: VmId,
+        input: String,
+        input_bytes: u64,
+        cfg: WordCountConfig,
+    ) -> Self {
+        WordCount {
+            client,
+            vm,
+            input,
+            input_bytes,
+            cfg,
+            phase: Phase::Map,
+            offset: 0,
+            req: 0,
+        }
+    }
+
+    fn vcpu(&self, ctx: &Ctx<'_>) -> ThreadId {
+        ctx.world
+            .ext
+            .get::<Cluster>()
+            .expect("cluster")
+            .vm(self.vm)
+            .vcpu
+    }
+
+    fn next_read(&mut self, ctx: &mut Ctx<'_>) {
+        if self.offset >= self.input_bytes {
+            self.enter_shuffle(ctx);
+            return;
+        }
+        let len = self
+            .cfg
+            .buffer_bytes
+            .min(self.input_bytes - self.offset)
+            .min(self.cfg.split_bytes - (self.offset % self.cfg.split_bytes));
+        self.req += 1;
+        let me = ctx.me();
+        ctx.send(
+            self.client,
+            DfsRead {
+                req: self.req,
+                reply_to: me,
+                path: self.input.clone(),
+                offset: self.offset,
+                len,
+                pread: false,
+            },
+        );
+        self.offset += len;
+    }
+
+    fn enter_shuffle(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Shuffle;
+        let now_s = ctx.now().as_secs_f64();
+        ctx.metrics().sample("wc_map_done_at_s", now_s);
+        let inter = (self.input_bytes as f64 * self.cfg.intermediate_ratio) as u64;
+        let cycles = (inter as f64 * self.cfg.shuffle_cyc_per_byte) as u64;
+        let vcpu = self.vcpu(ctx);
+        let me = ctx.me();
+        ctx.chain(
+            vec![Stage::cpu(vcpu, cycles, CpuCategory::MapReduce)],
+            me,
+            PhaseCpuDone,
+        );
+    }
+
+    fn enter_reduce(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Reduce;
+        let inter = (self.input_bytes as f64 * self.cfg.intermediate_ratio) as u64;
+        let cycles = (inter as f64 * self.cfg.reduce_cyc_per_byte) as u64;
+        let vcpu = self.vcpu(ctx);
+        let me = ctx.me();
+        ctx.chain(
+            vec![Stage::cpu(vcpu, cycles, CpuCategory::MapReduce)],
+            me,
+            PhaseCpuDone,
+        );
+    }
+
+    fn write_output(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Done;
+        let out = ((self.input_bytes as f64 * self.cfg.output_ratio) as u64).max(1);
+        self.req += 1;
+        let me = ctx.me();
+        ctx.send(
+            self.client,
+            DfsWrite {
+                req: self.req,
+                reply_to: me,
+                path: format!("{}.out", self.input),
+                bytes: out,
+            },
+        );
+    }
+}
+
+impl Actor for WordCount {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() {
+            let now_s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("wc_start_at_s", now_s);
+            self.next_read(ctx);
+            return;
+        }
+        let msg = match downcast::<DfsReadDone>(msg) {
+            Ok(d) => {
+                // map-side CPU over the split bytes
+                let cycles = (d.bytes as f64 * self.cfg.map_cyc_per_byte) as u64;
+                let vcpu = self.vcpu(ctx);
+                let me = ctx.me();
+                ctx.chain(
+                    vec![Stage::cpu(vcpu, cycles, CpuCategory::MapReduce)],
+                    me,
+                    MapCpuDone { bytes: d.bytes },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<MapCpuDone>(msg) {
+            Ok(mc) => {
+                ctx.metrics().add("wc_input_bytes", mc.bytes as f64);
+                self.next_read(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<PhaseCpuDone>(msg) {
+            Ok(_) => {
+                match self.phase {
+                    Phase::Shuffle => self.enter_reduce(ctx),
+                    Phase::Reduce => self.write_output(ctx),
+                    _ => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if msg.is::<DfsWriteDone>() {
+            ctx.metrics().add("wc_done", 1.0);
+            let now_s = ctx.now().as_secs_f64();
+            ctx.metrics().sample("wc_done_at_s", now_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vread_hdfs::client::{add_client, VanillaPath};
+    use vread_hdfs::deploy_hdfs;
+    use vread_hdfs::populate::{populate_file, Placement};
+    use vread_host::costs::Costs;
+
+    fn run_job() -> World {
+        let mut w = World::new(51);
+        let mut cl = Cluster::new(Costs::default());
+        let h = cl.add_host(&mut w, "h", 4, 2.0);
+        let cvm = cl.add_vm(&mut w, h, "client");
+        let dvm = cl.add_vm(&mut w, h, "dn");
+        w.ext.insert(cl);
+        let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
+        populate_file(&mut w, "/input", 32 << 20, &Placement::One(dns[0]));
+        let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
+        let job = WordCount::new(client, cvm, "/input".into(), 32 << 20, WordCountConfig::default());
+        let a = w.add_actor("wc", job);
+        w.send_now(a, Start);
+        w.run();
+        w
+    }
+
+    #[test]
+    fn job_runs_all_phases_and_writes_output() {
+        let w = run_job();
+        assert_eq!(w.metrics.counter("wc_done"), 1.0);
+        assert_eq!(w.metrics.counter("wc_input_bytes"), (32 << 20) as f64);
+        // output written back to HDFS
+        let meta = w.ext.get::<vread_hdfs::HdfsMeta>().unwrap();
+        let out = meta.file("/input.out").expect("output file");
+        assert_eq!(out.size(), ((32u64 << 20) as f64 * 0.02) as u64);
+        // shuffle/reduce happen after the map phase
+        let map_done = w.metrics.mean("wc_map_done_at_s");
+        let done = w.metrics.mean("wc_done_at_s");
+        assert!(done > map_done);
+    }
+
+    #[test]
+    fn map_phase_dominates_for_cpu_heavy_config() {
+        let w = run_job();
+        let start = w.metrics.mean("wc_start_at_s");
+        let map_done = w.metrics.mean("wc_map_done_at_s");
+        let done = w.metrics.mean("wc_done_at_s");
+        let map_frac = (map_done - start) / (done - start);
+        assert!(map_frac > 0.5, "map phase fraction {map_frac}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the simulation engine: event
+//! throughput, scheduler churn, chain dispatch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vread_sim::prelude::*;
+
+struct PingPong {
+    peer: Option<ActorId>,
+    left: u32,
+}
+
+struct Ball;
+
+impl Actor for PingPong {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() || msg.is::<Ball>() {
+            if self.left == 0 {
+                return;
+            }
+            self.left -= 1;
+            let to = self.peer.unwrap_or(ctx.me());
+            ctx.send(to, Ball);
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    c.bench_function("engine/message_pingpong_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(1);
+                let a = w.add_actor("a", PingPong { peer: None, left: 100_000 });
+                w.send_now(a, Start);
+                w
+            },
+            |mut w| {
+                w.run();
+                w.events_processed()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+struct Burster {
+    thread: ThreadId,
+    left: u32,
+}
+struct Done;
+impl Actor for Burster {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() || msg.is::<Done>() {
+            if self.left == 0 {
+                return;
+            }
+            self.left -= 1;
+            let me = ctx.me();
+            ctx.cpu(self.thread, 50_000, CpuCategory::Other, me, Done);
+        }
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("engine/sched_8threads_4cores_10k_bursts", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(1);
+                let h = w.add_host("h", 4, 2.0);
+                for i in 0..8 {
+                    let t = w.add_thread(h, &format!("t{i}"));
+                    let a = w.add_actor(&format!("b{i}"), Burster { thread: t, left: 10_000 / 8 });
+                    w.send_now(a, Start);
+                }
+                w
+            },
+            |mut w| {
+                w.run();
+                w.now()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_chains(c: &mut Criterion) {
+    struct Fin;
+    struct Sink;
+    impl Actor for Sink {
+        fn handle(&mut self, _msg: BoxMsg, _ctx: &mut Ctx<'_>) {}
+    }
+    c.bench_function("engine/chain_5stage_x2000", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(1);
+                let h = w.add_host("h", 4, 2.0);
+                let ts: Vec<ThreadId> = (0..5).map(|i| w.add_thread(h, &format!("t{i}"))).collect();
+                let sink = w.add_actor("sink", Sink);
+                for _ in 0..2000 {
+                    let st: Vec<Stage> = ts
+                        .iter()
+                        .map(|&t| Stage::cpu(t, 10_000, CpuCategory::Other))
+                        .collect();
+                    w.start_chain(st, sink, Fin);
+                }
+                w
+            },
+            |mut w| {
+                w.run();
+                w.events_processed()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_throughput, bench_scheduler, bench_chains
+}
+criterion_main!(benches);

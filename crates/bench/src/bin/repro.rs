@@ -1,0 +1,85 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! repro [--json DIR] <experiment>... | all | list
+//! ```
+
+use std::io::Write as _;
+
+use vread_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::registry();
+
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_dir = it.next();
+                if json_dir.is_none() {
+                    eprintln!("--json needs a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "list" => {
+                for (id, _) in &registry {
+                    println!("{id}");
+                }
+                println!("scenario <file.json>");
+                return;
+            }
+            "scenario" => {
+                let Some(file) = it.next() else {
+                    eprintln!("scenario needs a JSON file argument");
+                    std::process::exit(2);
+                };
+                let json = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+                    eprintln!("cannot read {file}: {e}");
+                    std::process::exit(2);
+                });
+                match vread_bench::ScenarioSpec::from_json(&json).and_then(|s| s.run()) {
+                    Ok(report) => {
+                        println!("{}", serde_json::to_string_pretty(&report).expect("report"));
+                    }
+                    Err(e) => {
+                        eprintln!("scenario failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            _ => wanted.push(a),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--json DIR] <experiment>... | all | list");
+        eprintln!("experiments: {}", registry.iter().map(|(i, _)| *i).collect::<Vec<_>>().join(" "));
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = registry.iter().map(|(id, _)| (*id).to_owned()).collect();
+    }
+
+    for want in &wanted {
+        let Some((_, runner)) = registry.iter().find(|(id, _)| id == want) else {
+            eprintln!("unknown experiment: {want}");
+            std::process::exit(2);
+        };
+        let started = std::time::Instant::now();
+        let tables = runner();
+        for t in &tables {
+            println!("{}", t.render());
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                let path = format!("{dir}/{}.json", t.id);
+                let mut f = std::fs::File::create(&path).expect("create json file");
+                f.write_all(t.to_json().as_bytes()).expect("write json");
+            }
+        }
+        eprintln!("[{want} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

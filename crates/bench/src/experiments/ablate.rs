@@ -1,0 +1,160 @@
+//! Design-choice ablations (DESIGN.md §7):
+//!
+//! * ring slot size — the paper defaults to 1024 × 4 KB slots;
+//! * host-filesystem bypass — §6's "direct read bypassing the file
+//!   system in the host" alternative, which forfeits the host page cache;
+//! * HVE topology awareness — replica choice with and without the
+//!   co-located preference.
+
+use vread_core::daemon::SetBypassHostFs;
+use vread_core::VreadRegistry;
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_host::costs::Costs;
+
+use crate::report::Table;
+use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+
+use super::reader_pass;
+
+const FILE: u64 = 128 << 20;
+const REQUEST: u64 = 1 << 20;
+
+fn read_mbps(tb: &mut Testbed, client: vread_sim::ActorId, path: &str) -> f64 {
+    let _ = reader_pass(tb, client, path, REQUEST, FILE);
+    let secs =
+        tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
+    FILE as f64 / 1e6 / secs
+}
+
+/// Ring-slot-size sweep: cold read and re-read throughput.
+pub fn run_ring() -> Vec<Table> {
+    let mut t = Table::new(
+        "ablate-ring",
+        "vRead co-located throughput vs ring slot size (MB/s)",
+        &["slot", "read", "re-read"],
+    );
+    for (slot, label) in [
+        (1u64 << 10, "1KB"),
+        (4 << 10, "4KB (paper)"),
+        (16 << 10, "16KB"),
+        (64 << 10, "64KB"),
+    ] {
+        let mut costs = Costs::default();
+        costs.ring_slot_bytes = slot;
+        // keep the ring capacity at 4 MB like the paper's default
+        costs.ring_slots = (4 << 20) / slot;
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz: 2.0,
+            path: PathKind::VreadRdma,
+            costs,
+            ..Default::default()
+        });
+        tb.populate("/f", FILE, Locality::CoLocated);
+        let client = tb.make_client();
+        let cold = read_mbps(&mut tb, client, "/f");
+        let warm = read_mbps(&mut tb, client, "/f");
+        t.row(label, vec![cold, warm]);
+    }
+    t.note("smaller slots cost more per-slot spinlock/bookkeeping work per byte");
+    vec![t]
+}
+
+/// Host-FS bypass: mounted-image reads (host page cache) vs raw-device
+/// reads with manual address translation.
+pub fn run_bypass() -> Vec<Table> {
+    let mut t = Table::new(
+        "ablate-bypass",
+        "vRead mounted-image reads vs raw-device bypass (MB/s)",
+        &["variant", "read", "re-read"],
+    );
+    for (bypass, label) in [(false, "mounted (paper design)"), (true, "bypass host FS (§6)")] {
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz: 2.0,
+            path: PathKind::VreadRdma,
+            ..Default::default()
+        });
+        tb.populate("/f", FILE, Locality::CoLocated);
+        let client = tb.make_client();
+        if bypass {
+            let daemons: Vec<_> = {
+                let reg = tb.w.ext.get::<VreadRegistry>().expect("vread deployed");
+                reg.daemons.values().map(|(a, _)| *a).collect()
+            };
+            for d in daemons {
+                tb.w.send_now(d, SetBypassHostFs(true));
+            }
+        }
+        let cold = read_mbps(&mut tb, client, "/f");
+        let warm = read_mbps(&mut tb, client, "/f");
+        t.row(label, vec![cold, warm]);
+    }
+    t.note("the bypass cannot benefit from the host page cache: re-reads stay disk-bound (the paper's §6 argument)");
+    vec![t]
+}
+
+/// SR-IOV device assignment vs vRead (paper §6 "Interplay with Modern
+/// Hardware"): direct NIC assignment helps inter-host traffic but does
+/// nothing for the co-located inter-VM path vRead targets.
+pub fn run_sriov() -> Vec<Table> {
+    let mut t = Table::new(
+        "ablate-sriov",
+        "remote & co-located vanilla reads with SR-IOV NICs vs vRead (MB/s, re-read)",
+        &["variant", "remote", "co-located"],
+    );
+    let measure = |path: PathKind, sriov: bool| -> (f64, f64) {
+        let mut out = [0.0f64; 2];
+        for (i, locality) in [Locality::Remote, Locality::CoLocated].iter().enumerate() {
+            let mut costs = Costs::default();
+            costs.sriov_nics = sriov;
+            let mut tb = Testbed::build(TestbedOpts {
+                ghz: 2.0,
+                path,
+                costs,
+                ..Default::default()
+            });
+            tb.populate("/f", FILE, *locality);
+            let client = tb.make_client();
+            let _cold = read_mbps(&mut tb, client, "/f");
+            out[i] = read_mbps(&mut tb, client, "/f"); // re-read (CPU bound)
+        }
+        (out[0], out[1])
+    };
+    for (label, path, sriov) in [
+        ("vanilla", PathKind::Vanilla, false),
+        ("vanilla + SR-IOV", PathKind::Vanilla, true),
+        ("vRead", PathKind::VreadRdma, false),
+    ] {
+        let (remote, colocated) = measure(path, sriov);
+        t.row(label, vec![remote, colocated]);
+    }
+    t.note("SR-IOV speeds up the remote vanilla path but cannot touch the co-located inter-VM flow (paper §6)");
+    vec![t]
+}
+
+/// HVE topology awareness on/off with 2-way replicated blocks.
+pub fn run_hve() -> Vec<Table> {
+    let mut t = Table::new(
+        "ablate-hve",
+        "replica choice with/without HVE topology awareness (MB/s, vanilla reads)",
+        &["variant", "read"],
+    );
+    for (aware, label) in [(true, "HVE on (prefer co-located)"), (false, "HVE off")] {
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz: 2.0,
+            path: PathKind::Vanilla,
+            ..Default::default()
+        });
+        // every block on both datanodes, primary rotating
+        let placement = Placement::Replicated(vec![tb.dn_local, tb.dn_remote]);
+        populate_file(&mut tb.w, "/f", FILE, &placement);
+        tb.w.ext
+            .get_mut::<vread_hdfs::HdfsMeta>()
+            .expect("meta")
+            .topology_aware = aware;
+        let client = tb.make_client();
+        let mbps = read_mbps(&mut tb, client, "/f");
+        t.row(label, vec![mbps]);
+    }
+    t.note("without awareness half the reads go to the remote replica");
+    vec![t]
+}

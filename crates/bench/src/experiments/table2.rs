@@ -1,0 +1,80 @@
+//! Table 2 — HBase PerformanceEvaluation: scan / sequential read /
+//! random read throughput (MB/s), vanilla vs vRead, on the hybrid 4-VM
+//! setup at 2.0 GHz.
+
+use vread_apps::driver::run_until_counter;
+use vread_apps::hbase::{HbaseClient, HbaseConfig, HbaseOp};
+use vread_sim::prelude::*;
+
+use crate::report::{improvement_pct, Table};
+use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+
+use super::CAP;
+
+/// Rows scaled from the paper's 5 million.
+const SCAN_ROWS: u64 = 120_000;
+const RANDOM_ROWS: u64 = 15_000;
+
+fn mbps(path: PathKind, op: HbaseOp) -> f64 {
+    let mut tb = Testbed::build(TestbedOpts {
+        ghz: 2.0,
+        four_vms: true,
+        path,
+        ..Default::default()
+    });
+    let cfg = HbaseConfig::default();
+    let table_rows = SCAN_ROWS;
+    let rows = match op {
+        HbaseOp::RandomRead => RANDOM_ROWS,
+        _ => SCAN_ROWS,
+    };
+    tb.populate(
+        "/hbase/t1",
+        HbaseClient::table_bytes(table_rows, &cfg),
+        Locality::Hybrid,
+    );
+    let client = tb.make_client();
+    let hb = HbaseClient::new(
+        client,
+        tb.client_vm,
+        op,
+        "/hbase/t1".into(),
+        rows,
+        cfg,
+        tb.opts.seed,
+    );
+    let a = tb.w.add_actor("hbase", hb);
+    tb.w.send_now(a, Start);
+    let ok = run_until_counter(
+        &mut tb.w,
+        "hbase_done",
+        1.0,
+        SimDuration::from_millis(200),
+        CAP,
+    );
+    assert!(ok, "hbase run did not finish");
+    let secs = tb.w.metrics.mean("hbase_done_at_s") - tb.w.metrics.mean("hbase_start_at_s");
+    tb.w.metrics.counter("hbase_bytes") / 1e6 / secs.max(1e-9)
+}
+
+/// Runs Table 2.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "table2",
+        "HBase PerformanceEvaluation throughput (MB/s)",
+        &["operation", "vanilla", "vRead", "improvement %"],
+    );
+    for (op, label, paper) in [
+        (HbaseOp::Scan, "Scan", 27.3),
+        (HbaseOp::SequentialRead, "SequentialRead", 23.6),
+        (HbaseOp::RandomRead, "RandomRead", 17.3),
+    ] {
+        let vanilla = mbps(PathKind::Vanilla, op);
+        let vread = mbps(PathKind::VreadRdma, op);
+        let imp = improvement_pct(vanilla, vread);
+        t.row(format!("{label} (paper +{paper}%)"), vec![vanilla, vread, imp]);
+    }
+    t.note("hybrid 4-VM setup, 2.0 GHz; rows scaled from the paper's 5 million");
+    t.note("paper: vanilla 6.26 / 3.01 / 2.48 MB/s; improvements 27.3 / 23.6 / 17.3 %");
+    vec![t]
+}

@@ -1,0 +1,22 @@
+//! # vread-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! on the simulated testbed, plus the DESIGN.md ablations. Run via the
+//! `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p vread-bench --bin repro -- all
+//! cargo run --release -p vread-bench --bin repro -- fig11 table2
+//! ```
+//!
+//! Criterion micro-benchmarks of the hot paths (`cargo bench`) live in
+//! `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+pub mod spec;
+
+pub use report::{improvement_pct, reduction_pct, Row, Table};
+pub use scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+pub use spec::{ScenarioReport, ScenarioSpec, SpecError};

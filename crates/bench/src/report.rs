@@ -1,0 +1,144 @@
+//! Result tables: aligned text for the terminal, JSON for tooling.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One reproduced table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("fig2", "table3", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scaling factors, paper-reported reference values).
+    pub notes: Vec<String>,
+}
+
+/// One row of a [`Table`].
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// Values, one per non-label column.
+    pub values: Vec<f64>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(self.columns.first().map(|c| c.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = 12usize;
+        // header
+        let _ = write!(out, "{:label_w$}", self.columns.first().map(String::as_str).unwrap_or(""));
+        for c in self.columns.iter().skip(1) {
+            let _ = write!(out, " {c:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:label_w$}", r.label);
+            for v in &r.values {
+                if v.abs() >= 1000.0 {
+                    let _ = write!(out, " {v:>col_w$.0}");
+                } else {
+                    let _ = write!(out, " {v:>col_w$.2}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Percentage improvement of `new` over `old`.
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        (new / old - 1.0) * 100.0
+    }
+}
+
+/// Percentage reduction from `old` to `new`.
+pub fn reduction_pct(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        (1.0 - new / old) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_json() {
+        let mut t = Table::new("figX", "demo", &["scenario", "vanilla", "vread"]);
+        t.row("co-located", vec![100.0, 120.0]);
+        t.note("shape only");
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("co-located"));
+        assert!(s.contains("120.00"));
+        let j = t.to_json();
+        assert!(j.contains("\"id\": \"figX\""));
+    }
+
+    #[test]
+    fn pct_helpers() {
+        assert!((improvement_pct(100.0, 150.0) - 50.0).abs() < 1e-9);
+        assert!((reduction_pct(100.0, 80.0) - 20.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.0, 10.0), 0.0);
+    }
+}

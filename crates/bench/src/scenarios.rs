@@ -1,0 +1,266 @@
+//! Scenario builders mirroring the paper's testbed (§5, Figure 10).
+//!
+//! Two quad-core Xeon hosts (frequency set per experiment with the
+//! simulated `cpufreq-set`), 16 GB RAM, SSD and 10 GbE RoCE NICs. Host 1
+//! runs the client VM (which also hosts the namenode) and datanode 1;
+//! host 2 runs datanode 2. In the *4 VMs* configuration each host is
+//! filled to four VMs with 85%-lookbusy background VMs.
+
+use vread_apps::lookbusy::{llc_pressure, Lookbusy};
+use vread_core::daemon::{deploy_vread, RemoteTransport};
+use vread_core::VreadPath;
+use vread_hdfs::client::{add_client, BlockReadPath, VanillaPath};
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
+use vread_host::cluster::{Cluster, HostIx, VmId};
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+/// Which data path the HDFS client uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Unmodified HDFS (Figure 1 flow).
+    Vanilla,
+    /// vRead with RDMA remote reads.
+    VreadRdma,
+    /// vRead with the user-space TCP fallback.
+    VreadTcp,
+}
+
+impl PathKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathKind::Vanilla => "vanilla",
+            PathKind::VreadRdma => "vRead",
+            PathKind::VreadTcp => "vRead-tcp",
+        }
+    }
+}
+
+/// Where the data a workload reads lives (paper terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// On the datanode VM co-located with the client.
+    CoLocated,
+    /// On the datanode VM on the other host.
+    Remote,
+    /// Alternating blocks on both datanodes.
+    Hybrid,
+}
+
+impl Locality {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Locality::CoLocated => "co-located",
+            Locality::Remote => "remote",
+            Locality::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Testbed configuration.
+#[derive(Debug, Clone)]
+pub struct TestbedOpts {
+    /// Host clock frequency in GHz (the paper uses 1.6 / 2.0 / 3.2).
+    pub ghz: f64,
+    /// `true` = the paper's "4 VMs" configuration (hosts filled with
+    /// 85% lookbusy background VMs); `false` = "2 VMs".
+    pub four_vms: bool,
+    /// Data path under test.
+    pub path: PathKind,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cost-model override (ablations tweak e.g. the ring slot size).
+    pub costs: Costs,
+}
+
+impl Default for TestbedOpts {
+    fn default() -> Self {
+        TestbedOpts {
+            ghz: 2.0,
+            four_vms: false,
+            path: PathKind::Vanilla,
+            seed: 42,
+            costs: Costs::default(),
+        }
+    }
+}
+
+/// The assembled two-host testbed.
+pub struct Testbed {
+    /// The world.
+    pub w: World,
+    /// Scenario options used to build it.
+    pub opts: TestbedOpts,
+    /// The measurement client VM (hosts the namenode too).
+    pub client_vm: VmId,
+    /// Datanode co-located with the client.
+    pub dn_local: DatanodeIx,
+    /// Datanode on the second host.
+    pub dn_remote: DatanodeIx,
+    /// Datanode VM ids (local, remote).
+    pub dn_vms: (VmId, VmId),
+    /// Host indices (host1 = client side, host2).
+    pub hosts: (HostIx, HostIx),
+}
+
+impl Testbed {
+    /// Builds the Figure 10 deployment.
+    pub fn build(opts: TestbedOpts) -> Testbed {
+        let mut w = World::new(opts.seed);
+        let mut cl = Cluster::new(opts.costs.clone());
+        let h1 = cl.add_host(&mut w, "host1", 4, opts.ghz);
+        let h2 = cl.add_host(&mut w, "host2", 4, opts.ghz);
+        let client_vm = cl.add_vm(&mut w, h1, "client");
+        let dn1_vm = cl.add_vm(&mut w, h1, "datanode1");
+        let dn2_vm = cl.add_vm(&mut w, h2, "datanode2");
+
+        // Background VMs (the "rest" up to 4 per host).
+        let mut bg_threads = Vec::new();
+        let (bg1, bg2) = if opts.four_vms { (2usize, 3usize) } else { (0, 0) };
+        for i in 0..bg1 {
+            let vm = cl.add_vm(&mut w, h1, &format!("bg1-{i}"));
+            bg_threads.push(cl.vm(vm).vcpu);
+        }
+        for i in 0..bg2 {
+            let vm = cl.add_vm(&mut w, h2, &format!("bg2-{i}"));
+            bg_threads.push(cl.vm(vm).vcpu);
+        }
+        let host1_id = cl.hosts[h1.0].host;
+        let host2_id = cl.hosts[h2.0].host;
+        w.ext.insert(cl);
+
+        let (_nn, dns) = deploy_hdfs(&mut w, client_vm, &[dn1_vm, dn2_vm]);
+
+        for t in bg_threads {
+            Lookbusy::spawn_default(&mut w, t);
+        }
+        if opts.four_vms {
+            w.set_cache_pressure(host1_id, llc_pressure(bg1));
+            w.set_cache_pressure(host2_id, llc_pressure(bg2));
+        }
+
+        Testbed {
+            w,
+            opts,
+            client_vm,
+            dn_local: dns[0],
+            dn_remote: dns[1],
+            dn_vms: (dn1_vm, dn2_vm),
+            hosts: (h1, h2),
+        }
+    }
+
+    /// Lays out `bytes` at `path` according to `locality`.
+    pub fn populate(&mut self, path: &str, bytes: u64, locality: Locality) {
+        let placement = self.placement(locality);
+        populate_file(&mut self.w, path, bytes, &placement);
+    }
+
+    /// The block placement for a locality.
+    pub fn placement(&self, locality: Locality) -> Placement {
+        match locality {
+            Locality::CoLocated => Placement::One(self.dn_local),
+            Locality::Remote => Placement::One(self.dn_remote),
+            Locality::Hybrid => Placement::RoundRobin(vec![self.dn_local, self.dn_remote]),
+        }
+    }
+
+    /// Deploys the vRead daemons (when the path under test needs them)
+    /// and creates the DFS client. Call *after* [`Testbed::populate`] so
+    /// the initial mounts see the data.
+    pub fn make_client(&mut self) -> ActorId {
+        let path: Box<dyn BlockReadPath> = match self.opts.path {
+            PathKind::Vanilla => Box::new(VanillaPath::new()),
+            PathKind::VreadRdma => {
+                deploy_vread(&mut self.w, RemoteTransport::Rdma);
+                Box::new(VreadPath::new())
+            }
+            PathKind::VreadTcp => {
+                deploy_vread(&mut self.w, RemoteTransport::Tcp);
+                Box::new(VreadPath::new())
+            }
+        };
+        add_client(&mut self.w, self.client_vm, path)
+    }
+
+    /// Controls where *written* blocks land: `CoLocated` keeps the HVE
+    /// placement (co-located datanode), `Remote` forces the remote
+    /// datanode, `Hybrid` disables topology awareness so allocation
+    /// round-robins over both datanodes.
+    pub fn configure_write_locality(&mut self, locality: Locality) {
+        let dn_remote = self.dn_remote;
+        let meta = self.w.ext.get_mut::<HdfsMeta>().expect("meta");
+        match locality {
+            Locality::CoLocated => {
+                meta.topology_aware = true;
+                meta.forced_primary = None;
+            }
+            Locality::Remote => {
+                meta.topology_aware = false;
+                meta.forced_primary = Some(dn_remote);
+            }
+            Locality::Hybrid => {
+                meta.topology_aware = false;
+                meta.forced_primary = None;
+            }
+        }
+    }
+
+    /// Clears guest + host caches (the paper's pre-read `drop_caches`).
+    pub fn drop_caches(&mut self) {
+        let cl = self.w.ext.get_mut::<Cluster>().expect("cluster");
+        cl.clear_all_caches();
+    }
+
+    /// Thread handles often needed by reports: (client vcpu, client
+    /// vhost, dn-local vcpu, dn-local vhost).
+    pub fn key_threads(&self) -> (ThreadId, ThreadId, ThreadId, ThreadId) {
+        let cl = self.w.ext.get::<Cluster>().expect("cluster");
+        (
+            cl.vm(self.client_vm).vcpu,
+            cl.vm(self.client_vm).vhost,
+            cl.vm(self.dn_vms.0).vcpu,
+            cl.vm(self.dn_vms.0).vhost,
+        )
+    }
+
+    /// Daemon threads (host1, host2), if vRead is deployed.
+    pub fn daemon_threads(&self) -> Option<(ThreadId, ThreadId)> {
+        let reg = self.w.ext.get::<vread_core::VreadRegistry>()?;
+        Some((reg.daemons[&self.hosts.0 .0].1, reg.daemons[&self.hosts.1 .0].1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_vm_configurations() {
+        let tb = Testbed::build(TestbedOpts::default());
+        let cl = tb.w.ext.get::<Cluster>().unwrap();
+        assert_eq!(cl.vms.len(), 3);
+        let tb4 = Testbed::build(TestbedOpts {
+            four_vms: true,
+            ..Default::default()
+        });
+        let cl4 = tb4.w.ext.get::<Cluster>().unwrap();
+        assert_eq!(cl4.vms.len(), 8, "hosts filled to 4 VMs each");
+    }
+
+    #[test]
+    fn populate_and_clients_work_for_all_paths() {
+        for path in [PathKind::Vanilla, PathKind::VreadRdma, PathKind::VreadTcp] {
+            let mut tb = Testbed::build(TestbedOpts {
+                path,
+                ..Default::default()
+            });
+            tb.populate("/d", 4 << 20, Locality::Hybrid);
+            let _client = tb.make_client();
+            assert!(tb.w.ext.get::<HdfsMeta>().unwrap().file("/d").is_some());
+        }
+    }
+}

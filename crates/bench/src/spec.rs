@@ -1,0 +1,546 @@
+//! Declarative scenarios: assemble and run a whole deployment from a
+//! JSON description.
+//!
+//! ```json
+//! {
+//!   "seed": 7,
+//!   "path": "vread-rdma",
+//!   "hosts": [
+//!     { "name": "host1", "cores": 4, "ghz": 2.0 },
+//!     { "name": "host2", "cores": 4, "ghz": 2.0 }
+//!   ],
+//!   "vms": [
+//!     { "name": "client", "host": "host1", "role": "client" },
+//!     { "name": "dn1", "host": "host1", "role": "datanode" },
+//!     { "name": "dn2", "host": "host2", "role": "datanode" },
+//!     { "name": "bg1", "host": "host1", "role": "lookbusy", "busy": 0.85 }
+//!   ],
+//!   "files": [ { "path": "/data", "mb": 256, "placement": ["dn1", "dn2"] } ],
+//!   "workload": { "kind": "dfsio-read", "files": ["/data"], "buffer_kb": 1024 }
+//! }
+//! ```
+//!
+//! Run with `repro scenario <file.json>`; the report (throughput, CPU,
+//! per-thread busy time) is printed and returned as JSON.
+
+use serde::{Deserialize, Serialize};
+
+use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
+use vread_apps::driver::run_until_counter;
+use vread_apps::java_reader::{JavaReader, ReaderMode};
+use vread_apps::lookbusy::{llc_pressure, Lookbusy};
+use vread_apps::netperf::deploy_netperf;
+use vread_core::daemon::{deploy_vread, RemoteTransport};
+use vread_core::VreadPath;
+use vread_hdfs::client::{add_client, BlockReadPath, VanillaPath};
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
+use vread_host::cluster::{Cluster, VmId};
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+/// A physical host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Host name (referenced by VMs).
+    pub name: String,
+    /// Cores (default 4).
+    #[serde(default = "default_cores")]
+    pub cores: usize,
+    /// Clock in GHz (default 2.0).
+    #[serde(default = "default_ghz")]
+    pub ghz: f64,
+}
+
+fn default_cores() -> usize {
+    4
+}
+fn default_ghz() -> f64 {
+    2.0
+}
+fn default_seed() -> u64 {
+    42
+}
+fn default_buffer_kb() -> u64 {
+    1024
+}
+
+/// What a VM runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum VmRole {
+    /// HDFS client (the first client VM also hosts the namenode).
+    Client,
+    /// HDFS datanode.
+    Datanode,
+    /// Background CPU load.
+    Lookbusy,
+}
+
+/// A virtual machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// VM name.
+    pub name: String,
+    /// Host name it runs on.
+    pub host: String,
+    /// Role.
+    pub role: VmRole,
+    /// Lookbusy duty cycle (only for `lookbusy` VMs; default 0.85).
+    #[serde(default)]
+    pub busy: Option<f64>,
+}
+
+/// A pre-populated HDFS file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// HDFS path.
+    pub path: String,
+    /// Size in MiB.
+    pub mb: u64,
+    /// Datanode names blocks round-robin over.
+    pub placement: Vec<String>,
+}
+
+/// The measured workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum WorkloadSpec {
+    /// TestDFSIO read over `files`.
+    DfsioRead {
+        /// Files to read (must be populated).
+        files: Vec<String>,
+        /// Application buffer in KiB.
+        #[serde(default = "default_buffer_kb")]
+        buffer_kb: u64,
+    },
+    /// TestDFSIO write creating `files` of `mb` MiB each.
+    DfsioWrite {
+        /// Files to create.
+        files: Vec<String>,
+        /// Per-file size in MiB.
+        mb: u64,
+    },
+    /// Sequential reader over one file.
+    Reader {
+        /// File to read.
+        path: String,
+        /// Request size in KiB.
+        request_kb: u64,
+    },
+    /// netperf TCP_RR between the client VM and the first datanode VM.
+    Netperf {
+        /// Request size in KiB.
+        request_kb: u64,
+        /// Measurement window in milliseconds.
+        duration_ms: u64,
+    },
+}
+
+/// A whole scenario.
+///
+/// ```rust
+/// use vread_bench::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::from_json(r#"{
+///     "path": "vanilla",
+///     "hosts": [ { "name": "h1" } ],
+///     "vms": [
+///         { "name": "client", "host": "h1", "role": "client" },
+///         { "name": "dn1", "host": "h1", "role": "datanode" }
+///     ],
+///     "files": [ { "path": "/d", "mb": 8, "placement": ["dn1"] } ],
+///     "workload": { "kind": "reader", "path": "/d", "request_kb": 1024 }
+/// }"#)?;
+/// let report = spec.run()?;
+/// assert_eq!(report.bytes, 8 << 20);
+/// # Ok::<(), vread_bench::SpecError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// RNG seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Read path: `"vanilla"`, `"vread-rdma"` or `"vread-tcp"`.
+    pub path: String,
+    /// Hosts.
+    pub hosts: Vec<HostSpec>,
+    /// VMs.
+    pub vms: Vec<VmSpec>,
+    /// Pre-populated files.
+    #[serde(default)]
+    pub files: Vec<FileSpec>,
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+}
+
+/// Scenario results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Simulated seconds the workload took.
+    pub elapsed_s: f64,
+    /// Payload moved (bytes) — 0 for netperf.
+    pub bytes: u64,
+    /// Application throughput in MB/s (or transactions/s for netperf).
+    pub rate: f64,
+    /// Busy milliseconds per thread, by thread name.
+    pub thread_busy_ms: Vec<(String, f64)>,
+    /// CPU milliseconds by the paper's figure-legend buckets (whole
+    /// deployment, lookbusy excluded).
+    pub cpu_by_category_ms: Vec<(String, f64)>,
+}
+
+/// Errors building/running a scenario.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON didn't parse.
+    Parse(serde_json::Error),
+    /// A reference (host, VM, datanode, file) didn't resolve.
+    Unresolved(String),
+    /// Config combination is invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "scenario JSON: {e}"),
+            SpecError::Unresolved(s) => write!(f, "unresolved reference: {s}"),
+            SpecError::Invalid(s) => write!(f, "invalid scenario: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ScenarioSpec {
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::Parse)
+    }
+
+    /// Builds and runs the scenario, returning the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when names don't resolve or the combination
+    /// is invalid (no client VM, unknown path, …).
+    pub fn run(&self) -> Result<ScenarioReport, SpecError> {
+        let mut w = World::new(self.seed);
+        let mut cl = Cluster::new(Costs::default());
+
+        // hosts
+        let mut host_ix = std::collections::HashMap::new();
+        for h in &self.hosts {
+            let ix = cl.add_host(&mut w, &h.name, h.cores, h.ghz);
+            host_ix.insert(h.name.clone(), ix);
+        }
+
+        // VMs
+        let mut vm_ids: std::collections::HashMap<String, VmId> = Default::default();
+        let mut client_vm: Option<VmId> = None;
+        let mut datanode_vms: Vec<(String, VmId)> = Vec::new();
+        let mut lookbusy: Vec<(ThreadId, f64)> = Vec::new();
+        let mut busy_per_host: std::collections::HashMap<String, usize> = Default::default();
+        for v in &self.vms {
+            let hix = *host_ix
+                .get(&v.host)
+                .ok_or_else(|| SpecError::Unresolved(format!("host {}", v.host)))?;
+            let id = cl.add_vm(&mut w, hix, &v.name);
+            vm_ids.insert(v.name.clone(), id);
+            match v.role {
+                VmRole::Client => {
+                    if client_vm.is_none() {
+                        client_vm = Some(id);
+                    }
+                }
+                VmRole::Datanode => datanode_vms.push((v.name.clone(), id)),
+                VmRole::Lookbusy => {
+                    lookbusy.push((cl.vm(id).vcpu, v.busy.unwrap_or(0.85)));
+                    *busy_per_host.entry(v.host.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let client_vm =
+            client_vm.ok_or_else(|| SpecError::Invalid("no client VM".to_owned()))?;
+        if datanode_vms.is_empty() {
+            return Err(SpecError::Invalid("no datanode VM".to_owned()));
+        }
+        // cache pressure per host from its lookbusy population
+        for (host, n) in &busy_per_host {
+            let hix = host_ix[host];
+            let host_id = cl.hosts[hix.0].host;
+            w.set_cache_pressure(host_id, llc_pressure(*n));
+        }
+        w.ext.insert(cl);
+
+        // HDFS + data
+        let dn_vms: Vec<VmId> = datanode_vms.iter().map(|(_, v)| *v).collect();
+        let (_nn, dn_ixs) = deploy_hdfs(&mut w, client_vm, &dn_vms);
+        let dn_by_name: std::collections::HashMap<&str, DatanodeIx> = datanode_vms
+            .iter()
+            .zip(&dn_ixs)
+            .map(|((name, _), ix)| (name.as_str(), *ix))
+            .collect();
+        for f in &self.files {
+            let dns: Vec<DatanodeIx> = f
+                .placement
+                .iter()
+                .map(|n| {
+                    dn_by_name
+                        .get(n.as_str())
+                        .copied()
+                        .ok_or_else(|| SpecError::Unresolved(format!("datanode {n}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if dns.is_empty() {
+                return Err(SpecError::Invalid(format!("file {} has no placement", f.path)));
+            }
+            populate_file(&mut w, &f.path, f.mb << 20, &Placement::RoundRobin(dns));
+        }
+
+        // read path
+        let path: Box<dyn BlockReadPath> = match self.path.as_str() {
+            "vanilla" => Box::new(VanillaPath::new()),
+            "vread-rdma" => {
+                deploy_vread(&mut w, RemoteTransport::Rdma);
+                Box::new(VreadPath::new())
+            }
+            "vread-tcp" => {
+                deploy_vread(&mut w, RemoteTransport::Tcp);
+                Box::new(VreadPath::new())
+            }
+            other => return Err(SpecError::Invalid(format!("unknown path {other:?}"))),
+        };
+        let client = add_client(&mut w, client_vm, path);
+
+        // background load
+        for (thread, busy) in lookbusy {
+            let lb = Lookbusy::new(thread, busy, SimDuration::from_millis(10));
+            let a = w.add_actor("lookbusy", lb);
+            w.send_now(a, Start);
+        }
+
+        // workload
+        let cap = SimDuration::from_secs(3_000);
+        let (elapsed_s, bytes, rate) = match &self.workload {
+            WorkloadSpec::DfsioRead { files, buffer_kb } => {
+                let meta = w.ext.get::<HdfsMeta>().expect("meta");
+                let sizes: Vec<u64> = files
+                    .iter()
+                    .map(|f| {
+                        meta.file(f)
+                            .map(|m| m.size())
+                            .ok_or_else(|| SpecError::Unresolved(format!("file {f}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let file_bytes = sizes[0];
+                let mut cfg = DfsioConfig::default();
+                cfg.buffer_bytes = buffer_kb << 10;
+                let job = TestDfsio::new(
+                    client,
+                    client_vm,
+                    DfsioMode::Read,
+                    files.clone(),
+                    file_bytes,
+                    cfg,
+                );
+                let a = w.add_actor("dfsio", job);
+                w.send_now(a, Start);
+                if !run_until_counter(&mut w, "dfsio_done", 1.0, SimDuration::from_millis(100), cap)
+                {
+                    return Err(SpecError::Invalid("workload did not finish".to_owned()));
+                }
+                let secs =
+                    w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
+                let b = w.metrics.counter("dfsio_bytes") as u64;
+                (secs, b, b as f64 / 1e6 / secs)
+            }
+            WorkloadSpec::DfsioWrite { files, mb } => {
+                let job = TestDfsio::new(
+                    client,
+                    client_vm,
+                    DfsioMode::Write,
+                    files.clone(),
+                    mb << 20,
+                    DfsioConfig::default(),
+                );
+                let a = w.add_actor("dfsio", job);
+                w.send_now(a, Start);
+                if !run_until_counter(&mut w, "dfsio_done", 1.0, SimDuration::from_millis(100), cap)
+                {
+                    return Err(SpecError::Invalid("workload did not finish".to_owned()));
+                }
+                let secs =
+                    w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
+                let b = w.metrics.counter("dfsio_bytes") as u64;
+                (secs, b, b as f64 / 1e6 / secs)
+            }
+            WorkloadSpec::Reader { path, request_kb } => {
+                let total = {
+                    let meta = w.ext.get::<HdfsMeta>().expect("meta");
+                    meta.file(path)
+                        .map(|m| m.size())
+                        .ok_or_else(|| SpecError::Unresolved(format!("file {path}")))?
+                };
+                let rdr = JavaReader::new(
+                    client_vm,
+                    ReaderMode::Dfs { client, path: path.clone() },
+                    request_kb << 10,
+                    total,
+                );
+                let a = w.add_actor("reader", rdr);
+                w.send_now(a, Start);
+                if !run_until_counter(&mut w, "reader_done", 1.0, SimDuration::from_millis(50), cap)
+                {
+                    return Err(SpecError::Invalid("workload did not finish".to_owned()));
+                }
+                let secs =
+                    w.metrics.mean("reader_done_at_s") - w.metrics.mean("reader_start_at_s");
+                (secs, total, total as f64 / 1e6 / secs)
+            }
+            WorkloadSpec::Netperf { request_kb, duration_ms } => {
+                let server_vm = dn_vms[0];
+                let measure_from = w.now();
+                let np =
+                    deploy_netperf(&mut w, client_vm, server_vm, request_kb << 10, measure_from);
+                w.send_now(np, Start);
+                let dur = SimDuration::from_millis(*duration_ms);
+                let t = w.now() + dur;
+                w.run_until(t);
+                let txns = w.metrics.counter("netperf_txns");
+                (dur.as_secs_f64(), 0, txns / dur.as_secs_f64())
+            }
+        };
+
+        let mut cpu_by_cat: std::collections::BTreeMap<&'static str, f64> = Default::default();
+        for t in 0..w.acct.len() {
+            let host = w.thread_host(ThreadId::from_raw(t as u32));
+            let ghz = w.host_ghz(host);
+            for cat in CpuCategory::ALL {
+                if cat == CpuCategory::Lookbusy {
+                    continue;
+                }
+                let cycles = w.acct.cycles(t, cat);
+                if cycles > 0.0 {
+                    *cpu_by_cat.entry(cat.figure_bucket()).or_insert(0.0) +=
+                        cycles / ghz / 1e6;
+                }
+            }
+        }
+        let cpu_by_category_ms: Vec<(String, f64)> = cpu_by_cat
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+
+        let mut thread_busy_ms: Vec<(String, f64)> = (0..w.acct.len())
+            .map(|t| {
+                (
+                    w.thread_name(ThreadId::from_raw(t as u32)).to_owned(),
+                    w.acct.busy_ns(t) as f64 / 1e6,
+                )
+            })
+            .filter(|(_, b)| *b > 0.0)
+            .collect();
+        thread_busy_ms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+
+        Ok(ScenarioReport {
+            elapsed_s,
+            bytes,
+            rate,
+            thread_busy_ms,
+            cpu_by_category_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "path": "vread-rdma",
+        "hosts": [
+            { "name": "h1", "ghz": 3.2 },
+            { "name": "h2" }
+        ],
+        "vms": [
+            { "name": "client", "host": "h1", "role": "client" },
+            { "name": "dn1", "host": "h1", "role": "datanode" },
+            { "name": "dn2", "host": "h2", "role": "datanode" },
+            { "name": "bg", "host": "h1", "role": "lookbusy", "busy": 0.5 }
+        ],
+        "files": [ { "path": "/d", "mb": 64, "placement": ["dn1", "dn2"] } ],
+        "workload": { "kind": "dfsio-read", "files": ["/d"] }
+    }"#;
+
+    #[test]
+    fn spec_roundtrip_and_run() {
+        let spec = ScenarioSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.hosts[1].cores, 4, "defaults fill in");
+        let report = spec.run().unwrap();
+        assert_eq!(report.bytes, 64 << 20);
+        assert!(report.rate > 10.0, "rate {}", report.rate);
+        assert!(!report.thread_busy_ms.is_empty());
+        assert!(
+            report
+                .cpu_by_category_ms
+                .iter()
+                .any(|(k, _)| k == "data copy(vRead-buffer)"),
+            "vread run shows ring copies in the breakdown"
+        );
+        // JSON-serializable report
+        let j = serde_json::to_string(&report).unwrap();
+        assert!(j.contains("elapsed_s"));
+    }
+
+    #[test]
+    fn unresolved_references_error() {
+        let bad = SPEC.replace("\"host\": \"h1\"", "\"host\": \"nope\"");
+        let spec = ScenarioSpec::from_json(&bad).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Unresolved(_))));
+    }
+
+    #[test]
+    fn unknown_path_errors() {
+        let bad = SPEC.replace("vread-rdma", "warp-drive");
+        let spec = ScenarioSpec::from_json(&bad).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn netperf_workload_reports_rate() {
+        let spec_json = r#"{
+            "path": "vanilla",
+            "hosts": [ { "name": "h1", "ghz": 3.2 } ],
+            "vms": [
+                { "name": "client", "host": "h1", "role": "client" },
+                { "name": "dn1", "host": "h1", "role": "datanode" }
+            ],
+            "workload": { "kind": "netperf", "request_kb": 32, "duration_ms": 200 }
+        }"#;
+        let spec = ScenarioSpec::from_json(spec_json).unwrap();
+        let report = spec.run().unwrap();
+        assert!(report.rate > 1_000.0, "txn rate {}", report.rate);
+    }
+
+    #[test]
+    fn write_workload_creates_files() {
+        let spec_json = r#"{
+            "path": "vanilla",
+            "hosts": [ { "name": "h1" } ],
+            "vms": [
+                { "name": "client", "host": "h1", "role": "client" },
+                { "name": "dn1", "host": "h1", "role": "datanode" }
+            ],
+            "workload": { "kind": "dfsio-write", "files": ["/o1", "/o2"], "mb": 16 }
+        }"#;
+        let spec = ScenarioSpec::from_json(spec_json).unwrap();
+        let report = spec.run().unwrap();
+        assert_eq!(report.bytes, 32 << 20);
+    }
+}

@@ -1,0 +1,83 @@
+//! Smoke tests of the experiment harness: the paper-shape invariants the
+//! figures rest on must hold on every build, not just when `repro` runs.
+
+use vread_bench::experiments;
+
+fn table(id: &str) -> vread_bench::Table {
+    let registry = experiments::registry();
+    let (_, runner) = registry
+        .iter()
+        .find(|(i, _)| *i == id)
+        .unwrap_or_else(|| panic!("experiment {id} not registered"));
+    runner()
+        .into_iter()
+        .find(|t| t.id.starts_with(id))
+        .expect("runner returned its table")
+}
+
+#[test]
+fn fig3_shape_lookbusy_drop() {
+    let t = table("fig3");
+    for row in &t.rows {
+        let (quiet, busy, drop) = (row.values[0], row.values[1], row.values[2]);
+        assert!(busy < quiet, "{}: contention must cost throughput", row.label);
+        assert!(
+            (5.0..40.0).contains(&drop),
+            "{}: drop {drop}% outside the paper's ballpark (~20%)",
+            row.label
+        );
+    }
+    // rate decreases with request size
+    let rates: Vec<f64> = t.rows.iter().map(|r| r.values[0]).collect();
+    assert!(rates[0] > rates[1] && rates[1] > rates[2]);
+}
+
+#[test]
+fn fig13_shape_write_overhead_negligible() {
+    let t = table("fig13");
+    for row in &t.rows {
+        let overhead = row.values[2];
+        assert!(
+            overhead.abs() < 2.0,
+            "{}: mount-refresh overhead {overhead}% must be negligible",
+            row.label
+        );
+    }
+}
+
+#[test]
+fn ablate_bypass_shape_loses_page_cache() {
+    let t = table("ablate-bypass");
+    let mounted = &t.rows[0];
+    let bypass = &t.rows[1];
+    // cold reads comparable
+    assert!((mounted.values[0] / bypass.values[0] - 1.0).abs() < 0.2);
+    // mounted re-reads fly; bypass re-reads stay disk-bound
+    assert!(
+        mounted.values[1] > bypass.values[1] * 2.0,
+        "mounted re-read {} vs bypass {}",
+        mounted.values[1],
+        bypass.values[1]
+    );
+    assert!(
+        (bypass.values[1] / bypass.values[0] - 1.0).abs() < 0.1,
+        "bypass re-read must look like a cold read"
+    );
+}
+
+#[test]
+fn registry_ids_unique_and_runnable_listing() {
+    let reg = experiments::registry();
+    let mut ids: Vec<&str> = reg.iter().map(|(i, _)| *i).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate experiment ids");
+    // every paper table/figure is covered
+    for wanted in [
+        "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "table2",
+        "table3",
+    ] {
+        assert!(ids.contains(&wanted), "missing experiment {wanted}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # vread-core — the vRead system (the paper's contribution)
+//!
+//! vRead connects HDFS read I/O flows directly to their data: instead of
+//! channeling every read through the datanode VM's virtual NIC and
+//! virtual disk (≥5 data copies, two guest network stacks, and four
+//! schedulable threads), the HDFS client VM reads the datanode VM's disk
+//! image **from the hypervisor**:
+//!
+//! * [`api`] — the libvread user-level API of Table 1 (`vRead_open`,
+//!   `vRead_read`, `vRead_seek`, `vRead_close`) and the block→descriptor
+//!   hash that lets HDFS reuse descriptors;
+//! * [`ring`] — the guest↔hypervisor shared-memory channel: a POSIX SHM
+//!   object exposed as a virtual PCI device, 1024 × 4 KB slots, eventfd
+//!   doorbells, virtual-interrupt translation in the guest driver;
+//! * [`daemon`] — the per-host hypervisor daemon: datanode→disk-image
+//!   hash table, read-only loop mounts of datanode images (served through
+//!   the host page cache), the `vRead_update` mount-refresh consistency
+//!   protocol driven by namenode notifications, and the remote-read
+//!   protocol over RDMA/RoCE (or the user-space TCP fallback);
+//! * [`path`] — the modified `DFSInputStream` read path (Algorithms 1
+//!   and 2) with descriptor caching and transparent fallback to vanilla
+//!   HDFS reads.
+//!
+//! Deploy with [`deploy_vread`] after `deploy_hdfs`, then give clients a
+//! [`VreadPath`] instead of a `VanillaPath` — applications are unaware of
+//! the change, exactly as in the paper.
+
+pub mod api;
+pub mod daemon;
+pub mod path;
+pub mod ring;
+
+pub use api::{Vfd, VfdTable};
+pub use daemon::{
+    deploy_vread, RemoteTransport, VreadChunk, VreadClose, VreadDaemon, VreadOpenReq,
+    VreadOpenResp, VreadReadDone, VreadReadReq, VreadRegistry,
+};
+pub use path::VreadPath;
+pub use ring::RingSpec;

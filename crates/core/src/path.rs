@@ -1,0 +1,265 @@
+//! The vRead read path for the HDFS client.
+//!
+//! This is the paper's modified `DFSInputStream` (Algorithms 1 & 2): for
+//! each block part the client checks the libvread descriptor hash, calls
+//! `vRead_open` if needed, reads through the shared-memory ring, and
+//! closes the descriptor when the block is exhausted. If the daemon
+//! cannot open the block (not yet visible through the mounted view, or
+//! the datanode is unknown), the path **falls back to the original HDFS
+//! read** (`read_buffer`/`fetchBlocks`) — exactly Algorithm 1 line 22.
+
+use std::collections::{HashMap, HashSet};
+
+use vread_hdfs::client::{BlockReadPath, BlockReq, ClientShared, PathEvent, VanillaPath};
+use vread_host::cluster::Cluster;
+use vread_sim::prelude::*;
+
+use crate::api::VfdTable;
+use crate::daemon::{
+    VreadChunk, VreadClose, VreadOpenReq, VreadOpenResp, VreadReadDone, VreadReadFailed,
+    VreadReadReq, VreadRegistry,
+};
+use crate::ring::RingSpec;
+
+struct ActiveRead {
+    block: vread_hdfs::meta::BlockId,
+    close_after: bool,
+    req: BlockReq,
+}
+
+/// The vRead [`BlockReadPath`]. Plug into
+/// [`vread_hdfs::client::add_client`].
+pub struct VreadPath {
+    vfds: VfdTable,
+    fallback: VanillaPath,
+    pending_open: HashMap<u64, BlockReq>,
+    active: HashMap<u64, ActiveRead>,
+    fallback_tokens: HashSet<u64>,
+    /// Failure counts per fetch token (a stale descriptor is retried once
+    /// through a fresh open before falling back to vanilla).
+    attempts: HashMap<u64, u8>,
+}
+
+impl Default for VreadPath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VreadPath {
+    /// Creates the path with an empty descriptor hash.
+    pub fn new() -> Self {
+        VreadPath {
+            vfds: VfdTable::new(),
+            fallback: VanillaPath::new(),
+            pending_open: HashMap::new(),
+            active: HashMap::new(),
+            fallback_tokens: HashSet::new(),
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Open descriptors currently cached (diagnostics).
+    pub fn open_descriptors(&self) -> usize {
+        self.vfds.len()
+    }
+
+    fn daemon_of(ctx: &Ctx<'_>, shared: &ClientShared) -> (ActorId, ThreadId) {
+        let cl = ctx.world.ext.get::<Cluster>().expect("Cluster missing");
+        let host = cl.vm(shared.vm).host;
+        let reg = ctx
+            .world
+            .ext
+            .get::<VreadRegistry>()
+            .expect("vRead not deployed (VreadRegistry missing)");
+        reg.daemons[&host.0]
+    }
+
+    fn request_stages(ctx: &Ctx<'_>, shared: &ClientShared) -> Vec<Stage> {
+        let cl = ctx.world.ext.get::<Cluster>().expect("Cluster missing");
+        let ring = RingSpec::from_costs(&cl.costs);
+        ring.guest_request_stages(&cl.costs, cl.vm(shared.vm).vcpu)
+    }
+
+    fn issue_read(&mut self, ctx: &mut Ctx<'_>, shared: &ClientShared, req: BlockReq) {
+        let (daemon, _) = Self::daemon_of(ctx, shared);
+        let vfd = self
+            .vfds
+            .get(req.block)
+            .expect("issue_read without descriptor");
+        let len = req.len.min(vfd.size.saturating_sub(req.offset));
+        vfd.position = req.offset + len;
+        let close_after = vfd.position >= vfd.size;
+        let vfd_id = vfd.id;
+        self.active.insert(
+            req.token,
+            ActiveRead {
+                block: req.block,
+                close_after,
+                req,
+            },
+        );
+        let stages = Self::request_stages(ctx, shared);
+        ctx.chain(
+            stages,
+            daemon,
+            VreadReadReq {
+                reply_to: shared.me,
+                token: req.token,
+                vfd: vfd_id,
+                client_vm: shared.vm,
+                offset: req.offset,
+                len,
+            },
+        );
+    }
+}
+
+impl BlockReadPath for VreadPath {
+    fn name(&self) -> &'static str {
+        "vread"
+    }
+
+    fn client_cyc_per_byte(&self, costs: &vread_host::Costs) -> f64 {
+        costs.vread_client_cyc_per_byte
+    }
+
+    fn cancel(&mut self, token: u64) {
+        self.pending_open.remove(&token);
+        self.active.remove(&token);
+        self.attempts.remove(&token);
+        if self.fallback_tokens.remove(&token) {
+            self.fallback.cancel(token);
+        }
+    }
+
+    fn start(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        shared: &ClientShared,
+        req: BlockReq,
+        _out: &mut Vec<PathEvent>,
+    ) {
+        if self.vfds.get(req.block).is_some() {
+            // Algorithm 1 line 15: descriptor reuse from vfd_hash.
+            ctx.metrics().incr("vread_vfd_hits");
+            self.issue_read(ctx, shared, req);
+            return;
+        }
+        // Algorithm 1 line 12: vRead_open.
+        ctx.metrics().incr("vread_opens");
+        let (daemon, _) = Self::daemon_of(ctx, shared);
+        self.pending_open.insert(req.token, req);
+        let stages = Self::request_stages(ctx, shared);
+        ctx.chain(
+            stages,
+            daemon,
+            VreadOpenReq {
+                reply_to: shared.me,
+                token: req.token,
+                dn: req.dn,
+                block: req.block,
+            },
+        );
+    }
+
+    fn on_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        shared: &ClientShared,
+        msg: BoxMsg,
+        out: &mut Vec<PathEvent>,
+    ) -> Result<(), BoxMsg> {
+        let msg = match downcast::<VreadOpenResp>(msg) {
+            Ok(resp) => {
+                let Some(req) = self.pending_open.remove(&resp.token) else {
+                    return Ok(());
+                };
+                match resp.vfd {
+                    Some(vfd) => {
+                        self.vfds.put(req.block, vfd);
+                        self.issue_read(ctx, shared, req);
+                    }
+                    None => {
+                        // Algorithm 1 line 22: fall back to the original
+                        // HDFS read path.
+                        ctx.metrics().incr("vread_fallbacks");
+                        self.fallback_tokens.insert(req.token);
+                        self.fallback.start(ctx, shared, req, out);
+                    }
+                }
+                return Ok(());
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<VreadChunk>(msg) {
+            Ok(c) => {
+                if self.active.contains_key(&c.token) {
+                    out.push(PathEvent::Chunk {
+                        token: c.token,
+                        bytes: c.bytes,
+                    });
+                }
+                return Ok(());
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<VreadReadFailed>(msg) {
+            Ok(f) => {
+                // Stale descriptor (e.g. datanode VM migration): drop it
+                // and retry once through a fresh open; then fall back.
+                if let Some(ar) = self.active.remove(&f.token) {
+                    ctx.metrics().incr("vread_read_retries");
+                    self.vfds.close(ar.block);
+                    let tries = self.attempts.entry(f.token).or_insert(0);
+                    *tries += 1;
+                    let req = ar.req;
+                    if *tries <= 1 {
+                        // fresh vRead_open through (possibly) a new route
+                        self.pending_open.insert(req.token, req);
+                        let (daemon, _) = Self::daemon_of(ctx, shared);
+                        let stages = Self::request_stages(ctx, shared);
+                        ctx.chain(
+                            stages,
+                            daemon,
+                            VreadOpenReq {
+                                reply_to: shared.me,
+                                token: req.token,
+                                dn: req.dn,
+                                block: req.block,
+                            },
+                        );
+                    } else {
+                        ctx.metrics().incr("vread_fallbacks");
+                        self.fallback_tokens.insert(f.token);
+                        self.fallback.start(ctx, shared, req, out);
+                    }
+                }
+                return Ok(());
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<VreadReadDone>(msg) {
+            Ok(d) => {
+                self.attempts.remove(&d.token);
+                if let Some(ar) = self.active.remove(&d.token) {
+                    if ar.close_after {
+                        // Algorithm 1 line 27: vRead_close at block end.
+                        if let Some(vfd) = self.vfds.close(ar.block) {
+                            let (daemon, _) = Self::daemon_of(ctx, shared);
+                            ctx.send(daemon, VreadClose { vfd: vfd.id });
+                        }
+                    }
+                    out.push(PathEvent::Done { token: d.token });
+                }
+                return Ok(());
+            }
+            Err(m) => m,
+        };
+        // Everything else may belong to the fallback vanilla path.
+        match self.fallback.on_msg(ctx, shared, msg, out) {
+            Ok(()) => Ok(()),
+            Err(m) => Err(m),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Edge-case tests of the vRead daemon: tiny rings, concurrent readers,
+//! descriptor lifecycle, unknown-descriptor handling.
+
+use vread_core::daemon::{RemoteTransport, VreadClose, VreadOpenReq, VreadOpenResp, VreadReadDone, VreadReadFailed, VreadReadReq};
+use vread_core::{deploy_vread, VreadPath, VreadRegistry};
+use vread_hdfs::client::{add_client, DfsRead, DfsReadDone};
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
+use vread_host::cluster::{Cluster, VmId};
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+fn bed(costs: Costs) -> (World, VmId, DatanodeIx) {
+    let mut w = World::new(61);
+    let mut cl = Cluster::new(costs);
+    let h = cl.add_host(&mut w, "h", 4, 3.2);
+    let cvm = cl.add_vm(&mut w, h, "client");
+    let dvm = cl.add_vm(&mut w, h, "dn");
+    w.ext.insert(cl);
+    let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
+    populate_file(&mut w, "/f", 16 << 20, &Placement::One(dns[0]));
+    deploy_vread(&mut w, RemoteTransport::Rdma);
+    (w, cvm, dns[0])
+}
+
+struct Rd {
+    client: ActorId,
+    got: std::rc::Rc<std::cell::Cell<u64>>,
+}
+impl Actor for Rd {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() {
+            let me = ctx.me();
+            ctx.send(
+                self.client,
+                DfsRead { req: 1, reply_to: me, path: "/f".into(), offset: 0, len: 16 << 20, pread: false },
+            );
+        } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
+            self.got.set(d.bytes);
+        }
+    }
+}
+
+#[test]
+fn tiny_ring_still_delivers_exact_bytes() {
+    // A degenerate 8 KB ring (2 × 4 KB slots) forces tiny daemon chunks.
+    let mut costs = Costs::default();
+    costs.ring_slots = 2;
+    let (mut w, cvm, _) = bed(costs);
+    let client = add_client(&mut w, cvm, Box::new(VreadPath::new()));
+    let got = std::rc::Rc::new(std::cell::Cell::new(0));
+    let a = w.add_actor("rd", Rd { client, got: got.clone() });
+    w.send_now(a, Start);
+    w.run();
+    assert_eq!(got.get(), 16 << 20);
+    assert_eq!(w.metrics.counter("vread_fallbacks"), 0.0);
+}
+
+#[test]
+fn concurrent_clients_share_one_daemon() {
+    let (mut w, cvm, _) = bed(Costs::default());
+    let mut gots = Vec::new();
+    for i in 0..4 {
+        let client = add_client(&mut w, cvm, Box::new(VreadPath::new()));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let a = w.add_actor(&format!("rd{i}"), Rd { client, got: got.clone() });
+        w.send_now(a, Start);
+        gots.push(got);
+    }
+    w.run();
+    for g in gots {
+        assert_eq!(g.get(), 16 << 20);
+    }
+}
+
+/// Drive the daemon protocol directly (raw Table-1 messages, no HDFS
+/// client): open → read → close → read-after-close fails.
+#[test]
+fn raw_daemon_protocol_lifecycle() {
+    let (mut w, cvm, dn) = bed(Costs::default());
+    let daemon = w.ext.get::<VreadRegistry>().unwrap().daemons[&0].0;
+    let block = {
+        let meta = w.ext.get::<HdfsMeta>().unwrap();
+        meta.file("/f").unwrap().blocks[0].block
+    };
+
+    #[derive(Default)]
+    struct RawLog {
+        vfd: Option<u64>,
+        chunks: u64,
+        done: bool,
+        failed: bool,
+    }
+    struct Raw {
+        daemon: ActorId,
+        dn: DatanodeIx,
+        block: vread_hdfs::BlockId,
+        cvm: VmId,
+        log: std::rc::Rc<std::cell::RefCell<RawLog>>,
+        phase: u8,
+    }
+    impl Actor for Raw {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            let me = ctx.me();
+            if msg.is::<Start>() {
+                ctx.send(
+                    self.daemon,
+                    VreadOpenReq { reply_to: me, token: 1, dn: self.dn, block: self.block },
+                );
+                return;
+            }
+            let msg = match downcast::<VreadOpenResp>(msg) {
+                Ok(r) => {
+                    let vfd = r.vfd.expect("open succeeds").id;
+                    self.log.borrow_mut().vfd = Some(vfd);
+                    ctx.send(
+                        self.daemon,
+                        VreadReadReq {
+                            reply_to: me,
+                            token: 2,
+                            vfd,
+                            client_vm: self.cvm,
+                            offset: 0,
+                            len: 2 << 20,
+                        },
+                    );
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match downcast::<vread_core::VreadChunk>(msg) {
+                Ok(_) => {
+                    self.log.borrow_mut().chunks += 1;
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match downcast::<VreadReadDone>(msg) {
+                Ok(_) => {
+                    if self.phase == 0 {
+                        self.phase = 1;
+                        self.log.borrow_mut().done = true;
+                        let vfd = self.log.borrow().vfd.expect("vfd");
+                        ctx.send(self.daemon, VreadClose { vfd });
+                        // read after close must fail
+                        ctx.send(
+                            self.daemon,
+                            VreadReadReq {
+                                reply_to: me,
+                                token: 3,
+                                vfd,
+                                client_vm: self.cvm,
+                                offset: 0,
+                                len: 1 << 20,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Err(m) => m,
+            };
+            if msg.is::<VreadReadFailed>() {
+                self.log.borrow_mut().failed = true;
+            }
+        }
+    }
+
+    let log = std::rc::Rc::new(std::cell::RefCell::new(RawLog::default()));
+    let a = w.add_actor("raw", Raw { daemon, dn, block, cvm, log: log.clone(), phase: 0 });
+    w.send_now(a, Start);
+    w.run();
+    let log = log.borrow();
+    assert!(log.vfd.is_some());
+    assert!(log.chunks >= 8, "2MB in 256KB chunks");
+    assert!(log.done);
+    assert!(log.failed, "read-after-close reports failure");
+}
+
+#[test]
+fn open_of_unknown_block_returns_none() {
+    let (mut w, _cvm, dn) = bed(Costs::default());
+    let daemon = w.ext.get::<VreadRegistry>().unwrap().daemons[&0].0;
+    struct Open {
+        daemon: ActorId,
+        dn: DatanodeIx,
+        got_none: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+    impl Actor for Open {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if msg.is::<Start>() {
+                let me = ctx.me();
+                ctx.send(
+                    self.daemon,
+                    VreadOpenReq {
+                        reply_to: me,
+                        token: 1,
+                        dn: self.dn,
+                        block: vread_hdfs::BlockId(999_999),
+                    },
+                );
+            } else if let Ok(r) = downcast::<VreadOpenResp>(msg) {
+                self.got_none.set(r.vfd.is_none());
+            }
+        }
+    }
+    let got_none = std::rc::Rc::new(std::cell::Cell::new(false));
+    let a = w.add_actor("open", Open { daemon, dn, got_none: got_none.clone() });
+    w.send_now(a, Start);
+    w.run();
+    assert!(got_none.get());
+}

@@ -1,0 +1,121 @@
+//! Fault injection: datanode crashes and client failover.
+
+use vread_hdfs::client::{add_client, DfsRead, DfsReadDone, VanillaPath};
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::{deploy_hdfs, HdfsMeta};
+use vread_host::cluster::{Cluster, VmId};
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+struct Rd {
+    client: ActorId,
+    len: u64,
+    got: std::rc::Rc<std::cell::Cell<u64>>,
+}
+impl Actor for Rd {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() {
+            let me = ctx.me();
+            ctx.send(
+                self.client,
+                DfsRead { req: 1, reply_to: me, path: "/f".into(), offset: 0, len: self.len, pread: false },
+            );
+        } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
+            self.got.set(d.bytes);
+        }
+    }
+}
+
+fn bed() -> (World, VmId, ActorId, ActorId) {
+    let mut w = World::new(31);
+    let mut cl = Cluster::new(Costs::default());
+    let h1 = cl.add_host(&mut w, "h1", 4, 3.2);
+    let h2 = cl.add_host(&mut w, "h2", 4, 3.2);
+    let client_vm = cl.add_vm(&mut w, h1, "client");
+    let dn1_vm = cl.add_vm(&mut w, h1, "dn1");
+    let dn2_vm = cl.add_vm(&mut w, h2, "dn2");
+    w.ext.insert(cl);
+    deploy_hdfs(&mut w, client_vm, &[dn1_vm, dn2_vm]);
+    let meta = w.ext.get::<HdfsMeta>().unwrap();
+    let (a1, a2) = (meta.datanodes[0].actor, meta.datanodes[1].actor);
+    (w, client_vm, a1, a2)
+}
+
+fn read(w: &mut World, client_vm: VmId, len: u64) -> u64 {
+    let client = add_client(w, client_vm, Box::new(VanillaPath::new()));
+    let got = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
+    let a = w.add_actor("rd", Rd { client, len, got: got.clone() });
+    w.send_now(a, Start);
+    w.run();
+    got.get()
+}
+
+#[test]
+fn crashed_primary_fails_over_to_replica() {
+    let (mut w, client_vm, dn1_actor, _) = bed();
+    // both datanodes hold the data
+    populate_file(
+        &mut w,
+        "/f",
+        8 << 20,
+        &Placement::Replicated(vec![vread_hdfs::DatanodeIx(0), vread_hdfs::DatanodeIx(1)]),
+    );
+    // kill the co-located (preferred) datanode before the read
+    w.remove_actor(dn1_actor);
+    let got = read(&mut w, client_vm, 8 << 20);
+    assert_eq!(got, 8 << 20, "read served by the surviving replica");
+    assert!(
+        w.metrics.counter("dfs_read_failovers") >= 1.0,
+        "the dead primary triggered a failover"
+    );
+}
+
+#[test]
+fn crash_with_no_replica_returns_partial() {
+    let (mut w, client_vm, dn1_actor, _) = bed();
+    populate_file(&mut w, "/f", 4 << 20, &Placement::One(vread_hdfs::DatanodeIx(0)));
+    w.remove_actor(dn1_actor);
+    let got = read(&mut w, client_vm, 4 << 20);
+    // all replicas exhausted: the read completes with what arrived (0)
+    assert_eq!(got, 0, "unreachable data yields an empty read, not a hang");
+    assert!(w.metrics.counter("dfs_read_failovers") >= 1.0);
+}
+
+#[test]
+fn healthy_cluster_never_fails_over() {
+    let (mut w, client_vm, _, _) = bed();
+    populate_file(
+        &mut w,
+        "/f",
+        8 << 20,
+        &Placement::Replicated(vec![vread_hdfs::DatanodeIx(0), vread_hdfs::DatanodeIx(1)]),
+    );
+    let got = read(&mut w, client_vm, 8 << 20);
+    assert_eq!(got, 8 << 20);
+    assert_eq!(w.metrics.counter("dfs_read_failovers"), 0.0);
+}
+
+#[test]
+fn mid_stream_crash_recovers_remaining_blocks() {
+    let (mut w, client_vm, dn1_actor, _) = bed();
+    {
+        let meta = w.ext.get_mut::<HdfsMeta>().unwrap();
+        meta.block_bytes = 2 << 20;
+    }
+    populate_file(
+        &mut w,
+        "/f",
+        8 << 20,
+        &Placement::Replicated(vec![vread_hdfs::DatanodeIx(0), vread_hdfs::DatanodeIx(1)]),
+    );
+    let client = add_client(&mut w, client_vm, Box::new(VanillaPath::new()));
+    let got = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
+    let a = w.add_actor("rd", Rd { client, len: 8 << 20, got: got.clone() });
+    w.send_now(a, Start);
+    // let the first block stream, then crash the primary
+    w.run_until(SimTime::from_nanos(8_000_000));
+    w.remove_actor(dn1_actor);
+    w.run();
+    assert_eq!(got.get(), 8 << 20, "later blocks served by the replica");
+    assert!(w.metrics.counter("dfs_read_failovers") >= 1.0);
+}

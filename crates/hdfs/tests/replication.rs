@@ -1,0 +1,165 @@
+//! Tests of the replicated write pipeline (HDFS-style datanode
+//! forwarding).
+
+use vread_hdfs::client::{add_client, DfsRead, DfsReadDone, DfsWrite, DfsWriteDone, VanillaPath};
+use vread_hdfs::{deploy_hdfs, HdfsMeta};
+use vread_host::cluster::{Cluster, VmId};
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+struct App {
+    client: ActorId,
+    wrote: bool,
+    read_bytes: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl Actor for App {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        if msg.is::<Start>() {
+            ctx.send(
+                self.client,
+                DfsWrite { req: 1, reply_to: me, path: "/r".into(), bytes: 5 << 20 },
+            );
+        } else if msg.is::<DfsWriteDone>() {
+            self.wrote = true;
+            ctx.send(
+                self.client,
+                DfsRead { req: 2, reply_to: me, path: "/r".into(), offset: 0, len: 5 << 20, pread: false },
+            );
+        } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
+            self.read_bytes.set(d.bytes);
+        }
+    }
+}
+
+fn setup(replication: usize) -> (World, VmId, VmId, VmId) {
+    let mut w = World::new(13);
+    let mut cl = Cluster::new(Costs::default());
+    let h1 = cl.add_host(&mut w, "h1", 4, 3.2);
+    let h2 = cl.add_host(&mut w, "h2", 4, 3.2);
+    let client_vm = cl.add_vm(&mut w, h1, "client");
+    let dn1_vm = cl.add_vm(&mut w, h1, "dn1");
+    let dn2_vm = cl.add_vm(&mut w, h2, "dn2");
+    w.ext.insert(cl);
+    deploy_hdfs(&mut w, client_vm, &[dn1_vm, dn2_vm]);
+    let meta = w.ext.get_mut::<HdfsMeta>().unwrap();
+    meta.replication = replication;
+    meta.block_bytes = 2 << 20; // several blocks per write
+    (w, client_vm, dn1_vm, dn2_vm)
+}
+
+fn run(replication: usize) -> (World, u64, VmId, VmId) {
+    let (mut w, client_vm, dn1, dn2) = setup(replication);
+    let client = add_client(&mut w, client_vm, Box::new(VanillaPath::new()));
+    let read_bytes = std::rc::Rc::new(std::cell::Cell::new(0));
+    let app = w.add_actor(
+        "app",
+        App { client, wrote: false, read_bytes: read_bytes.clone() },
+    );
+    w.send_now(app, Start);
+    w.run();
+    let b = read_bytes.get();
+    (w, b, dn1, dn2)
+}
+
+#[test]
+fn replicated_write_lands_on_both_datanodes() {
+    let (w, read_bytes, dn1, dn2) = run(2);
+    assert_eq!(read_bytes, 5 << 20, "write-then-read roundtrip");
+    let meta = w.ext.get::<HdfsMeta>().unwrap();
+    let f = meta.file("/r").unwrap();
+    assert_eq!(f.blocks.len(), 3);
+    for b in &f.blocks {
+        assert_eq!(b.replicas.len(), 2, "every block has two replicas");
+        assert_ne!(b.replicas[0], b.replicas[1]);
+    }
+    // the block files physically exist on both datanode VMs, same size
+    let cl = w.ext.get::<Cluster>().unwrap();
+    for b in &f.blocks {
+        for vm in [dn1, dn2] {
+            let fs = &cl.vm(vm).fs;
+            let file = fs
+                .lookup(&b.block.path())
+                .unwrap_or_else(|| panic!("replica of {:?} missing on {:?}", b.block, vm));
+            assert_eq!(fs.size(file), b.len, "replica size mismatch");
+        }
+    }
+}
+
+#[test]
+fn single_replica_write_stays_local() {
+    let (w, read_bytes, dn1, dn2) = run(1);
+    assert_eq!(read_bytes, 5 << 20);
+    let meta = w.ext.get::<HdfsMeta>().unwrap();
+    let f = meta.file("/r").unwrap();
+    for b in &f.blocks {
+        assert_eq!(b.replicas.len(), 1);
+    }
+    // with HVE on, everything lands on the co-located datanode
+    let cl = w.ext.get::<Cluster>().unwrap();
+    let fs2 = &cl.vm(dn2).fs;
+    for b in &f.blocks {
+        assert!(fs2.lookup(&b.block.path()).is_none(), "no stray replica");
+        assert!(cl.vm(dn1).fs.lookup(&b.block.path()).is_some());
+    }
+}
+
+#[test]
+fn replication_crosses_the_physical_network() {
+    let (w, _, _, _) = run(2);
+    // pipeline traffic dn1 -> dn2 crossed host1's NIC
+    let cl = w.ext.get::<Cluster>().unwrap();
+    let nic1 = cl.hosts[0].nic;
+    assert!(
+        w.link(nic1).bytes_total >= 5 << 20,
+        "forwarded replicas must traverse the LAN ({} bytes seen)",
+        w.link(nic1).bytes_total
+    );
+}
+
+#[test]
+fn reads_can_use_either_replica() {
+    let (mut w, _, _dn1, dn2) = run(2);
+    // force reads to the second replica by disabling topology awareness
+    // and reversing primaries
+    {
+        let meta = w.ext.get_mut::<HdfsMeta>().unwrap();
+        meta.topology_aware = false;
+        let paths: Vec<String> = meta.files.keys().cloned().collect();
+        for p in paths {
+            let fm = meta.files.get_mut(&p).unwrap();
+            for b in &mut fm.blocks {
+                b.replicas.reverse();
+            }
+        }
+    }
+    let client_vm = VmId(0);
+    let client = add_client(&mut w, client_vm, Box::new(VanillaPath::new()));
+    let read_bytes = std::rc::Rc::new(std::cell::Cell::new(0));
+    struct Rd {
+        client: ActorId,
+        read_bytes: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl Actor for Rd {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if msg.is::<Start>() {
+                let me = ctx.me();
+                ctx.send(
+                    self.client,
+                    DfsRead { req: 9, reply_to: me, path: "/r".into(), offset: 0, len: 5 << 20, pread: false },
+                );
+            } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
+                self.read_bytes.set(d.bytes);
+            }
+        }
+    }
+    let app = w.add_actor("rd", Rd { client, read_bytes: read_bytes.clone() });
+    w.send_now(app, Start);
+    w.run();
+    assert_eq!(read_bytes.get(), 5 << 20, "read served from the second replica");
+    // dn2's VM did datanode work this time
+    let cl = w.ext.get::<Cluster>().unwrap();
+    let dn2_vcpu = cl.vm(dn2).vcpu;
+    assert!(w.acct.cycles(dn2_vcpu.index(), CpuCategory::DatanodeApp) > 0.0);
+}

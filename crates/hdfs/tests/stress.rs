@@ -1,0 +1,203 @@
+//! Stress: concurrent readers and writers over a replicated cluster —
+//! exactness and determinism under heavy interleaving.
+
+use vread_hdfs::client::{add_client, DfsRead, DfsReadDone, DfsWrite, DfsWriteDone, VanillaPath};
+use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
+use vread_host::cluster::Cluster;
+use vread_host::costs::Costs;
+use vread_sim::prelude::*;
+
+/// A looping reader that scans its file `laps` times.
+struct LoopReader {
+    client: ActorId,
+    path: String,
+    len: u64,
+    laps: u32,
+    done_laps: std::rc::Rc<std::cell::Cell<u32>>,
+    total: std::rc::Rc<std::cell::Cell<u64>>,
+}
+impl Actor for LoopReader {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        match downcast::<DfsReadDone>(msg) {
+            Ok(d) => {
+                self.total.set(self.total.get() + d.bytes);
+                self.done_laps.set(self.done_laps.get() + 1);
+            }
+            Err(m) => {
+                if !m.is::<Start>() {
+                    return;
+                }
+            }
+        }
+        if self.done_laps.get() >= self.laps {
+            return;
+        }
+        let me = ctx.me();
+        ctx.send(
+            self.client,
+            DfsRead {
+                req: self.done_laps.get() as u64,
+                reply_to: me,
+                path: self.path.clone(),
+                offset: 0,
+                len: self.len,
+                pread: false,
+            },
+        );
+    }
+}
+
+/// A writer producing several files back to back.
+struct LoopWriter {
+    client: ActorId,
+    files: u32,
+    bytes: u64,
+    written: std::rc::Rc<std::cell::Cell<u32>>,
+}
+impl Actor for LoopWriter {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        match downcast::<DfsWriteDone>(msg) {
+            Ok(_) => self.written.set(self.written.get() + 1),
+            Err(m) => {
+                if !m.is::<Start>() {
+                    return;
+                }
+            }
+        }
+        let n = self.written.get();
+        if n >= self.files {
+            return;
+        }
+        let me = ctx.me();
+        ctx.send(
+            self.client,
+            DfsWrite {
+                req: n as u64,
+                reply_to: me,
+                path: format!("/w/{n}"),
+                bytes: self.bytes,
+            },
+        );
+    }
+}
+
+fn run_stress(seed: u64) -> (u64, u32, u64, SimTime) {
+    let mut w = World::new(seed);
+    let mut cl = Cluster::new(Costs::default());
+    let h1 = cl.add_host(&mut w, "h1", 4, 3.2);
+    let h2 = cl.add_host(&mut w, "h2", 4, 3.2);
+    let cvm1 = cl.add_vm(&mut w, h1, "client1");
+    let cvm2 = cl.add_vm(&mut w, h2, "client2");
+    let dn1 = cl.add_vm(&mut w, h1, "dn1");
+    let dn2 = cl.add_vm(&mut w, h2, "dn2");
+    w.ext.insert(cl);
+    deploy_hdfs(&mut w, cvm1, &[dn1, dn2]);
+    {
+        let meta = w.ext.get_mut::<HdfsMeta>().unwrap();
+        meta.replication = 2;
+        meta.block_bytes = 4 << 20;
+    }
+    populate_file(
+        &mut w,
+        "/shared",
+        12 << 20,
+        &Placement::Replicated(vec![DatanodeIx(0), DatanodeIx(1)]),
+    );
+
+    let read_total = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    // three readers across two client VMs
+    for (i, vm) in [cvm1, cvm2, cvm1].iter().enumerate() {
+        let client = add_client(&mut w, *vm, Box::new(VanillaPath::new()));
+        let laps = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let r = LoopReader {
+            client,
+            path: "/shared".into(),
+            len: 12 << 20,
+            laps: 3,
+            done_laps: laps.clone(),
+            total: read_total.clone(),
+        };
+        let _ = laps;
+        let a = w.add_actor(&format!("reader{i}"), r);
+        w.send_now(a, Start);
+    }
+    // one writer on client2
+    let wr_client = add_client(&mut w, cvm2, Box::new(VanillaPath::new()));
+    let written = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let wr = LoopWriter {
+        client: wr_client,
+        files: 4,
+        bytes: 6 << 20,
+        written: written.clone(),
+    };
+    let a = w.add_actor("writer", wr);
+    w.send_now(a, Start);
+
+    w.run();
+    let meta = w.ext.get::<HdfsMeta>().unwrap();
+    let written_bytes: u64 = (0..4)
+        .map(|n| meta.file(&format!("/w/{n}")).map_or(0, |f| f.size()))
+        .sum();
+    (read_total.get(), written.get(), written_bytes, w.now())
+}
+
+#[test]
+fn concurrent_readers_and_writers_are_exact() {
+    let (read_total, files_written, written_bytes, _) = run_stress(97);
+    assert_eq!(read_total, 3 * 3 * (12 << 20), "3 readers x 3 laps x 12MB");
+    assert_eq!(files_written, 4);
+    assert_eq!(written_bytes, 4 * (6 << 20));
+}
+
+#[test]
+fn stress_is_deterministic() {
+    assert_eq!(run_stress(123), run_stress(123));
+}
+
+#[test]
+fn different_seeds_still_exact() {
+    for seed in [1, 2, 3] {
+        let (read_total, files, bytes, _) = run_stress(seed);
+        assert_eq!(read_total, 3 * 3 * (12 << 20), "seed {seed}");
+        assert_eq!((files, bytes), (4, 4 * (6 << 20)), "seed {seed}");
+    }
+}
+
+#[test]
+fn written_replicas_exist_on_both_datanodes() {
+    let mut w = World::new(5);
+    let mut cl = Cluster::new(Costs::default());
+    let h1 = cl.add_host(&mut w, "h1", 4, 3.2);
+    let h2 = cl.add_host(&mut w, "h2", 4, 3.2);
+    let cvm = cl.add_vm(&mut w, h1, "client");
+    let dn1 = cl.add_vm(&mut w, h1, "dn1");
+    let dn2 = cl.add_vm(&mut w, h2, "dn2");
+    w.ext.insert(cl);
+    deploy_hdfs(&mut w, cvm, &[dn1, dn2]);
+    w.ext.get_mut::<HdfsMeta>().unwrap().replication = 2;
+    let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
+    let written = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let a = w.add_actor(
+        "writer",
+        LoopWriter { client, files: 2, bytes: 3 << 20, written: written.clone() },
+    );
+    w.send_now(a, Start);
+    w.run();
+    assert_eq!(written.get(), 2);
+    let meta = w.ext.get::<HdfsMeta>().unwrap();
+    let cl = w.ext.get::<Cluster>().unwrap();
+    for n in 0..2 {
+        for b in &meta.file(&format!("/w/{n}")).unwrap().blocks {
+            assert_eq!(b.replicas.len(), 2);
+            for &dn in &b.replicas {
+                let vm = meta.datanodes[dn.0].vm;
+                assert!(
+                    cl.vm(vm).fs.lookup(&b.block.path()).is_some(),
+                    "replica file present on {:?}",
+                    vm
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The physical/virtual topology: hosts, VMs and their shared state.
+//!
+//! [`Cluster`] lives on the world's extension blackboard
+//! ([`vread_sim::ext::Extensions`]) so that actors (datanodes, clients,
+//! the vRead daemon) can consult caches and filesystems synchronously
+//! while building stage chains. Use [`with_cluster`] to borrow it and the
+//! world at the same time.
+
+use vread_sim::prelude::*;
+use vread_sim::resources::{BlockDev, Link};
+
+use crate::cache::PageCache;
+use crate::costs::Costs;
+use crate::fs::{GuestFs, ObjectId};
+
+/// Index of a host within a [`Cluster`] (distinct from the scheduler-level
+/// [`HostId`], which it wraps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostIx(pub usize);
+
+/// Index of a VM within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub usize);
+
+/// Hardware state of one physical host.
+#[derive(Debug)]
+pub struct HostHw {
+    /// Scheduler-level host id.
+    pub host: HostId,
+    /// The host's SSD.
+    pub dev: BlockDevId,
+    /// Host kernel page cache (caches VM disk-image files).
+    pub cache: PageCache,
+    /// Egress NIC link towards the LAN (10 GbE, also carries RoCE).
+    pub nic: LinkId,
+    /// VMs placed on this host.
+    pub vms: Vec<VmId>,
+}
+
+/// One virtual machine.
+#[derive(Debug)]
+pub struct Vm {
+    /// Human-readable name ("client", "datanode1", …).
+    pub name: String,
+    /// The host this VM runs on.
+    pub host: HostIx,
+    /// The VM's single vCPU thread.
+    pub vcpu: ThreadId,
+    /// The VM's vhost-net I/O thread.
+    pub vhost: ThreadId,
+    /// Guest kernel page cache.
+    pub cache: PageCache,
+    /// Guest filesystem on the VM's virtual disk.
+    pub fs: GuestFs,
+}
+
+/// The whole deployment: hosts, VMs, cost model.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    /// The cost model shared by every component.
+    pub costs: Costs,
+    /// Physical hosts.
+    pub hosts: Vec<HostHw>,
+    /// Virtual machines.
+    pub vms: Vec<Vm>,
+    next_object: u64,
+}
+
+impl Cluster {
+    /// Creates an empty cluster with the given cost model.
+    pub fn new(costs: Costs) -> Self {
+        Cluster {
+            costs,
+            hosts: Vec::new(),
+            vms: Vec::new(),
+            next_object: 0,
+        }
+    }
+
+    /// Adds a physical host: registers cores/scheduler, SSD and NIC with
+    /// the world and the hardware row here.
+    pub fn add_host(&mut self, w: &mut World, name: &str, cores: usize, ghz: f64) -> HostIx {
+        let host = w.add_host(name, cores, ghz);
+        let dev = w.add_blockdev(BlockDev::new(
+            SimDuration::from_nanos(self.costs.ssd_latency_ns),
+            self.costs.ssd_bw_bps,
+        ));
+        let nic = w.add_link(Link::new(
+            self.costs.nic_bw_bps,
+            SimDuration::from_nanos(self.costs.lan_latency_ns),
+        ));
+        let ix = HostIx(self.hosts.len());
+        self.hosts.push(HostHw {
+            host,
+            dev,
+            cache: PageCache::new(self.costs.host_cache_bytes, self.costs.cache_chunk_bytes),
+            nic,
+            vms: Vec::new(),
+        });
+        ix
+    }
+
+    /// Adds a VM on `host`: one vCPU thread, one vhost-net thread, a guest
+    /// page cache and a fresh filesystem on a new disk image.
+    pub fn add_vm(&mut self, w: &mut World, host: HostIx, name: &str) -> VmId {
+        let hw = &self.hosts[host.0];
+        let vcpu = w.add_thread(hw.host, &format!("{name}/vcpu"));
+        let vhost = w.add_thread(hw.host, &format!("{name}/vhost"));
+        self.next_object += 1;
+        let image = ObjectId::from_raw(self.next_object);
+        let id = VmId(self.vms.len());
+        self.vms.push(Vm {
+            name: name.to_owned(),
+            host,
+            vcpu,
+            vhost,
+            cache: PageCache::new(self.costs.guest_cache_bytes, self.costs.cache_chunk_bytes),
+            fs: GuestFs::new(image),
+        });
+        self.hosts[host.0].vms.push(id);
+        id
+    }
+
+    /// The VM's row.
+    pub fn vm(&self, vm: VmId) -> &Vm {
+        &self.vms[vm.0]
+    }
+
+    /// Mutable access to a VM's row.
+    pub fn vm_mut(&mut self, vm: VmId) -> &mut Vm {
+        &mut self.vms[vm.0]
+    }
+
+    /// The hardware row of a VM's host.
+    pub fn host_of(&self, vm: VmId) -> &HostHw {
+        &self.hosts[self.vms[vm.0].host.0]
+    }
+
+    /// Whether two VMs share a physical host (the paper's "co-located").
+    pub fn co_located(&self, a: VmId, b: VmId) -> bool {
+        self.vms[a.0].host == self.vms[b.0].host
+    }
+
+    /// Live-migrates a VM to another host (paper §6: disk images live on
+    /// centralized storage — NFS/iSCSI — so any host can serve them).
+    /// The VM gets fresh vCPU/vhost threads on the target host; its guest
+    /// page cache travels with it (memory is copied by live migration),
+    /// while the target host's page cache starts cold for its image.
+    pub fn migrate_vm(&mut self, w: &mut World, vm: VmId, to: HostIx) {
+        let from = self.vms[vm.0].host;
+        if from == to {
+            return;
+        }
+        let name = self.vms[vm.0].name.clone();
+        let host_id = self.hosts[to.0].host;
+        let vcpu = w.add_thread(host_id, &format!("{name}/vcpu@{}", to.0));
+        let vhost = w.add_thread(host_id, &format!("{name}/vhost@{}", to.0));
+        let v = &mut self.vms[vm.0];
+        v.host = to;
+        v.vcpu = vcpu;
+        v.vhost = vhost;
+        self.hosts[from.0].vms.retain(|&x| x != vm);
+        self.hosts[to.0].vms.push(vm);
+    }
+
+    /// Clears the guest page cache of a VM (guest `drop_caches`).
+    pub fn clear_guest_cache(&mut self, vm: VmId) {
+        self.vms[vm.0].cache.clear();
+    }
+
+    /// Clears a host's page cache (host `drop_caches`).
+    pub fn clear_host_cache(&mut self, host: HostIx) {
+        self.hosts[host.0].cache.clear();
+    }
+
+    /// Clears every cache in the deployment (the paper's "read without
+    /// cache" preparation).
+    pub fn clear_all_caches(&mut self) {
+        for vm in &mut self.vms {
+            vm.cache.clear();
+        }
+        for h in &mut self.hosts {
+            h.cache.clear();
+        }
+    }
+}
+
+/// Borrows the cluster out of the world's extension blackboard and runs
+/// `f` with simultaneous access to both.
+///
+/// # Panics
+///
+/// Panics if no [`Cluster`] was installed (scenario builders insert one).
+pub fn with_cluster<R>(w: &mut World, f: impl FnOnce(&mut Cluster, &mut World) -> R) -> R {
+    let mut cl = w
+        .ext
+        .remove::<Cluster>()
+        .expect("Cluster not installed in world extensions");
+    let r = f(&mut cl, w);
+    w.ext.insert(cl);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_two_host_topology() {
+        let mut w = World::new(1);
+        let mut cl = Cluster::new(Costs::default());
+        let h1 = cl.add_host(&mut w, "host1", 4, 3.2);
+        let h2 = cl.add_host(&mut w, "host2", 4, 3.2);
+        let client = cl.add_vm(&mut w, h1, "client");
+        let dn1 = cl.add_vm(&mut w, h1, "datanode1");
+        let dn2 = cl.add_vm(&mut w, h2, "datanode2");
+        assert!(cl.co_located(client, dn1));
+        assert!(!cl.co_located(client, dn2));
+        assert_eq!(cl.hosts[h1.0].vms.len(), 2);
+        assert_ne!(cl.vm(client).fs.image(), cl.vm(dn1).fs.image());
+        assert_ne!(cl.vm(client).vcpu, cl.vm(client).vhost);
+        assert_eq!(w.host_cores(cl.hosts[h1.0].host), 4);
+    }
+
+    #[test]
+    fn with_cluster_roundtrips() {
+        let mut w = World::new(1);
+        w.ext.insert(Cluster::new(Costs::default()));
+        with_cluster(&mut w, |cl, w| {
+            let h = cl.add_host(w, "h", 2, 2.0);
+            cl.add_vm(w, h, "vm");
+        });
+        assert_eq!(w.ext.get::<Cluster>().unwrap().vms.len(), 1);
+    }
+
+    #[test]
+    fn cache_clearing() {
+        let mut w = World::new(1);
+        let mut cl = Cluster::new(Costs::default());
+        let h = cl.add_host(&mut w, "h", 2, 2.0);
+        let vm = cl.add_vm(&mut w, h, "vm");
+        let obj = cl.vm(vm).fs.image();
+        cl.vm_mut(vm).cache.insert_range(obj, 0, 65536);
+        cl.hosts[h.0].cache.insert_range(obj, 0, 65536);
+        cl.clear_all_caches();
+        assert_eq!(cl.vm(vm).cache.used_bytes(), 0);
+        assert_eq!(cl.hosts[h.0].cache.used_bytes(), 0);
+    }
+}

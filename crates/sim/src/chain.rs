@@ -1,0 +1,119 @@
+//! CPU chains: multi-stage costed operations.
+//!
+//! A chain is an ordered sequence of [`Stage`]s followed by a completion
+//! message. Stages model the hops of an I/O path: cycles burned on a
+//! specific thread (subject to scheduling!), serialization on a link,
+//! service at a block device, or a pure delay. The engine advances a chain
+//! stage by stage; CPU stages go through the fair scheduler, so chains
+//! automatically experience run-queue delays when hosts are oversubscribed.
+//!
+//! Example — the vanilla virtio-net transmit path for one TSO segment is a
+//! chain of four CPU stages on four different threads (guest TX, vhost TX,
+//! vhost RX, guest RX), which is exactly how `vread-net` builds it.
+
+use crate::cpu::CpuCategory;
+use crate::ids::{ActorId, BlockDevId, LinkId, ThreadId};
+use crate::msg::BoxMsg;
+use crate::time::SimDuration;
+use std::collections::VecDeque;
+
+/// One step of a [`Stage`] chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// Burn `cycles` on `thread`, accounted under `cat`. The wall time this
+    /// takes depends on the host's clock frequency and on scheduling.
+    Cpu {
+        /// The thread that must execute this work.
+        thread: ThreadId,
+        /// Work amount in CPU cycles.
+        cycles: u64,
+        /// Accounting category.
+        cat: CpuCategory,
+    },
+    /// Serialize `bytes` over `link` (FIFO queueing + propagation delay).
+    Link {
+        /// The link to traverse.
+        link: LinkId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Service a `bytes`-sized request at block device `dev`.
+    Disk {
+        /// The device to access.
+        dev: BlockDevId,
+        /// Request size in bytes.
+        bytes: u64,
+    },
+    /// Wait a fixed duration (timer, deliberate pacing).
+    Delay {
+        /// How long to wait.
+        dur: SimDuration,
+    },
+}
+
+impl Stage {
+    /// Convenience constructor for a CPU stage.
+    pub fn cpu(thread: ThreadId, cycles: u64, cat: CpuCategory) -> Stage {
+        Stage::Cpu {
+            thread,
+            cycles,
+            cat,
+        }
+    }
+
+    /// Convenience constructor for a link stage.
+    pub fn link(link: LinkId, bytes: u64) -> Stage {
+        Stage::Link { link, bytes }
+    }
+
+    /// Convenience constructor for a disk stage.
+    pub fn disk(dev: BlockDevId, bytes: u64) -> Stage {
+        Stage::Disk { dev, bytes }
+    }
+
+    /// Convenience constructor for a delay stage.
+    pub fn delay(dur: SimDuration) -> Stage {
+        Stage::Delay { dur }
+    }
+}
+
+/// An in-flight chain owned by the engine.
+#[derive(Debug)]
+pub(crate) struct Chain {
+    pub(crate) stages: VecDeque<Stage>,
+    /// `(recipient, message)` delivered when the last stage completes.
+    pub(crate) then: Option<(ActorId, BoxMsg)>,
+}
+
+impl Chain {
+    pub(crate) fn new(stages: Vec<Stage>, to: ActorId, msg: BoxMsg) -> Self {
+        Chain {
+            stages: stages.into(),
+            then: Some((to, msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = ThreadId::from_raw(1);
+        assert_eq!(
+            Stage::cpu(t, 5, CpuCategory::Other),
+            Stage::Cpu {
+                thread: t,
+                cycles: 5,
+                cat: CpuCategory::Other
+            }
+        );
+        assert_eq!(
+            Stage::delay(SimDuration::from_nanos(3)),
+            Stage::Delay {
+                dur: SimDuration::from_nanos(3)
+            }
+        );
+    }
+}

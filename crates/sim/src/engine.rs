@@ -1,0 +1,760 @@
+//! The discrete-event world: event heap, actors, chains, resources.
+//!
+//! [`World`] owns everything; actors are dispatched one at a time (their
+//! slot is temporarily vacated so they can freely mutate the world through
+//! [`Ctx`]). All actor-to-actor communication flows through the event heap,
+//! so there is no reentrancy and event ordering is fully deterministic
+//! (time, then insertion sequence).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::chain::{Chain, Stage};
+use crate::cpu::{CpuAccounting, CpuCategory};
+use crate::ext::Extensions;
+use crate::ids::{ActorId, BlockDevId, ChainId, HostId, LinkId, ThreadId};
+use crate::metrics::Metrics;
+use crate::msg::BoxMsg;
+use crate::resources::{BlockDev, Link};
+use crate::rng::SimRng;
+use crate::sched::{Sched, SchedParams};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceKind, Tracer};
+
+/// A component that receives messages and reacts by scheduling work,
+/// sending messages, and mutating shared state.
+///
+/// Actors are registered with [`World::add_actor`] and addressed by
+/// [`ActorId`]. They are `'static` because the world owns them.
+pub trait Actor: 'static {
+    /// Handles one message. `msg` is type-erased; use
+    /// [`crate::msg::downcast`] or `msg.is::<T>()` to interpret it.
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>);
+}
+
+enum EvKind {
+    Deliver { to: ActorId, msg: BoxMsg },
+    CoreTimer { host: HostId, core: usize, gen: u64 },
+    ChainResume { chain: ChainId },
+}
+
+struct HeapEv {
+    t: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+struct ActorSlot {
+    actor: Option<Box<dyn Actor>>,
+    name: String,
+}
+
+/// The simulation world. See the crate docs for an end-to-end example.
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<HeapEv>,
+    actors: Vec<ActorSlot>,
+    pub(crate) sched: Sched,
+    chains: HashMap<u64, Chain>,
+    next_chain: u64,
+    links: Vec<Link>,
+    devs: Vec<BlockDev>,
+    /// Per-thread, per-category CPU accounting.
+    pub acct: CpuAccounting,
+    /// Counters and sample distributions recorded by workloads.
+    pub metrics: Metrics,
+    /// The world's deterministic RNG.
+    pub rng: SimRng,
+    /// Typed blackboard for shared hardware/software state (page caches,
+    /// filesystems, mount tables …).
+    pub ext: Extensions,
+    /// Optional bounded event trace (see [`crate::trace`]).
+    pub tracer: Tracer,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("pending_events", &self.heap.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            actors: Vec::new(),
+            sched: Sched::default(),
+            chains: HashMap::new(),
+            next_chain: 0,
+            links: Vec::new(),
+            devs: Vec::new(),
+            acct: CpuAccounting::new(),
+            metrics: Metrics::new(),
+            rng: SimRng::new(seed),
+            ext: Extensions::new(),
+            tracer: Tracer::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // -- construction -------------------------------------------------------
+
+    /// Adds a host with `cores` cores at `ghz` GHz and default scheduler
+    /// parameters.
+    pub fn add_host(&mut self, name: &str, cores: usize, ghz: f64) -> HostId {
+        self.sched.add_host(name, cores, ghz, SchedParams::default())
+    }
+
+    /// Adds a host with explicit scheduler parameters.
+    pub fn add_host_with_params(
+        &mut self,
+        name: &str,
+        cores: usize,
+        ghz: f64,
+        params: SchedParams,
+    ) -> HostId {
+        self.sched.add_host(name, cores, ghz, params)
+    }
+
+    /// Adds a schedulable thread to `host`.
+    pub fn add_thread(&mut self, host: HostId, name: &str) -> ThreadId {
+        let t = self.sched.add_thread(host, name);
+        self.acct.ensure(t.index());
+        t
+    }
+
+    /// Registers a network link.
+    pub fn add_link(&mut self, link: Link) -> LinkId {
+        let id = LinkId::from_raw(self.links.len() as u32);
+        self.links.push(link);
+        id
+    }
+
+    /// Registers a block device.
+    pub fn add_blockdev(&mut self, dev: BlockDev) -> BlockDevId {
+        let id = BlockDevId::from_raw(self.devs.len() as u32);
+        self.devs.push(dev);
+        id
+    }
+
+    /// Registers an actor and returns its address.
+    pub fn add_actor(&mut self, name: &str, actor: impl Actor) -> ActorId {
+        let id = ActorId::from_raw(self.actors.len() as u32);
+        self.actors.push(ActorSlot {
+            actor: Some(Box::new(actor)),
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// The diagnostic name an actor was registered with.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.actors[id.index()].name
+    }
+
+    /// Removes an actor (e.g. fault injection: crash a server). Messages
+    /// already queued for it — and any sent later — are silently dropped,
+    /// like packets to a dead process.
+    pub fn remove_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
+        self.actors.get_mut(id.index()).and_then(|s| s.actor.take())
+    }
+
+    /// Shared access to a registered link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Shared access to a registered block device.
+    pub fn blockdev(&self, id: BlockDevId) -> &BlockDev {
+        &self.devs[id.index()]
+    }
+
+    // -- messaging ----------------------------------------------------------
+
+    /// Delivers `msg` to `to` at the current time (after already-queued
+    /// same-time events).
+    pub fn send_now<M: Send + 'static>(&mut self, to: ActorId, msg: M) {
+        self.push_event(
+            self.now,
+            EvKind::Deliver {
+                to,
+                msg: Box::new(msg),
+            },
+        );
+    }
+
+    /// Delivers `msg` to `to` after `delay`.
+    pub fn send_after<M: Send + 'static>(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+        self.push_event(
+            self.now + delay,
+            EvKind::Deliver {
+                to,
+                msg: Box::new(msg),
+            },
+        );
+    }
+
+    fn push_event(&mut self, t: SimTime, kind: EvKind) {
+        debug_assert!(t >= self.now, "event scheduled in the past");
+        self.seq += 1;
+        self.heap.push(HeapEv {
+            t,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    pub(crate) fn push_core_timer(&mut self, t: SimTime, host: HostId, core: usize, gen: u64) {
+        self.push_event(t, EvKind::CoreTimer { host, core, gen });
+    }
+
+    // -- chains -------------------------------------------------------------
+
+    /// Starts a chain of stages; when the last stage completes, `msg` is
+    /// delivered to `to`. Returns the chain id (useful for tracing).
+    pub fn start_chain<M: Send + 'static>(
+        &mut self,
+        stages: Vec<Stage>,
+        to: ActorId,
+        msg: M,
+    ) -> ChainId {
+        self.next_chain += 1;
+        let id = ChainId::from_raw(self.next_chain);
+        self.chains
+            .insert(id.raw(), Chain::new(stages, to, Box::new(msg)));
+        self.advance_chain(id);
+        id
+    }
+
+    /// Advances a chain past its next stage (or completes it).
+    pub(crate) fn advance_chain(&mut self, id: ChainId) {
+        loop {
+            let stage = {
+                let Some(ch) = self.chains.get_mut(&id.raw()) else {
+                    return;
+                };
+                match ch.stages.pop_front() {
+                    Some(s) => Some(s),
+                    None => None,
+                }
+            };
+            match stage {
+                None => {
+                    let ch = self.chains.remove(&id.raw()).expect("chain vanished");
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            self.now,
+                            TraceKind::ChainDone,
+                            &format!("chain{}", id.raw()),
+                            String::new(),
+                        );
+                    }
+                    if let Some((to, msg)) = ch.then {
+                        self.push_event(self.now, EvKind::Deliver { to, msg });
+                    }
+                    return;
+                }
+                Some(Stage::Cpu {
+                    thread,
+                    cycles,
+                    cat,
+                }) => {
+                    if cycles == 0 {
+                        continue;
+                    }
+                    self.sched_enqueue(thread, id, cycles, cat);
+                    return;
+                }
+                Some(Stage::Link { link, bytes }) => {
+                    let t = self.links[link.index()].submit(self.now, bytes);
+                    self.push_event(t, EvKind::ChainResume { chain: id });
+                    return;
+                }
+                Some(Stage::Disk { dev, bytes }) => {
+                    let t = self.devs[dev.index()].submit(self.now, bytes);
+                    self.push_event(t, EvKind::ChainResume { chain: id });
+                    return;
+                }
+                Some(Stage::Delay { dur }) => {
+                    if dur == SimDuration::ZERO {
+                        continue;
+                    }
+                    let t = self.now + dur;
+                    self.push_event(t, EvKind::ChainResume { chain: id });
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- run loop -----------------------------------------------------------
+
+    /// Processes a single event. Returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.t >= self.now);
+        self.now = ev.t;
+        self.events_processed += 1;
+        match ev.kind {
+            EvKind::Deliver { to, msg } => self.dispatch(to, msg),
+            EvKind::CoreTimer { host, core, gen } => self.on_core_timer(host, core, gen),
+            EvKind::ChainResume { chain } => self.advance_chain(chain),
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until simulated time `t` (inclusive of events at `t`), then
+    /// fast-forwards the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(ev) = self.heap.peek() {
+            if ev.t > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+        self.sync_accounting();
+    }
+
+    /// Runs for `dur` of simulated time from now.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let t = self.now + dur;
+        self.run_until(t);
+    }
+
+    /// Diagnostic dump of in-flight chains, per-thread work queues and
+    /// run-queue depths (for debugging stuck protocols).
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "now={} pending_events={} chains={}", self.now, self.heap.len(), self.chains.len());
+        for (id, ch) in &self.chains {
+            let _ = writeln!(out, "  chain {id}: {} stages left, first={:?}", ch.stages.len(), ch.stages.front());
+        }
+        for (i, th) in self.sched.threads.iter().enumerate() {
+            if !th.work.is_empty() || th.state != crate::sched::TState::Idle {
+                let _ = writeln!(out, "  thread {i} ({}): state={:?} work={}", th.name, th.state, th.work.len());
+            }
+        }
+        for (i, h) in self.sched.hosts.iter().enumerate() {
+            let _ = writeln!(out, "  host {i}: runq={} cores_busy={}", h.runq.len(), h.cores.iter().filter(|c| c.running.is_some()).count());
+        }
+        out
+    }
+
+    fn dispatch(&mut self, to: ActorId, msg: BoxMsg) {
+        let idx = to.index();
+        if idx >= self.actors.len() {
+            return;
+        }
+        if self.tracer.is_enabled() {
+            let name = self.actors[idx].name.clone();
+            self.tracer
+                .record(self.now, TraceKind::Deliver, &name, String::new());
+        }
+        let Some(mut actor) = self.actors[idx].actor.take() else {
+            // Actor is gone (removed) — drop the message.
+            return;
+        };
+        let mut ctx = Ctx { world: self, me: to };
+        actor.handle(msg, &mut ctx);
+        self.actors[idx].actor = Some(actor);
+    }
+}
+
+/// The interface an [`Actor`] uses to interact with the world while
+/// handling a message.
+pub struct Ctx<'a> {
+    /// The world (the handling actor's own slot is vacant).
+    pub world: &'a mut World,
+    me: ActorId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The address of the actor handling the current message.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Sends `msg` to `to` at the current time.
+    pub fn send<M: Send + 'static>(&mut self, to: ActorId, msg: M) {
+        self.world.send_now(to, msg);
+    }
+
+    /// Sends `msg` to `to` after `delay`.
+    pub fn send_after<M: Send + 'static>(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+        self.world.send_after(to, msg, delay);
+    }
+
+    /// Sends `msg` back to the current actor after `delay` (a timer).
+    pub fn timer<M: Send + 'static>(&mut self, msg: M, delay: SimDuration) {
+        let me = self.me;
+        self.world.send_after(me, msg, delay);
+    }
+
+    /// Starts a stage chain completing with `msg` to `to`.
+    pub fn chain<M: Send + 'static>(&mut self, stages: Vec<Stage>, to: ActorId, msg: M) -> ChainId {
+        self.world.start_chain(stages, to, msg)
+    }
+
+    /// Shorthand for a single-CPU-stage chain.
+    pub fn cpu<M: Send + 'static>(
+        &mut self,
+        thread: ThreadId,
+        cycles: u64,
+        cat: CpuCategory,
+        to: ActorId,
+        msg: M,
+    ) -> ChainId {
+        self.chain(vec![Stage::cpu(thread, cycles, cat)], to, msg)
+    }
+
+    /// Registers a new actor (usable immediately).
+    pub fn spawn(&mut self, name: &str, actor: impl Actor) -> ActorId {
+        self.world.add_actor(name, actor)
+    }
+
+    /// The world RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.world.metrics
+    }
+
+    /// Typed shared state, inserting a default if absent.
+    pub fn ext<T: 'static + Default>(&mut self) -> &mut T {
+        self.world.ext.get_or_default::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{downcast, Start};
+
+    // -- plumbing tests ------------------------------------------------------
+
+    struct Recorder {
+        got: Vec<(SimTime, u32)>,
+    }
+
+    struct Tag(u32);
+
+    impl Actor for Recorder {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if let Ok(t) = downcast::<Tag>(msg) {
+                self.got.push((ctx.now(), t.0));
+                ctx.metrics().incr("tags");
+            }
+        }
+    }
+
+    fn recorder_events(w: &World, _a: ActorId) -> f64 {
+        w.metrics.counter("tags")
+    }
+
+    #[test]
+    fn messages_deliver_in_time_order() {
+        let mut w = World::new(1);
+        let a = w.add_actor("rec", Recorder { got: vec![] });
+        w.send_after(a, Tag(2), SimDuration::from_micros(20));
+        w.send_after(a, Tag(1), SimDuration::from_micros(10));
+        w.send_after(a, Tag(3), SimDuration::from_micros(20)); // ties break by insertion
+        w.run();
+        assert_eq!(recorder_events(&w, a), 3.0);
+        assert_eq!(w.now(), SimTime::from_nanos(20_000));
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut w = World::new(1);
+        let a = w.add_actor("rec", Recorder { got: vec![] });
+        w.send_after(a, Tag(1), SimDuration::from_millis(5));
+        w.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(w.now(), SimTime::from_nanos(1_000_000));
+        assert_eq!(w.metrics.counter("tags"), 0.0);
+        w.run();
+        assert_eq!(w.metrics.counter("tags"), 1.0);
+    }
+
+    // -- chain + scheduler tests ---------------------------------------------
+
+    struct Done;
+
+    struct Waiter {
+        done_at: Option<SimTime>,
+    }
+    impl Actor for Waiter {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if msg.is::<Done>() {
+                self.done_at = Some(ctx.now());
+                let ms = ctx.now().as_secs_f64() * 1e3;
+                ctx.metrics().sample("done_at_ms", ms);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_chain_takes_cycles_over_frequency() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 1, 2.0); // 2 GHz
+        let t = w.add_thread(h, "t");
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        // 2M cycles at 2GHz = 1ms (+ context switch ~1.5us)
+        w.start_chain(
+            vec![Stage::cpu(t, 2_000_000, CpuCategory::ClientApp)],
+            a,
+            Done,
+        );
+        w.run();
+        let ms = w.metrics.mean("done_at_ms");
+        assert!(ms > 0.99 && ms < 1.05, "took {ms}ms, expected ~1ms");
+        // accounting recorded the cycles
+        let cyc = w.acct.cycles(t.index(), CpuCategory::ClientApp);
+        assert!(
+            (cyc - 2_000_000.0).abs() < 5_000.0,
+            "accounted {cyc} cycles"
+        );
+    }
+
+    #[test]
+    fn chain_spans_threads_and_delay() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 2, 1.0);
+        let t1 = w.add_thread(h, "t1");
+        let t2 = w.add_thread(h, "t2");
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        w.start_chain(
+            vec![
+                Stage::cpu(t1, 1_000_000, CpuCategory::Other), // 1ms
+                Stage::delay(SimDuration::from_millis(2)),
+                Stage::cpu(t2, 3_000_000, CpuCategory::Other), // 3ms
+            ],
+            a,
+            Done,
+        );
+        w.run();
+        let ms = w.metrics.mean("done_at_ms");
+        assert!(ms > 5.9 && ms < 6.2, "took {ms}ms, expected ~6ms");
+        assert!(w.acct.cycles(t2.index(), CpuCategory::Other) >= 3_000_000.0);
+    }
+
+    #[test]
+    fn link_stage_serializes() {
+        let mut w = World::new(1);
+        let l = w.add_link(Link::new(1e9, SimDuration::from_micros(5)));
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        let b = w.add_actor("waiter2", Waiter { done_at: None });
+        // Two 1MB transfers share the link: second finishes ~2ms in.
+        w.start_chain(vec![Stage::link(l, 1_000_000)], a, Done);
+        w.start_chain(vec![Stage::link(l, 1_000_000)], b, Done);
+        w.run();
+        let s = w.metrics.samples("done_at_ms").unwrap();
+        assert_eq!(s.count(), 2);
+        assert!((s.values()[0] - 1.005).abs() < 0.01);
+        assert!((s.values()[1] - 2.005).abs() < 0.01);
+    }
+
+    #[test]
+    fn disk_stage_adds_latency() {
+        let mut w = World::new(1);
+        let d = w.add_blockdev(BlockDev::new(SimDuration::from_micros(80), 500e6));
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        w.start_chain(vec![Stage::disk(d, 500_000)], a, Done); // 1ms xfer + 80us
+        w.run();
+        let ms = w.metrics.mean("done_at_ms");
+        assert!((ms - 1.08).abs() < 0.01, "took {ms}ms");
+    }
+
+    // -- fairness ------------------------------------------------------------
+
+    struct Hog {
+        thread: ThreadId,
+        burst: u64,
+        cat: CpuCategory,
+    }
+    impl Actor for Hog {
+        fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+            if msg.is::<Start>() || msg.is::<Done>() {
+                let me = ctx.me();
+                ctx.cpu(self.thread, self.burst, self.cat, me, Done);
+            }
+        }
+    }
+
+    #[test]
+    fn two_hogs_share_one_core_fairly() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 1, 1.0);
+        let t1 = w.add_thread(h, "hog1");
+        let t2 = w.add_thread(h, "hog2");
+        let a1 = w.add_actor(
+            "hog1",
+            Hog {
+                thread: t1,
+                burst: 500_000,
+                cat: CpuCategory::ClientApp,
+            },
+        );
+        let a2 = w.add_actor(
+            "hog2",
+            Hog {
+                thread: t2,
+                burst: 500_000,
+                cat: CpuCategory::Lookbusy,
+            },
+        );
+        w.send_now(a1, Start);
+        w.send_now(a2, Start);
+        w.run_for(SimDuration::from_millis(200));
+        let b1 = w.acct.busy_ns(t1.index()) as f64;
+        let b2 = w.acct.busy_ns(t2.index()) as f64;
+        let share = b1 / (b1 + b2);
+        assert!(
+            (share - 0.5).abs() < 0.05,
+            "unfair split: {share} ({b1} vs {b2})"
+        );
+        // Both together roughly saturate one core for 200ms.
+        assert!(
+            b1 + b2 > 190e6 && b1 + b2 <= 201e6,
+            "core busy {}ms",
+            (b1 + b2) / 1e6
+        );
+    }
+
+    #[test]
+    fn hogs_spread_across_idle_cores() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 2, 1.0);
+        let t1 = w.add_thread(h, "hog1");
+        let t2 = w.add_thread(h, "hog2");
+        for (name, t) in [("a1", t1), ("a2", t2)] {
+            let a = w.add_actor(
+                name,
+                Hog {
+                    thread: t,
+                    burst: 100_000,
+                    cat: CpuCategory::Other,
+                },
+            );
+            w.send_now(a, Start);
+        }
+        w.run_for(SimDuration::from_millis(50));
+        // both threads should be nearly fully busy (own core each)
+        assert!(w.acct.busy_ns(t1.index()) > 45_000_000);
+        assert!(w.acct.busy_ns(t2.index()) > 45_000_000);
+    }
+
+    #[test]
+    fn set_host_ghz_scales_runtime() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 1, 1.0);
+        w.set_host_ghz(h, 4.0);
+        let t = w.add_thread(h, "t");
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        w.start_chain(vec![Stage::cpu(t, 4_000_000, CpuCategory::Other)], a, Done);
+        w.run();
+        let ms = w.metrics.mean("done_at_ms");
+        assert!(ms < 1.1, "4M cycles at 4GHz should be ~1ms, got {ms}");
+    }
+
+    #[test]
+    fn tracer_captures_dispatches_and_deliveries() {
+        let mut w = World::new(1);
+        w.tracer.enable(256);
+        let h = w.add_host("h", 1, 1.0);
+        let t = w.add_thread(h, "worker");
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        w.start_chain(vec![Stage::cpu(t, 100_000, CpuCategory::Other)], a, Done);
+        w.run();
+        let rendered = w.tracer.render(&[]);
+        assert!(rendered.contains("dispatch"), "no dispatch records:\n{rendered}");
+        assert!(rendered.contains("deliver"), "no delivery records:\n{rendered}");
+        assert!(rendered.contains("chain-done"));
+        assert!(w.tracer.len() > 0);
+    }
+
+    #[test]
+    fn wakeup_preempts_long_running_hog() {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 1, 1.0);
+        let hog_t = w.add_thread(h, "hog");
+        let io_t = w.add_thread(h, "io");
+        let hog = w.add_actor(
+            "hog",
+            Hog {
+                thread: hog_t,
+                burst: 50_000_000, // 50ms bursts
+                cat: CpuCategory::Lookbusy,
+            },
+        );
+        w.send_now(hog, Start);
+        // Let the hog accumulate vruntime.
+        w.run_for(SimDuration::from_millis(20));
+        let a = w.add_actor("waiter", Waiter { done_at: None });
+        let t0 = w.now();
+        w.start_chain(vec![Stage::cpu(io_t, 10_000, CpuCategory::Other)], a, Done);
+        w.run_for(SimDuration::from_millis(10));
+        let s = w.metrics.samples("done_at_ms").expect("io work finished");
+        let done_ms = s.values()[0];
+        let lat = done_ms - t0.as_secs_f64() * 1e3;
+        // The freshly-woken IO thread preempts the hog well before the
+        // hog's 50ms burst would end.
+        assert!(lat < 1.0, "wakeup latency {lat}ms too high");
+    }
+}

@@ -1,0 +1,190 @@
+//! Lightweight metrics: counters, gauges and sample distributions.
+//!
+//! Workload actors record observations (transaction latencies, bytes read,
+//! completed operations) under string keys; experiment harnesses read them
+//! back after the run.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A set of recorded samples with order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.values.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// The world's metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, f64>,
+    samples: BTreeMap<String, Samples>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `key` (creating it at 0).
+    pub fn add(&mut self, key: &str, v: f64) {
+        *self.counters.entry(key.to_owned()).or_insert(0.0) += v;
+    }
+
+    /// Increments counter `key` by 1.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1.0);
+    }
+
+    /// Current value of counter `key` (0 when absent).
+    pub fn counter(&self, key: &str) -> f64 {
+        self.counters.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Records a raw sample under `key`.
+    pub fn sample(&mut self, key: &str, v: f64) {
+        self.samples.entry(key.to_owned()).or_default().record(v);
+    }
+
+    /// Records a duration sample (stored in milliseconds) under `key`.
+    pub fn sample_duration(&mut self, key: &str, d: SimDuration) {
+        self.sample(key, d.as_millis_f64());
+    }
+
+    /// The sample set under `key`, if any samples were recorded.
+    pub fn samples(&self, key: &str) -> Option<&Samples> {
+        self.samples.get(key)
+    }
+
+    /// Mean of samples under `key` (0.0 when absent).
+    pub fn mean(&self, key: &str) -> f64 {
+        self.samples.get(key).map_or(0.0, Samples::mean)
+    }
+
+    /// All counter keys (sorted).
+    pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// All sample keys (sorted).
+    pub fn sample_keys(&self) -> impl Iterator<Item = &str> {
+        self.samples.keys().map(String::as_str)
+    }
+
+    /// Throughput helper: counter `key` divided by elapsed seconds.
+    pub fn rate_per_sec(&self, key: &str, start: SimTime, end: SimTime) -> f64 {
+        let secs = end.since(start).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.counter(key) / secs
+        }
+    }
+
+    /// Clears everything (used between warm-up and measurement phases).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("ops");
+        m.add("ops", 4.0);
+        assert_eq!(m.counter("ops"), 5.0);
+        assert_eq!(m.counter("absent"), 0.0);
+    }
+
+    #[test]
+    fn samples_stats() {
+        let mut s = Samples::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = Samples::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn rate_per_sec() {
+        let mut m = Metrics::new();
+        m.add("bytes", 1e9);
+        let r = m.rate_per_sec(
+            "bytes",
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        assert_eq!(r, 5e8);
+    }
+
+    #[test]
+    fn duration_samples_in_ms() {
+        let mut m = Metrics::new();
+        m.sample_duration("lat", SimDuration::from_micros(1500));
+        assert!((m.mean("lat") - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! Dynamically-typed messages.
+//!
+//! Actors across different crates define their own message enums; the
+//! engine moves them around as [`BoxMsg`] (`Box<dyn Any + Send>`) and each
+//! actor downcasts to the types it understands.
+
+use std::any::Any;
+
+/// A type-erased message. Every concrete message type is `'static + Send`.
+pub type BoxMsg = Box<dyn Any + Send>;
+
+/// The conventional kick-off message: scenario builders send `Start` to the
+/// root actors of a workload once the world is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Start;
+
+/// Attempts to downcast a boxed message to a concrete type, handing the
+/// message back on mismatch so a handler can try the next type.
+///
+/// # Example
+///
+/// ```rust
+/// use vread_sim::msg::{downcast, BoxMsg};
+/// let m: BoxMsg = Box::new(5u32);
+/// let m = match downcast::<String>(m) {
+///     Ok(_) => unreachable!("not a String"),
+///     Err(m) => m,
+/// };
+/// assert_eq!(*downcast::<u32>(m).unwrap(), 5);
+/// ```
+pub fn downcast<T: 'static>(msg: BoxMsg) -> Result<Box<T>, BoxMsg> {
+    msg.downcast::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_hits_and_misses() {
+        let m: BoxMsg = Box::new(Start);
+        assert!(m.is::<Start>());
+        let m = downcast::<u64>(m).unwrap_err();
+        assert!(downcast::<Start>(m).is_ok());
+    }
+}

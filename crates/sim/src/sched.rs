@@ -1,0 +1,559 @@
+//! A CFS-like fair CPU scheduler for simulated hosts.
+//!
+//! Each host has a fixed number of cores and a set of threads (vCPUs,
+//! vhost-net I/O threads, hypervisor daemon threads, load generators).
+//! Threads receive *work items* — the CPU stages of [`crate::Stage`]
+//! chains — and become runnable whenever their work queue is non-empty.
+//!
+//! The policy mirrors Linux CFS closely enough to reproduce the phenomena
+//! the paper measures:
+//!
+//! * **virtual runtime ordering** — the runnable thread with the smallest
+//!   vruntime runs next; each host keeps one global run queue (the hosts in
+//!   the paper are quad-cores; per-core queues + load balancing would add
+//!   noise without changing the emergent behaviour);
+//! * **slices** — a running thread is preempted after
+//!   `clamp(latency / nr_runnable, min_granularity, latency)`;
+//! * **wake-up placement** — a woken thread's vruntime is clamped to
+//!   `min_vruntime − wakeup_bonus`, the CFS sleeper credit, so interactive
+//!   I/O threads win the CPU quickly *when a core can be taken*;
+//! * **wake-up preemption** — a woken thread preempts the running thread
+//!   with the largest vruntime if it leads it by more than
+//!   `wakeup_granularity`.
+//!
+//! This is where the paper's "I/O threads synchronization overhead"
+//! (Figure 3) comes from: with 4 VMs' worth of vCPU + vhost threads on 4
+//! cores, wakeups stop finding idle cores and inter-VM round trips absorb
+//! run-queue latency.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::cpu::CpuCategory;
+use crate::engine::World;
+use crate::ids::{ChainId, HostId, ThreadId};
+use crate::time::{SimDuration, SimTime};
+
+/// Tunable scheduler constants (per host).
+#[derive(Debug, Clone)]
+pub struct SchedParams {
+    /// CFS `sched_latency`: target period in which every runnable thread
+    /// runs once.
+    pub latency: SimDuration,
+    /// CFS `min_granularity`: minimum slice length.
+    pub min_granularity: SimDuration,
+    /// CFS `wakeup_granularity`: vruntime lead required for wake-up
+    /// preemption.
+    pub wakeup_granularity: SimDuration,
+    /// Sleeper credit applied on wake-up placement (CFS uses
+    /// `latency / 2`).
+    pub wakeup_bonus: SimDuration,
+    /// Direct cost of a context switch, charged to the incoming thread.
+    pub ctx_switch_cycles: u64,
+    /// Extra cost when a thread is dispatched on a core other than the
+    /// one it last ran on (cache/TLB refill after migration). This is the
+    /// mechanism behind the paper's Figure 3: background lookbusy VMs
+    /// push the netperf VMs' threads off their warm cores.
+    pub migration_cycles: u64,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            latency: SimDuration::from_millis(6),
+            min_granularity: SimDuration::from_micros(750),
+            wakeup_granularity: SimDuration::from_millis(1),
+            wakeup_bonus: SimDuration::from_millis(3),
+            ctx_switch_cycles: 3_000,
+            migration_cycles: 26_000,
+        }
+    }
+}
+
+/// Converts cycles to wall nanoseconds at `ghz` (cycles per ns).
+pub(crate) fn cycles_to_ns(cycles: f64, ghz: f64) -> u64 {
+    (cycles / ghz).ceil().max(0.0) as u64
+}
+
+/// One queued unit of CPU work (a CPU stage of a chain).
+#[derive(Debug)]
+pub(crate) struct Work {
+    pub chain: ChainId,
+    pub cycles_left: f64,
+    pub cat: CpuCategory,
+}
+
+/// Thread run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// No queued work.
+    Idle,
+    /// Runnable, waiting in the host run queue.
+    Queued,
+    /// Executing on core `core`.
+    Running { core: usize },
+}
+
+/// Scheduler-side per-thread state.
+#[derive(Debug)]
+pub(crate) struct ThreadSched {
+    pub host: HostId,
+    pub name: String,
+    pub vr: u64,
+    pub state: TState,
+    pub work: VecDeque<Work>,
+    /// The core this thread last ran on (cache affinity).
+    pub prev_core: Option<usize>,
+}
+
+/// What a core is currently doing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Running {
+    pub thread: u32,
+    pub slice_end: SimTime,
+    pub charged_until: SimTime,
+}
+
+/// One core of a host.
+#[derive(Debug, Default)]
+pub(crate) struct Core {
+    pub running: Option<Running>,
+    /// Timer generation; stale `CoreTimer` events are ignored.
+    pub gen: u64,
+}
+
+/// Scheduler-side per-host state.
+#[derive(Debug)]
+pub(crate) struct HostSched {
+    pub name: String,
+    /// Clock frequency in cycles per nanosecond (== GHz).
+    pub ghz: f64,
+    pub cores: Vec<Core>,
+    /// Runnable (not running) threads, ordered by `(vruntime, id)`.
+    pub runq: BTreeSet<(u64, u32)>,
+    /// Monotonic minimum vruntime reference for wake-up placement.
+    pub min_vr: u64,
+    pub params: SchedParams,
+    /// Shared-LLC contention factor: CPU work on this host (other than
+    /// the polluters themselves) is inflated by this factor. 1.0 = no
+    /// pressure. Calibrated against the paper's Figure 3 (two 85%
+    /// lookbusy VMs cost an inter-VM TCP_RR pair ≈20%).
+    pub cache_pressure: f64,
+}
+
+impl HostSched {
+    fn nr_runnable(&self) -> usize {
+        self.runq.len() + self.cores.iter().filter(|c| c.running.is_some()).count()
+    }
+
+    fn quantum(&self) -> SimDuration {
+        let nr = self.nr_runnable().max(1) as u64;
+        (self.params.latency / nr).clamp(self.params.min_granularity, self.params.latency)
+    }
+}
+
+/// All scheduler state of the world.
+#[derive(Debug, Default)]
+pub(crate) struct Sched {
+    pub hosts: Vec<HostSched>,
+    pub threads: Vec<ThreadSched>,
+}
+
+impl Sched {
+    pub fn add_host(&mut self, name: &str, cores: usize, ghz: f64, params: SchedParams) -> HostId {
+        assert!(cores > 0, "a host needs at least one core");
+        assert!(ghz > 0.0, "clock frequency must be positive");
+        let id = HostId::from_raw(self.hosts.len() as u16);
+        self.hosts.push(HostSched {
+            name: name.to_owned(),
+            ghz,
+            cores: (0..cores).map(|_| Core::default()).collect(),
+            runq: BTreeSet::new(),
+            min_vr: 0,
+            params,
+            cache_pressure: 1.0,
+        });
+        id
+    }
+
+    pub fn add_thread(&mut self, host: HostId, name: &str) -> ThreadId {
+        assert!(
+            (host.index()) < self.hosts.len(),
+            "unknown host {host}"
+        );
+        let id = ThreadId::from_raw(self.threads.len() as u32);
+        self.threads.push(ThreadSched {
+            host,
+            name: name.to_owned(),
+            vr: 0,
+            state: TState::Idle,
+            work: VecDeque::new(),
+            prev_core: None,
+        });
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling logic, implemented on `World` because it must push events and
+// touch accounting/chains.
+// ---------------------------------------------------------------------------
+
+impl World {
+    /// Queues a CPU work item on `thread`, waking it if idle.
+    pub(crate) fn sched_enqueue(
+        &mut self,
+        thread: ThreadId,
+        chain: ChainId,
+        cycles: u64,
+        cat: CpuCategory,
+    ) {
+        let tix = thread.index();
+        assert!(tix < self.sched.threads.len(), "unknown thread {thread}");
+        let host = self.sched.threads[tix].host;
+        // LLC pollution: cache-hungry background load (lookbusy) slows
+        // everyone else's memory-bound work on the same socket.
+        let pressure = if cat == CpuCategory::Lookbusy {
+            1.0
+        } else {
+            self.sched.hosts[host.index()].cache_pressure
+        };
+        let th = &mut self.sched.threads[tix];
+        th.work.push_back(Work {
+            chain,
+            cycles_left: cycles as f64 * pressure,
+            cat,
+        });
+        if th.state == TState::Idle {
+            self.wake_thread(thread);
+        }
+    }
+
+    /// Wake-up path: place in run queue with sleeper credit, then take an
+    /// idle core or try wake-up preemption.
+    fn wake_thread(&mut self, thread: ThreadId) {
+        let tix = thread.index();
+        let host = self.sched.threads[tix].host;
+        let hix = host.index();
+        let (bonus_ns, wakeup_gran_ns, min_vr) = {
+            let h = &self.sched.hosts[hix];
+            // Reference vruntime: the smallest among currently runnable /
+            // running threads (CFS's cfs_rq->min_vruntime), falling back
+            // to the monotonic watermark when the host is idle.
+            let mut ref_vr = h.runq.iter().next().map(|&(vr, _)| vr);
+            for core in &h.cores {
+                if let Some(r) = core.running {
+                    let vvr = self.sched.threads[r.thread as usize].vr;
+                    ref_vr = Some(ref_vr.map_or(vvr, |m: u64| m.min(vvr)));
+                }
+            }
+            (
+                h.params.wakeup_bonus.as_nanos(),
+                h.params.wakeup_granularity.as_nanos(),
+                ref_vr.unwrap_or(h.min_vr),
+            )
+        };
+        {
+            let th = &mut self.sched.threads[tix];
+            th.vr = th.vr.max(min_vr.saturating_sub(bonus_ns));
+            th.state = TState::Queued;
+            let vr = th.vr;
+            self.sched.hosts[hix].runq.insert((vr, thread.raw()));
+        }
+
+        // Prefer an idle core — the thread's previous (cache-warm) core
+        // first, like select_idle_sibling.
+        let prev = self.sched.threads[tix].prev_core;
+        let idle = match prev {
+            Some(p) if self.sched.hosts[hix].cores[p].running.is_none() => Some(p),
+            _ => self.sched.hosts[hix]
+                .cores
+                .iter()
+                .position(|c| c.running.is_none()),
+        };
+        if let Some(cix) = idle {
+            self.install(host, cix);
+            return;
+        }
+
+        // Wake-up preemption: real CFS only tests the wakee's selected
+        // CPU (wake affinity), so a wakeup that lands on a core whose
+        // current thread is not far ahead in vruntime simply queues — the
+        // source of the paper's I/O-thread synchronization delay. We
+        // model the selection with a deterministic pseudo-random pick.
+        let woken_vr = self.sched.threads[tix].vr;
+        let ncores = self.sched.hosts[hix].cores.len() as u64;
+        let cix = self.rng.below(ncores) as usize;
+        if let Some(r) = self.sched.hosts[hix].cores[cix].running {
+            let victim_vr = self.sched.threads[r.thread as usize].vr;
+            if woken_vr + wakeup_gran_ns < victim_vr {
+                self.preempt(host, cix);
+                self.install(host, cix);
+            }
+        }
+    }
+
+    /// Charges all running cores up to the current time, so accounting
+    /// reads taken between events (e.g. after `run_until`) are exact.
+    pub fn sync_accounting(&mut self) {
+        let now = self.now();
+        for hix in 0..self.sched.hosts.len() {
+            let host = crate::ids::HostId::from_raw(hix as u16);
+            for cix in 0..self.sched.hosts[hix].cores.len() {
+                self.charge_core(host, cix, now);
+            }
+        }
+    }
+
+    /// Charges a preempted thread and returns it to the run queue.
+    fn preempt(&mut self, host: HostId, cix: usize) {
+        if self.tracer.is_enabled() {
+            if let Some(r) = self.sched.hosts[host.index()].cores[cix].running {
+                let name = self.sched.threads[r.thread as usize].name.clone();
+                let now = self.now();
+                self.tracer
+                    .record(now, crate::trace::TraceKind::Preempt, &name, format!("core{cix}"));
+            }
+        }
+        self.charge_core(host, cix, self.now());
+        let hix = host.index();
+        let r = self.sched.hosts[hix].cores[cix]
+            .running
+            .take()
+            .expect("preempting an idle core");
+        self.sched.hosts[hix].cores[cix].gen += 1;
+        let th = &mut self.sched.threads[r.thread as usize];
+        th.state = TState::Queued;
+        let key = (th.vr, r.thread);
+        self.sched.hosts[hix].runq.insert(key);
+    }
+
+    /// Installs the minimum-vruntime runnable thread on an idle core (or
+    /// leaves the core idle if the run queue is empty).
+    fn install(&mut self, host: HostId, cix: usize) {
+        let hix = host.index();
+        debug_assert!(self.sched.hosts[hix].cores[cix].running.is_none());
+        let Some(&(vr, traw)) = self.sched.hosts[hix].runq.iter().next() else {
+            self.sched.hosts[hix].cores[cix].gen += 1;
+            return;
+        };
+        self.sched.hosts[hix].runq.remove(&(vr, traw));
+        let now = self.now();
+        let (quantum, ghz, switch_cycles, migration_cycles) = {
+            let h = &mut self.sched.hosts[hix];
+            h.min_vr = h.min_vr.max(vr);
+            (
+                h.quantum(),
+                h.ghz,
+                h.params.ctx_switch_cycles,
+                h.params.migration_cycles,
+            )
+        };
+        // Direct context-switch cost, plus the cache-refill cost when the
+        // thread migrated off its previous core.
+        let migrated = matches!(self.sched.threads[traw as usize].prev_core, Some(p) if p != cix);
+        let total_cycles = switch_cycles + if migrated { migration_cycles } else { 0 };
+        let switch_ns = cycles_to_ns(total_cycles as f64, ghz);
+        {
+            let th = &mut self.sched.threads[traw as usize];
+            th.state = TState::Running { core: cix };
+            th.prev_core = Some(cix);
+            th.vr += switch_ns;
+        }
+        if migrated {
+            self.metrics.incr("sched_migrations");
+        }
+        self.acct
+            .add(traw as usize, CpuCategory::Other, total_cycles as f64, switch_ns);
+        if self.tracer.is_enabled() {
+            let name = self.sched.threads[traw as usize].name.clone();
+            self.tracer.record(
+                now,
+                crate::trace::TraceKind::Dispatch,
+                &name,
+                format!("core{cix}{}", if migrated { " (migrated)" } else { "" }),
+            );
+        }
+        let start = now + SimDuration::from_nanos(switch_ns);
+        self.sched.hosts[hix].cores[cix].running = Some(Running {
+            thread: traw,
+            slice_end: start + quantum,
+            charged_until: start,
+        });
+        self.reprogram(host, cix);
+    }
+
+    /// Accounts executed time on `core` up to `upto`.
+    fn charge_core(&mut self, host: HostId, cix: usize, upto: SimTime) {
+        let hix = host.index();
+        let ghz = self.sched.hosts[hix].ghz;
+        let Some(r) = self.sched.hosts[hix].cores[cix].running.as_mut() else {
+            return;
+        };
+        if upto <= r.charged_until {
+            return;
+        }
+        let ns = upto.since(r.charged_until).as_nanos();
+        r.charged_until = upto;
+        let traw = r.thread;
+        let cycles = ns as f64 * ghz;
+        let th = &mut self.sched.threads[traw as usize];
+        th.vr += ns;
+        let cat = if let Some(w) = th.work.front_mut() {
+            w.cycles_left = (w.cycles_left - cycles).max(0.0);
+            w.cat
+        } else {
+            CpuCategory::Other
+        };
+        self.acct.add(traw as usize, cat, cycles, ns);
+    }
+
+    /// Programs the core timer for the earlier of slice expiry and
+    /// front-work completion.
+    fn reprogram(&mut self, host: HostId, cix: usize) {
+        let hix = host.index();
+        let ghz = self.sched.hosts[hix].ghz;
+        let r = self.sched.hosts[hix].cores[cix]
+            .running
+            .expect("reprogramming an idle core");
+        let th = &self.sched.threads[r.thread as usize];
+        let work_end = match th.work.front() {
+            Some(w) => r.charged_until + SimDuration::from_nanos(cycles_to_ns(w.cycles_left, ghz)),
+            // No work queued right now (mid-timer window); fire at the
+            // slice end so the core gets re-evaluated.
+            None => r.slice_end,
+        };
+        let t = work_end.min(r.slice_end).max(self.now());
+        let gen = {
+            let core = &mut self.sched.hosts[hix].cores[cix];
+            core.gen += 1;
+            core.gen
+        };
+        self.push_core_timer(t, host, cix, gen);
+    }
+
+    /// Handles a core timer: charge, complete finished work, then either
+    /// continue, rotate, or idle the core.
+    pub(crate) fn on_core_timer(&mut self, host: HostId, cix: usize, gen: u64) {
+        let hix = host.index();
+        if self.sched.hosts[hix].cores[cix].gen != gen {
+            return; // stale timer
+        }
+        let now = self.now();
+        self.charge_core(host, cix, now);
+        let r = match self.sched.hosts[hix].cores[cix].running {
+            Some(r) => r,
+            None => return,
+        };
+        let tix = r.thread as usize;
+
+        // Pop and complete the front work item if it is done.
+        let completed = {
+            let th = &mut self.sched.threads[tix];
+            match th.work.front() {
+                Some(w) if w.cycles_left < 0.5 => th.work.pop_front(),
+                _ => None,
+            }
+        };
+        if let Some(w) = completed {
+            // May enqueue new work on this or other threads — and the
+            // resulting wake-up may *preempt this very core*. Detect that
+            // via the timer generation and stop: the preemption already
+            // rescheduled everything.
+            let gen_before = self.sched.hosts[hix].cores[cix].gen;
+            self.advance_chain(w.chain);
+            let core = &self.sched.hosts[hix].cores[cix];
+            if core.gen != gen_before
+                || core.running.map(|r2| r2.thread) != Some(r.thread)
+            {
+                // This thread was preempted mid-completion; if it has no
+                // work left it must not linger in the run queue.
+                let th = &mut self.sched.threads[tix];
+                if th.work.is_empty() && th.state == TState::Queued {
+                    let key = (th.vr, r.thread);
+                    th.state = TState::Idle;
+                    self.sched.hosts[hix].runq.remove(&key);
+                }
+                return;
+            }
+        }
+
+        let has_work = !self.sched.threads[tix].work.is_empty();
+        let slice_expired = now >= r.slice_end;
+        let rq_waiting = !self.sched.hosts[hix].runq.is_empty();
+
+        if !has_work {
+            self.sched.threads[tix].state = TState::Idle;
+            self.sched.hosts[hix].cores[cix].running = None;
+            self.sched.hosts[hix].cores[cix].gen += 1;
+            self.install(host, cix);
+        } else if slice_expired && rq_waiting {
+            // Rotate: requeue current, run the minimum-vruntime thread
+            // (which may be the same thread if it still has the smallest
+            // vruntime).
+            let vr = self.sched.threads[tix].vr;
+            self.sched.threads[tix].state = TState::Queued;
+            self.sched.hosts[hix].runq.insert((vr, r.thread));
+            self.sched.hosts[hix].cores[cix].running = None;
+            self.sched.hosts[hix].cores[cix].gen += 1;
+            self.install(host, cix);
+        } else {
+            if slice_expired {
+                // Alone on the queue: grant a fresh slice.
+                let q = self.sched.hosts[hix].quantum();
+                if let Some(run) = self.sched.hosts[hix].cores[cix].running.as_mut() {
+                    run.slice_end = now + q;
+                }
+            }
+            self.reprogram(host, cix);
+        }
+    }
+
+    /// Sets the shared-cache contention factor of `host` (see
+    /// [`SchedParams`] docs; scenario builders set ≈1.12 per 85%-lookbusy
+    /// background VM).
+    pub fn set_cache_pressure(&mut self, host: HostId, factor: f64) {
+        assert!(factor >= 1.0, "pressure factor below 1 is meaningless");
+        self.sched.hosts[host.index()].cache_pressure = factor;
+    }
+
+    /// Number of runnable (queued + running) threads on a host. Exposed
+    /// for tests and harness diagnostics.
+    pub fn runnable_threads(&self, host: HostId) -> usize {
+        self.sched.hosts[host.index()].nr_runnable()
+    }
+
+    /// The host a thread belongs to.
+    pub fn thread_host(&self, thread: ThreadId) -> HostId {
+        self.sched.threads[thread.index()].host
+    }
+
+    /// The clock frequency of a host in GHz (cycles per nanosecond).
+    pub fn host_ghz(&self, host: HostId) -> f64 {
+        self.sched.hosts[host.index()].ghz
+    }
+
+    /// Changes a host's clock frequency (the paper's `cpufreq-set`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not positive.
+    pub fn set_host_ghz(&mut self, host: HostId, ghz: f64) {
+        assert!(ghz > 0.0, "clock frequency must be positive");
+        self.sched.hosts[host.index()].ghz = ghz;
+    }
+
+    /// Number of cores on a host.
+    pub fn host_cores(&self, host: HostId) -> usize {
+        self.sched.hosts[host.index()].cores.len()
+    }
+
+    /// The diagnostic name a thread was registered with.
+    pub fn thread_name(&self, thread: ThreadId) -> &str {
+        &self.sched.threads[thread.index()].name
+    }
+
+    /// The diagnostic name a host was registered with.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.sched.hosts[host.index()].name
+    }
+}

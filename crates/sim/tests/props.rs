@@ -1,0 +1,155 @@
+//! Property-based tests of the scheduler and engine invariants.
+
+use proptest::prelude::*;
+use vread_sim::prelude::*;
+
+/// A workload: each entry spawns an actor looping `bursts` CPU bursts of
+/// `cycles` with `gap_us` idle between them.
+#[derive(Debug, Clone)]
+struct Job {
+    cycles: u64,
+    bursts: u32,
+    gap_us: u64,
+}
+
+struct Looper {
+    thread: ThreadId,
+    job: Job,
+    left: u32,
+}
+
+struct Done;
+struct Wake;
+
+impl Actor for Looper {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() || msg.is::<Wake>() {
+            if self.left == 0 {
+                ctx.metrics().incr("jobs_done");
+                return;
+            }
+            self.left -= 1;
+            let me = ctx.me();
+            ctx.cpu(self.thread, self.job.cycles, CpuCategory::Other, me, Done);
+        } else if msg.is::<Done>() {
+            if self.job.gap_us == 0 {
+                let me = ctx.me();
+                ctx.send(me, Wake);
+            } else {
+                ctx.timer(Wake, SimDuration::from_micros(self.job.gap_us));
+            }
+        }
+    }
+}
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    (1_000u64..2_000_000, 1u32..12, 0u64..500).prop_map(|(cycles, bursts, gap_us)| Job {
+        cycles,
+        bursts,
+        gap_us,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All submitted CPU work completes, total accounted cycles equal the
+    /// submitted cycles (± context-switch/migration overheads, which are
+    /// extra), and no core is over-committed.
+    #[test]
+    fn scheduler_conserves_work(
+        jobs in proptest::collection::vec(job_strategy(), 1..10),
+        cores in 1usize..5,
+        ghz in prop_oneof![Just(1.6f64), Just(2.0), Just(3.2)],
+    ) {
+        let mut w = World::new(42);
+        let h = w.add_host("h", cores, ghz);
+        let mut submitted = 0.0f64;
+        let mut threads = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let t = w.add_thread(h, &format!("t{i}"));
+            threads.push(t);
+            submitted += job.cycles as f64 * job.bursts as f64;
+            let a = w.add_actor(
+                &format!("job{i}"),
+                Looper { thread: t, job: job.clone(), left: job.bursts },
+            );
+            w.send_now(a, Start);
+        }
+        w.run();
+
+        // every job ran to completion
+        prop_assert_eq!(w.metrics.counter("jobs_done") as usize, jobs.len());
+
+        // work conservation: accounted 'Other'-category cycles cover the
+        // submitted cycles (switch costs are also Other, so >=)
+        let accounted: f64 = threads
+            .iter()
+            .map(|t| w.acct.cycles(t.index(), CpuCategory::Other))
+            .sum();
+        prop_assert!(
+            accounted >= submitted * 0.999,
+            "accounted {} < submitted {}", accounted, submitted
+        );
+
+        // no over-commit: total busy time <= cores * elapsed
+        let busy: u64 = threads.iter().map(|t| w.acct.busy_ns(t.index())).sum();
+        let cap = w.now().as_nanos() * cores as u64;
+        prop_assert!(busy <= cap + 1000, "busy {} > cap {}", busy, cap);
+    }
+
+    /// Identical seeds and workloads give bit-identical schedules.
+    #[test]
+    fn deterministic_across_runs(
+        jobs in proptest::collection::vec(job_strategy(), 1..6),
+    ) {
+        let run = || {
+            let mut w = World::new(7);
+            let h = w.add_host("h", 2, 2.0);
+            for (i, job) in jobs.iter().enumerate() {
+                let t = w.add_thread(h, &format!("t{i}"));
+                let a = w.add_actor(
+                    &format!("job{i}"),
+                    Looper { thread: t, job: job.clone(), left: job.bursts },
+                );
+                w.send_now(a, Start);
+            }
+            w.run();
+            (w.now(), w.events_processed())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Chains across random stages always complete exactly once.
+    #[test]
+    fn chains_complete_exactly_once(
+        stages in proptest::collection::vec((0u64..100_000, 0u8..2), 1..8),
+        n_chains in 1usize..12,
+    ) {
+        struct Counter;
+        struct Fin;
+        impl Actor for Counter {
+            fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+                if msg.is::<Fin>() {
+                    ctx.metrics().incr("fins");
+                }
+            }
+        }
+        let mut w = World::new(3);
+        let h = w.add_host("h", 2, 2.0);
+        let t1 = w.add_thread(h, "t1");
+        let t2 = w.add_thread(h, "t2");
+        let sink = w.add_actor("sink", Counter);
+        for _ in 0..n_chains {
+            let st: Vec<Stage> = stages
+                .iter()
+                .map(|&(cyc, which)| {
+                    Stage::cpu(if which == 0 { t1 } else { t2 }, cyc, CpuCategory::Other)
+                })
+                .collect();
+            w.start_chain(st, sink, Fin);
+        }
+        w.run();
+        prop_assert_eq!(w.metrics.counter("fins") as usize, n_chains);
+    }
+}

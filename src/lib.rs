@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the whole vread-rs workspace.
+pub use vread_apps as apps;
+pub use vread_bench as bench;
+pub use vread_core as core;
+pub use vread_hdfs as hdfs;
+pub use vread_host as host;
+pub use vread_net as net;
+pub use vread_sim as sim;
