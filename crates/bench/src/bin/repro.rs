@@ -43,7 +43,7 @@ fn main() {
                 });
                 match vread_bench::ScenarioSpec::from_json(&json).and_then(|s| s.run()) {
                     Ok(report) => {
-                        println!("{}", serde_json::to_string_pretty(&report).expect("report"));
+                        println!("{}", report.to_json());
                     }
                     Err(e) => {
                         eprintln!("scenario failed: {e}");

@@ -13,6 +13,7 @@
 //! `benches/`.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod scenarios;
 pub mod spec;

@@ -1,10 +1,11 @@
 //! Result tables: aligned text for the terminal, JSON for tooling.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
+use crate::json::{n, obj, s, Json};
+
 /// One reproduced table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id ("fig2", "table3", …).
     pub id: String,
@@ -19,7 +20,7 @@ pub struct Table {
 }
 
 /// One row of a [`Table`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label.
     pub label: String,
@@ -90,13 +91,36 @@ impl Table {
         out
     }
 
-    /// Serializes to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails (it cannot for this type).
+    /// Serializes to pretty JSON (field order fixed, so the output is a
+    /// deterministic function of the table's contents).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        obj(vec![
+            ("id", s(&self.id)),
+            ("title", s(&self.title)),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(s).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("label", s(&r.label)),
+                                (
+                                    "values",
+                                    Json::Arr(r.values.iter().map(|&v| n(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("notes", Json::Arr(self.notes.iter().map(s).collect())),
+        ])
+        .pretty()
     }
 }
 

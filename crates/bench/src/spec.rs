@@ -23,7 +23,7 @@
 //! Run with `repro scenario <file.json>`; the report (throughput, CPU,
 //! per-thread busy time) is printed and returned as JSON.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{n, obj, s, Json};
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_apps::driver::run_until_counter;
@@ -40,34 +40,18 @@ use vread_host::costs::Costs;
 use vread_sim::prelude::*;
 
 /// A physical host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostSpec {
     /// Host name (referenced by VMs).
     pub name: String,
     /// Cores (default 4).
-    #[serde(default = "default_cores")]
     pub cores: usize,
     /// Clock in GHz (default 2.0).
-    #[serde(default = "default_ghz")]
     pub ghz: f64,
 }
 
-fn default_cores() -> usize {
-    4
-}
-fn default_ghz() -> f64 {
-    2.0
-}
-fn default_seed() -> u64 {
-    42
-}
-fn default_buffer_kb() -> u64 {
-    1024
-}
-
 /// What a VM runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "kebab-case")]
+#[derive(Debug, Clone)]
 pub enum VmRole {
     /// HDFS client (the first client VM also hosts the namenode).
     Client,
@@ -78,7 +62,7 @@ pub enum VmRole {
 }
 
 /// A virtual machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VmSpec {
     /// VM name.
     pub name: String,
@@ -87,12 +71,11 @@ pub struct VmSpec {
     /// Role.
     pub role: VmRole,
     /// Lookbusy duty cycle (only for `lookbusy` VMs; default 0.85).
-    #[serde(default)]
     pub busy: Option<f64>,
 }
 
 /// A pre-populated HDFS file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FileSpec {
     /// HDFS path.
     pub path: String,
@@ -103,15 +86,13 @@ pub struct FileSpec {
 }
 
 /// The measured workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+#[derive(Debug, Clone)]
 pub enum WorkloadSpec {
     /// TestDFSIO read over `files`.
     DfsioRead {
         /// Files to read (must be populated).
         files: Vec<String>,
-        /// Application buffer in KiB.
-        #[serde(default = "default_buffer_kb")]
+        /// Application buffer in KiB (default 1024).
         buffer_kb: u64,
     },
     /// TestDFSIO write creating `files` of `mb` MiB each.
@@ -156,10 +137,9 @@ pub enum WorkloadSpec {
 /// assert_eq!(report.bytes, 8 << 20);
 /// # Ok::<(), vread_bench::SpecError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioSpec {
-    /// RNG seed.
-    #[serde(default = "default_seed")]
+    /// RNG seed (default 42).
     pub seed: u64,
     /// Read path: `"vanilla"`, `"vread-rdma"` or `"vread-tcp"`.
     pub path: String,
@@ -167,15 +147,14 @@ pub struct ScenarioSpec {
     pub hosts: Vec<HostSpec>,
     /// VMs.
     pub vms: Vec<VmSpec>,
-    /// Pre-populated files.
-    #[serde(default)]
+    /// Pre-populated files (default none).
     pub files: Vec<FileSpec>,
     /// The workload to run.
     pub workload: WorkloadSpec,
 }
 
 /// Scenario results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioReport {
     /// Simulated seconds the workload took.
     pub elapsed_s: f64,
@@ -193,8 +172,8 @@ pub struct ScenarioReport {
 /// Errors building/running a scenario.
 #[derive(Debug)]
 pub enum SpecError {
-    /// JSON didn't parse.
-    Parse(serde_json::Error),
+    /// JSON didn't parse or a field was missing/mistyped.
+    Parse(String),
     /// A reference (host, VM, datanode, file) didn't resolve.
     Unresolved(String),
     /// Config combination is invalid.
@@ -213,14 +192,172 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+impl ScenarioReport {
+    /// Serializes the report as pretty JSON (fixed field order).
+    pub fn to_json(&self) -> String {
+        let pairs = |v: &[(String, f64)]| {
+            Json::Arr(
+                v.iter()
+                    .map(|(k, ms)| Json::Arr(vec![s(k), n(*ms)]))
+                    .collect(),
+            )
+        };
+        obj(vec![
+            ("elapsed_s", n(self.elapsed_s)),
+            ("bytes", n(self.bytes as f64)),
+            ("rate", n(self.rate)),
+            ("thread_busy_ms", pairs(&self.thread_busy_ms)),
+            ("cpu_by_category_ms", pairs(&self.cpu_by_category_ms)),
+        ])
+        .pretty()
+    }
+}
+
+// -- manual JSON decoding (replaces serde derive) ---------------------------
+
+fn parse_err(msg: impl Into<String>) -> SpecError {
+    SpecError::Parse(msg.into())
+}
+
+fn req<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
+    j.get(key)
+        .ok_or_else(|| parse_err(format!("{ctx}: missing field {key:?}")))
+}
+
+fn req_str(j: &Json, key: &str, ctx: &str) -> Result<String, SpecError> {
+    req(j, key, ctx)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a string")))
+}
+
+fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
+    req(j, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a non-negative integer")))
+}
+
+fn opt_u64(j: &Json, key: &str, default: u64, ctx: &str) -> Result<u64, SpecError> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn req_arr<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], SpecError> {
+    req(j, key, ctx)?
+        .as_array()
+        .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be an array")))
+}
+
+fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, SpecError> {
+    req_arr(j, key, ctx)?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| parse_err(format!("{ctx}: {key:?} entries must be strings")))
+        })
+        .collect()
+}
+
 impl ScenarioSpec {
     /// Parses a spec from JSON.
     ///
     /// # Errors
     ///
-    /// Returns [`SpecError::Parse`] on malformed JSON.
+    /// Returns [`SpecError::Parse`] on malformed JSON or missing/mistyped
+    /// fields.
     pub fn from_json(json: &str) -> Result<Self, SpecError> {
-        serde_json::from_str(json).map_err(SpecError::Parse)
+        let j = Json::parse(json).map_err(|e| parse_err(e.to_string()))?;
+
+        let hosts = req_arr(&j, "hosts", "scenario")?
+            .iter()
+            .map(|h| {
+                Ok(HostSpec {
+                    name: req_str(h, "name", "host")?,
+                    cores: opt_u64(h, "cores", 4, "host")? as usize,
+                    ghz: match h.get("ghz") {
+                        None | Some(Json::Null) => 2.0,
+                        Some(v) => v
+                            .as_f64()
+                            .ok_or_else(|| parse_err("host: field \"ghz\" must be a number"))?,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+
+        let vms = req_arr(&j, "vms", "scenario")?
+            .iter()
+            .map(|v| {
+                let role = match req_str(v, "role", "vm")?.as_str() {
+                    "client" => VmRole::Client,
+                    "datanode" => VmRole::Datanode,
+                    "lookbusy" => VmRole::Lookbusy,
+                    other => return Err(parse_err(format!("vm: unknown role {other:?}"))),
+                };
+                Ok(VmSpec {
+                    name: req_str(v, "name", "vm")?,
+                    host: req_str(v, "host", "vm")?,
+                    role,
+                    busy: match v.get("busy") {
+                        None | Some(Json::Null) => None,
+                        Some(b) => Some(
+                            b.as_f64()
+                                .ok_or_else(|| parse_err("vm: field \"busy\" must be a number"))?,
+                        ),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+
+        let files = match j.get("files") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(f) => f
+                .as_array()
+                .ok_or_else(|| parse_err("scenario: field \"files\" must be an array"))?
+                .iter()
+                .map(|f| {
+                    Ok(FileSpec {
+                        path: req_str(f, "path", "file")?,
+                        mb: req_u64(f, "mb", "file")?,
+                        placement: str_list(f, "placement", "file")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SpecError>>()?,
+        };
+
+        let w = req(&j, "workload", "scenario")?;
+        let workload = match req_str(w, "kind", "workload")?.as_str() {
+            "dfsio-read" => WorkloadSpec::DfsioRead {
+                files: str_list(w, "files", "workload")?,
+                buffer_kb: opt_u64(w, "buffer_kb", 1024, "workload")?,
+            },
+            "dfsio-write" => WorkloadSpec::DfsioWrite {
+                files: str_list(w, "files", "workload")?,
+                mb: req_u64(w, "mb", "workload")?,
+            },
+            "reader" => WorkloadSpec::Reader {
+                path: req_str(w, "path", "workload")?,
+                request_kb: req_u64(w, "request_kb", "workload")?,
+            },
+            "netperf" => WorkloadSpec::Netperf {
+                request_kb: req_u64(w, "request_kb", "workload")?,
+                duration_ms: req_u64(w, "duration_ms", "workload")?,
+            },
+            other => return Err(parse_err(format!("workload: unknown kind {other:?}"))),
+        };
+
+        Ok(ScenarioSpec {
+            seed: opt_u64(&j, "seed", 42, "scenario")?,
+            path: req_str(&j, "path", "scenario")?,
+            hosts,
+            vms,
+            files,
+            workload,
+        })
     }
 
     /// Builds and runs the scenario, returning the report.
@@ -494,7 +631,7 @@ mod tests {
             "vread run shows ring copies in the breakdown"
         );
         // JSON-serializable report
-        let j = serde_json::to_string(&report).unwrap();
+        let j = report.to_json();
         assert!(j.contains("elapsed_s"));
     }
 
