@@ -59,6 +59,7 @@ pub struct TestDfsio {
     cur_file: usize,
     offset: u64,
     req: u64,
+    m_bytes: LazyCounter,
 }
 
 struct TaskReady;
@@ -88,6 +89,7 @@ impl TestDfsio {
             cur_file: 0,
             offset: 0,
             req: 0,
+            m_bytes: LazyCounter::new("dfsio_bytes"),
         }
     }
 
@@ -163,11 +165,7 @@ impl TestDfsio {
         let cycles =
             (bytes as f64 * self.cfg.mr_cyc_per_byte).round() as u64 + self.cfg.mr_request_cycles;
         let me = ctx.me();
-        ctx.chain(
-            vec![Stage::cpu(vcpu, cycles, CpuCategory::MapReduce)],
-            me,
-            MrDone { bytes },
-        );
+        ctx.cpu(vcpu, cycles, CpuCategory::MapReduce, me, MrDone { bytes });
     }
 }
 
@@ -198,7 +196,7 @@ impl Actor for TestDfsio {
             Err(m) => m,
         };
         if let Ok(d) = downcast::<MrDone>(msg) {
-            ctx.metrics().add("dfsio_bytes", d.bytes as f64);
+            self.m_bytes.add(ctx.metrics(), d.bytes as f64);
             if self.mode == DfsioMode::Read && self.offset < self.file_bytes && d.bytes > 0 {
                 self.issue(ctx);
             } else {
@@ -214,8 +212,8 @@ impl Actor for TestDfsio {
 mod tests {
     use super::*;
     use vread_hdfs::client::{add_client, VanillaPath};
-    use vread_hdfs::populate::{populate_file, Placement};
     use vread_hdfs::deploy_hdfs;
+    use vread_hdfs::populate::{populate_file, Placement};
     use vread_host::costs::Costs;
 
     #[test]
@@ -228,11 +226,23 @@ mod tests {
         w.ext.insert(cl);
         let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
         for i in 0..3 {
-            populate_file(&mut w, &format!("/io/{i}"), 4 << 20, &Placement::One(dns[0]));
+            populate_file(
+                &mut w,
+                &format!("/io/{i}"),
+                4 << 20,
+                &Placement::One(dns[0]),
+            );
         }
         let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
         let files = (0..3).map(|i| format!("/io/{i}")).collect();
-        let d = TestDfsio::new(client, cvm, DfsioMode::Read, files, 4 << 20, DfsioConfig::default());
+        let d = TestDfsio::new(
+            client,
+            cvm,
+            DfsioMode::Read,
+            files,
+            4 << 20,
+            DfsioConfig::default(),
+        );
         let a = w.add_actor("dfsio", d);
         w.send_now(a, Start);
         w.run();

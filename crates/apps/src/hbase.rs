@@ -168,8 +168,8 @@ impl HbaseClient {
             HbaseOp::RandomRead => {
                 let row = self.rng.below(self.rows);
                 let block = self.block_of_row(row);
-                let hit = self.cached_block == Some(block)
-                    || self.rng.chance(self.cfg.random_cache_hit);
+                let hit =
+                    self.cached_block == Some(block) || self.rng.chance(self.cfg.random_cache_hit);
                 if hit {
                     self.charge_rows(ctx, 1, 0);
                 } else {
@@ -218,9 +218,9 @@ impl Actor for HbaseClient {
             Ok(d) => {
                 let rows = match self.op {
                     HbaseOp::Scan => self.rows_per_block().min(self.rows - self.rows_done),
-                    HbaseOp::SequentialRead => {
-                        (self.rows_per_block() / 4).max(1).min(self.rows - self.rows_done)
-                    }
+                    HbaseOp::SequentialRead => (self.rows_per_block() / 4)
+                        .max(1)
+                        .min(self.rows - self.rows_done),
                     HbaseOp::RandomRead => 1,
                 };
                 self.charge_rows(ctx, rows, d.bytes);
@@ -231,10 +231,8 @@ impl Actor for HbaseClient {
         if let Ok(rc) = downcast::<RowsCpuDone>(msg) {
             self.rows_done += rc.rows;
             ctx.metrics().add("hbase_rows", rc.rows as f64);
-            ctx.metrics().add(
-                "hbase_bytes",
-                (rc.rows * self.cfg.row_bytes) as f64,
-            );
+            ctx.metrics()
+                .add("hbase_bytes", (rc.rows * self.cfg.row_bytes) as f64);
             self.step(ctx);
         }
     }
@@ -270,7 +268,15 @@ mod tests {
 
     fn run_op(op: HbaseOp) -> (f64, f64) {
         let (mut w, client, cvm) = bed();
-        let hb = HbaseClient::new(client, cvm, op, "/hbase/t1".into(), 20_000, HbaseConfig::default(), 3);
+        let hb = HbaseClient::new(
+            client,
+            cvm,
+            op,
+            "/hbase/t1".into(),
+            20_000,
+            HbaseConfig::default(),
+            3,
+        );
         let a = w.add_actor("hbase", hb);
         w.send_now(a, Start);
         w.run();

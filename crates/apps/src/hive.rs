@@ -116,7 +116,11 @@ impl Actor for HiveQuery {
             let vcpu = self.vcpu(ctx);
             let me = ctx.me();
             ctx.chain(
-                vec![Stage::cpu(vcpu, self.cfg.setup_cycles, CpuCategory::MapReduce)],
+                vec![Stage::cpu(
+                    vcpu,
+                    self.cfg.setup_cycles,
+                    CpuCategory::MapReduce,
+                )],
                 me,
                 SetupDone,
             );

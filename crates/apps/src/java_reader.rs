@@ -40,6 +40,8 @@ pub struct JavaReader {
     offset: u64,
     issued_at: SimTime,
     next_req: u64,
+    m_delay_ms: LazySamples,
+    m_bytes: LazyCounter,
 }
 
 struct LocalReadDone {
@@ -59,6 +61,8 @@ impl JavaReader {
             offset: 0,
             issued_at: SimTime::ZERO,
             next_req: 0,
+            m_delay_ms: LazySamples::new("reader_delay_ms"),
+            m_bytes: LazyCounter::new("reader_bytes"),
         }
     }
 
@@ -132,8 +136,8 @@ impl JavaReader {
 
     fn record(&self, ctx: &mut Ctx<'_>, bytes: u64) {
         let ms = ctx.now().since(self.issued_at).as_millis_f64();
-        ctx.metrics().sample("reader_delay_ms", ms);
-        ctx.metrics().add("reader_bytes", bytes as f64);
+        self.m_delay_ms.record(ctx.metrics(), ms);
+        self.m_bytes.add(ctx.metrics(), bytes as f64);
     }
 }
 
@@ -176,7 +180,9 @@ mod tests {
         JavaReader::create_local_file(&mut w, vm, "/data", 8 << 20);
         let rdr = JavaReader::new(
             vm,
-            ReaderMode::Local { path: "/data".into() },
+            ReaderMode::Local {
+                path: "/data".into(),
+            },
             1 << 20,
             8 << 20,
         );
@@ -201,7 +207,9 @@ mod tests {
         for pass in 0..2 {
             let rdr = JavaReader::new(
                 vm,
-                ReaderMode::Local { path: "/data".into() },
+                ReaderMode::Local {
+                    path: "/data".into(),
+                },
                 1 << 20,
                 4 << 20,
             );

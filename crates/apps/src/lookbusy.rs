@@ -88,8 +88,9 @@ impl Actor for Lookbusy {
         if msg.is::<Start>() || msg.is::<WakeUp>() {
             self.burst(ctx);
         } else if msg.is::<BurstDone>() {
-            let idle =
-                SimDuration::from_nanos((self.period.as_nanos() as f64 * (1.0 - self.busy_fraction)) as u64);
+            let idle = SimDuration::from_nanos(
+                (self.period.as_nanos() as f64 * (1.0 - self.busy_fraction)) as u64,
+            );
             if idle == SimDuration::ZERO {
                 self.burst(ctx);
             } else {

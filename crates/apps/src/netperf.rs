@@ -62,6 +62,8 @@ pub struct NetperfClient {
     sent_at: SimTime,
     /// Transactions are only counted after this time (warm-up).
     pub measure_from: SimTime,
+    m_txns: LazyCounter,
+    m_rtt_ms: LazySamples,
 }
 
 impl NetperfClient {
@@ -77,6 +79,8 @@ impl NetperfClient {
             seq: 0,
             sent_at: SimTime::ZERO,
             measure_from: SimTime::ZERO,
+            m_txns: LazyCounter::new("netperf_txns"),
+            m_rtt_ms: LazySamples::new("netperf_rtt_ms"),
         }
     }
 
@@ -90,9 +94,18 @@ impl NetperfClient {
                     add_conn(
                         w,
                         cl,
-                        Endpoint { actor: me, flavor: Flavor::Guest(vm) },
-                        Endpoint { actor: server, flavor: Flavor::Guest(server_vm) },
-                        ConnSpec { sriov: cl.costs.sriov_nics, ..Default::default() },
+                        Endpoint {
+                            actor: me,
+                            flavor: Flavor::Guest(vm),
+                        },
+                        Endpoint {
+                            actor: server,
+                            flavor: Flavor::Guest(server_vm),
+                        },
+                        ConnSpec {
+                            sriov: cl.costs.sriov_nics,
+                            ..Default::default()
+                        },
                     )
                 });
                 self.conn = Some(c);
@@ -111,11 +124,7 @@ impl NetperfClient {
             tag: self.seq,
             notify: false,
         };
-        ctx.chain(
-            vec![Stage::cpu(vcpu, APP_CYCLES, CpuCategory::ClientApp)],
-            conn,
-            send,
-        );
+        ctx.cpu(vcpu, APP_CYCLES, CpuCategory::ClientApp, conn, send);
     }
 }
 
@@ -129,8 +138,8 @@ impl Actor for NetperfClient {
             debug_assert_eq!(r.tag, self.seq);
             if ctx.now() >= self.measure_from {
                 let rtt = ctx.now().since(self.sent_at).as_millis_f64();
-                ctx.metrics().incr("netperf_txns");
-                ctx.metrics().sample("netperf_rtt_ms", rtt);
+                self.m_txns.incr(ctx.metrics());
+                self.m_rtt_ms.record(ctx.metrics(), rtt);
             }
             self.fire(ctx);
         }
@@ -191,7 +200,13 @@ mod tests {
         assert!(r32 > 3_000.0 && r32 < 40_000.0, "32KB rate {r32}/s");
 
         let (mut w2, a2, b2, _) = world_with_vms(0);
-        let c2 = deploy_netperf(&mut w2, a2, b2, 128 * 1024, SimTime::from_nanos(100_000_000));
+        let c2 = deploy_netperf(
+            &mut w2,
+            a2,
+            b2,
+            128 * 1024,
+            SimTime::from_nanos(100_000_000),
+        );
         let r128 = rate(&mut w2, c2);
         assert!(r128 < r32, "128KB rate ({r128}) below 32KB rate ({r32})");
     }

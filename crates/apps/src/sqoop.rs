@@ -6,8 +6,8 @@
 //! the HDFS read efficiency and the insert rate — which is why the paper
 //! measures a smaller (≈11%) improvement here.
 
-use vread_host::cluster::{with_cluster, Cluster, HostIx, VmId};
 use vread_hdfs::client::{DfsRead, DfsReadDone};
+use vread_host::cluster::{with_cluster, Cluster, HostIx, VmId};
 use vread_net::conn::{add_conn, ConnRecv, ConnSend, ConnSpec, Endpoint, Flavor, Side};
 use vread_sim::prelude::*;
 
@@ -269,14 +269,30 @@ pub fn deploy_sqoop(
     // The export actor is created first so the conn can point at it.
     let export_slot = w.add_actor(
         "sqoop",
-        SqoopExport::new(dfs_client, client_vm, table, rows, cfg, ActorId::from_raw(0)),
+        SqoopExport::new(
+            dfs_client,
+            client_vm,
+            table,
+            rows,
+            cfg,
+            ActorId::from_raw(0),
+        ),
     );
     let conn = with_cluster(w, |cl, w| {
         add_conn(
             w,
             cl,
-            Endpoint { actor: export_slot, flavor: Flavor::Guest(client_vm) },
-            Endpoint { actor: mysql, flavor: Flavor::HostUser { thread, cat: CpuCategory::Mysql } },
+            Endpoint {
+                actor: export_slot,
+                flavor: Flavor::Guest(client_vm),
+            },
+            Endpoint {
+                actor: mysql,
+                flavor: Flavor::HostUser {
+                    thread,
+                    cat: CpuCategory::Mysql,
+                },
+            },
             ConnSpec::default(),
         )
     });

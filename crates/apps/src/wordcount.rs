@@ -245,7 +245,13 @@ mod tests {
         let (_, dns) = deploy_hdfs(&mut w, cvm, &[dvm]);
         populate_file(&mut w, "/input", 32 << 20, &Placement::One(dns[0]));
         let client = add_client(&mut w, cvm, Box::new(VanillaPath::new()));
-        let job = WordCount::new(client, cvm, "/input".into(), 32 << 20, WordCountConfig::default());
+        let job = WordCount::new(
+            client,
+            cvm,
+            "/input".into(),
+            32 << 20,
+            WordCountConfig::default(),
+        );
         let a = w.add_actor("wc", job);
         w.send_now(a, Start);
         w.run();

@@ -42,7 +42,13 @@ fn scenario(path: PathKind) -> World {
     });
     tb.populate("/bench", 64 << 20, Locality::CoLocated);
     let client = tb.make_client();
-    let a = tb.w.add_actor("app", OneShot { client, bytes: 64 << 20 });
+    let a = tb.w.add_actor(
+        "app",
+        OneShot {
+            client,
+            bytes: 64 << 20,
+        },
+    );
     tb.w.send_now(a, Start);
     tb.w
 }

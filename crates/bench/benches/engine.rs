@@ -29,7 +29,13 @@ fn bench_event_throughput(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut w = World::new(1);
-                let a = w.add_actor("a", PingPong { peer: None, left: 100_000 });
+                let a = w.add_actor(
+                    "a",
+                    PingPong {
+                        peer: None,
+                        left: 100_000,
+                    },
+                );
                 w.send_now(a, Start);
                 w
             },
@@ -68,7 +74,13 @@ fn bench_scheduler(c: &mut Criterion) {
                 let h = w.add_host("h", 4, 2.0);
                 for i in 0..8 {
                     let t = w.add_thread(h, &format!("t{i}"));
-                    let a = w.add_actor(&format!("b{i}"), Burster { thread: t, left: 10_000 / 8 });
+                    let a = w.add_actor(
+                        &format!("b{i}"),
+                        Burster {
+                            thread: t,
+                            left: 10_000 / 8,
+                        },
+                    );
                     w.send_now(a, Start);
                 }
                 w
@@ -113,9 +125,80 @@ fn bench_chains(c: &mut Criterion) {
     });
 }
 
+fn bench_chain_slab(c: &mut Criterion) {
+    // Slab churn: many short-lived chains recycling the same slots, with
+    // both inline (≤8 stages) and spilled (>8) stage lists.
+    struct Fin;
+    struct Sink;
+    impl Actor for Sink {
+        fn handle(&mut self, _msg: BoxMsg, _ctx: &mut Ctx<'_>) {}
+    }
+    c.bench_function("engine/chain_slab_churn_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(1);
+                let sink = w.add_actor("sink", Sink);
+                (w, sink)
+            },
+            |(mut w, sink)| {
+                for i in 0..10_000u32 {
+                    // 6 inline stages or 10 spilled, alternating.
+                    let n = if i % 2 == 0 { 6 } else { 10 };
+                    let st: Vec<Stage> = (0..n)
+                        .map(|_| Stage::Delay {
+                            dur: SimDuration::from_nanos(1),
+                        })
+                        .collect();
+                    w.start_chain(st, sink, Fin);
+                    w.run();
+                }
+                w.events_processed()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // Interned-id hot path: 100k counter bumps + sample records through
+    // pre-registered ids (what migrated call sites do per event).
+    c.bench_function("engine/metrics_interned_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(1);
+                let c = w.metrics.register_counter("bytes");
+                let s = w.metrics.register_sample("delay_ms");
+                (w, c, s)
+            },
+            |(mut w, cid, sid)| {
+                for i in 0..100_000u32 {
+                    w.metrics.add_to(cid, 512.0);
+                    w.metrics.record_to(sid, f64::from(i % 97));
+                }
+                w.metrics.counter_value(cid)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // String-keyed path for comparison (resolves the name every call).
+    c.bench_function("engine/metrics_string_100k", |b| {
+        b.iter_batched(
+            || World::new(1),
+            |mut w| {
+                for i in 0..100_000u32 {
+                    w.metrics.add("bytes", 512.0);
+                    w.metrics.sample("delay_ms", f64::from(i % 97));
+                }
+                w.metrics.counter("bytes")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_event_throughput, bench_scheduler, bench_chains
+    targets = bench_event_throughput, bench_scheduler, bench_chains, bench_chain_slab, bench_metrics
 }
 criterion_main!(benches);

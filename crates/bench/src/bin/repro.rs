@@ -2,18 +2,30 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--json DIR] <experiment>... | all | list
+//! repro [--json DIR] [--jobs N] <experiment>... | all | list
+//! repro scenario <file.json>
+//! repro bench-engine [--out FILE]
 //! ```
+//!
+//! Experiments run in parallel across `--jobs` worker threads (default:
+//! available cores). Every experiment builds its own deterministic
+//! `World` from a fixed seed, so results — and the JSON written with
+//! `--json` — are byte-identical regardless of the job count.
 
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use vread_bench::experiments;
+use vread_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments::registry();
 
     let mut json_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -25,11 +37,25 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--jobs" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--jobs needs a thread-count argument");
+                    std::process::exit(2);
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "list" => {
                 for (id, _) in &registry {
                     println!("{id}");
                 }
                 println!("scenario <file.json>");
+                println!("bench-engine [--out FILE]");
                 return;
             }
             "scenario" => {
@@ -52,34 +78,244 @@ fn main() {
                 }
                 return;
             }
+            "bench-engine" => {
+                let mut out = "BENCH_engine.json".to_owned();
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--out" => match it.next() {
+                            Some(f) => out = f,
+                            None => {
+                                eprintln!("--out needs a file argument");
+                                std::process::exit(2);
+                            }
+                        },
+                        other => {
+                            eprintln!("bench-engine: unknown argument {other:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                bench_engine(&out);
+                return;
+            }
             _ => wanted.push(a),
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--json DIR] <experiment>... | all | list");
-        eprintln!("experiments: {}", registry.iter().map(|(i, _)| *i).collect::<Vec<_>>().join(" "));
+        eprintln!("usage: repro [--json DIR] [--jobs N] <experiment>... | all | list");
+        eprintln!(
+            "experiments: {}",
+            registry
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = registry.iter().map(|(id, _)| (*id).to_owned()).collect();
     }
 
-    for want in &wanted {
-        let Some((_, runner)) = registry.iter().find(|(id, _)| id == want) else {
-            eprintln!("unknown experiment: {want}");
-            std::process::exit(2);
-        };
-        let started = std::time::Instant::now();
-        let tables = runner();
-        for t in &tables {
-            println!("{}", t.render());
-            if let Some(dir) = &json_dir {
-                std::fs::create_dir_all(dir).expect("create json dir");
-                let path = format!("{dir}/{}.json", t.id);
-                let mut f = std::fs::File::create(&path).expect("create json file");
-                f.write_all(t.to_json().as_bytes()).expect("write json");
+    // Resolve every name up front so an unknown experiment fails fast.
+    let runners: Vec<(&str, experiments::Runner)> = wanted
+        .iter()
+        .map(|want| {
+            let Some(&(id, runner)) = registry.iter().find(|(id, _)| id == want) else {
+                eprintln!("unknown experiment: {want}");
+                std::process::exit(2);
+            };
+            (id, runner)
+        })
+        .collect();
+
+    let jobs = jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(runners.len())
+        .max(1);
+    let failed = run_parallel(&runners, jobs, json_dir.as_deref());
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Runs `runners` across `jobs` worker threads, printing each
+/// experiment's tables (and writing JSON) strictly in input order as
+/// soon as its prefix is complete. Returns the number of failures.
+fn run_parallel(
+    runners: &[(&str, experiments::Runner)],
+    jobs: usize,
+    json_dir: Option<&str>,
+) -> usize {
+    let n = runners.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Option<Vec<Table>>, f64)>();
+    let mut failed = 0usize;
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let started = std::time::Instant::now();
+                let tables = catch_unwind(AssertUnwindSafe(runners[i].1)).ok();
+                let secs = started.elapsed().as_secs_f64();
+                if tx.send((i, tables, secs)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder: buffer out-of-order completions, flush in input order.
+        let mut done: Vec<Option<(Option<Vec<Table>>, f64)>> = (0..n).map(|_| None).collect();
+        let mut flushed = 0usize;
+        for (i, tables, secs) in rx {
+            done[i] = Some((tables, secs));
+            while flushed < n {
+                let Some((tables, secs)) = done[flushed].take() else {
+                    break;
+                };
+                let id = runners[flushed].0;
+                match tables {
+                    Some(tables) => {
+                        for t in &tables {
+                            println!("{}", t.render());
+                            if let Some(dir) = json_dir {
+                                std::fs::create_dir_all(dir).expect("create json dir");
+                                let path = format!("{dir}/{}.json", t.id);
+                                let mut f = std::fs::File::create(&path).expect("create json file");
+                                f.write_all(t.to_json().as_bytes()).expect("write json");
+                            }
+                        }
+                        eprintln!("[{id} done in {secs:.1}s]");
+                    }
+                    None => {
+                        failed += 1;
+                        eprintln!("[{id} FAILED after {secs:.1}s]");
+                    }
+                }
+                flushed += 1;
             }
         }
-        eprintln!("[{want} done in {:.1}s]", started.elapsed().as_secs_f64());
+    });
+    failed
+}
+
+// ---------------------------------------------------------------------------
+// bench-engine: the perf gate. Runs the two hot-path engine workloads
+// in-process and writes events/sec + ns/event to a JSON file.
+// ---------------------------------------------------------------------------
+
+use vread_sim::prelude::*;
+
+struct PingPong {
+    left: u32,
+}
+struct Ball;
+impl Actor for PingPong {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if (msg.is::<Start>() || msg.is::<Ball>()) && self.left > 0 {
+            self.left -= 1;
+            let me = ctx.me();
+            ctx.send(me, Ball);
+        }
     }
+}
+
+struct Sink;
+struct Fin;
+impl Actor for Sink {
+    fn handle(&mut self, _msg: BoxMsg, _ctx: &mut Ctx<'_>) {}
+}
+
+struct BenchResult {
+    name: &'static str,
+    events: u64,
+    ns_per_event: f64,
+}
+
+impl BenchResult {
+    fn events_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_event
+    }
+}
+
+/// Best-of-`reps` wall time of `build`+run, as (events, ns/event).
+fn measure(reps: usize, build: impl Fn() -> World) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let mut w = build();
+        let t0 = std::time::Instant::now();
+        w.run();
+        let dt = t0.elapsed().as_nanos() as f64;
+        events = w.events_processed();
+        if dt < best {
+            best = dt;
+        }
+    }
+    (events, best / events as f64)
+}
+
+fn bench_engine(out: &str) {
+    let (events, ns) = measure(20, || {
+        let mut w = World::new(1);
+        let a = w.add_actor("a", PingPong { left: 1_000_000 });
+        w.send_now(a, Start);
+        w
+    });
+    let pingpong = BenchResult {
+        name: "message_pingpong_1m",
+        events,
+        ns_per_event: ns,
+    };
+
+    let (events, ns) = measure(20, || {
+        let mut w = World::new(1);
+        let h = w.add_host("h", 4, 2.0);
+        let ts: Vec<ThreadId> = (0..5).map(|i| w.add_thread(h, &format!("t{i}"))).collect();
+        let sink = w.add_actor("sink", Sink);
+        for _ in 0..2000 {
+            let st: Vec<Stage> = ts
+                .iter()
+                .map(|&t| Stage::cpu(t, 10_000, CpuCategory::Other))
+                .collect();
+            w.start_chain(st, sink, Fin);
+        }
+        w
+    });
+    let chain = BenchResult {
+        name: "chain_5stage_x2000",
+        events,
+        ns_per_event: ns,
+    };
+
+    let mut json = String::from("{\n  \"benches\": [\n");
+    for (i, b) in [&pingpong, &chain].iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"events\": {},\n      \"ns_per_event\": {:.2},\n      \"events_per_sec\": {:.0}\n    }}{}\n",
+            b.name,
+            b.events,
+            b.ns_per_event,
+            b.events_per_sec(),
+            if i == 0 { "," } else { "" }
+        ));
+        println!(
+            "{:<24} {:>10.2} ns/event  {:>12.0} events/sec",
+            b.name,
+            b.ns_per_event,
+            b.events_per_sec()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("[bench-engine written to {out}]");
 }

@@ -21,8 +21,7 @@ const REQUEST: u64 = 1 << 20;
 
 fn read_mbps(tb: &mut Testbed, client: vread_sim::ActorId, path: &str) -> f64 {
     let _ = reader_pass(tb, client, path, REQUEST, FILE);
-    let secs =
-        tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
+    let secs = tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
     FILE as f64 / 1e6 / secs
 }
 
@@ -39,10 +38,12 @@ pub fn run_ring() -> Vec<Table> {
         (16 << 10, "16KB"),
         (64 << 10, "64KB"),
     ] {
-        let mut costs = Costs::default();
-        costs.ring_slot_bytes = slot;
         // keep the ring capacity at 4 MB like the paper's default
-        costs.ring_slots = (4 << 20) / slot;
+        let costs = Costs {
+            ring_slot_bytes: slot,
+            ring_slots: (4 << 20) / slot,
+            ..Default::default()
+        };
         let mut tb = Testbed::build(TestbedOpts {
             ghz: 2.0,
             path: PathKind::VreadRdma,
@@ -67,7 +68,10 @@ pub fn run_bypass() -> Vec<Table> {
         "vRead mounted-image reads vs raw-device bypass (MB/s)",
         &["variant", "read", "re-read"],
     );
-    for (bypass, label) in [(false, "mounted (paper design)"), (true, "bypass host FS (§6)")] {
+    for (bypass, label) in [
+        (false, "mounted (paper design)"),
+        (true, "bypass host FS (§6)"),
+    ] {
         let mut tb = Testbed::build(TestbedOpts {
             ghz: 2.0,
             path: PathKind::VreadRdma,
@@ -104,8 +108,10 @@ pub fn run_sriov() -> Vec<Table> {
     let measure = |path: PathKind, sriov: bool| -> (f64, f64) {
         let mut out = [0.0f64; 2];
         for (i, locality) in [Locality::Remote, Locality::CoLocated].iter().enumerate() {
-            let mut costs = Costs::default();
-            costs.sriov_nics = sriov;
+            let costs = Costs {
+                sriov_nics: sriov,
+                ..Default::default()
+            };
             let mut tb = Testbed::build(TestbedOpts {
                 ghz: 2.0,
                 path,

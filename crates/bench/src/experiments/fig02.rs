@@ -48,7 +48,10 @@ pub fn run() -> Vec<Table> {
         a.row(label, vec![cold_inter, cold_local]);
         b.row(label, vec![warm_inter, warm_local]);
     }
-    a.note(format!("file size scaled to {} MB (paper: 1 GB); 2.0 GHz, no background VMs", FILE >> 20));
+    a.note(format!(
+        "file size scaled to {} MB (paper: 1 GB); 2.0 GHz, no background VMs",
+        FILE >> 20
+    ));
     a.note("paper shape: inter-VM delay is a multiple of the local read at every request size");
     b.note("re-read pass of the same file (page caches warm)");
     vec![a, b]

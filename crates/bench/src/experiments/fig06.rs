@@ -64,9 +64,8 @@ fn measure(
 
     let before = tb.w.acct.snapshot();
     let _delay = reader_pass(&mut tb, client, "/f", REQUEST, FILE);
-    let elapsed_ns = (tb.w.metrics.mean("reader_done_at_s")
-        - tb.w.metrics.mean("reader_start_at_s"))
-        * 1e9;
+    let elapsed_ns =
+        (tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s")) * 1e9;
 
     let (client_threads, dn_threads): (Vec<ThreadId>, Vec<ThreadId>) = match path {
         PathKind::Vanilla => (
@@ -152,7 +151,9 @@ pub fn run_fig7() -> Vec<Table> {
         Locality::Remote,
         PathKind::VreadRdma,
     );
-    t.note("paper: ~45% client-side / >50% datanode-side CPU savings; rdma cost far below vhost-net");
+    t.note(
+        "paper: ~45% client-side / >50% datanode-side CPU savings; rdma cost far below vhost-net",
+    );
     vec![t]
 }
 

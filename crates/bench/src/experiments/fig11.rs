@@ -42,8 +42,7 @@ fn compute() -> Matrix {
                         path,
                         ..Default::default()
                     });
-                    let files: Vec<String> =
-                        (0..FILES).map(|i| format!("/dfsio/{i}")).collect();
+                    let files: Vec<String> = (0..FILES).map(|i| format!("/dfsio/{i}")).collect();
                     for f in &files {
                         tb.populate(f, FILE_BYTES, locality);
                     }
@@ -127,7 +126,11 @@ pub fn run_fig11() -> Vec<Table> {
 pub fn run_fig12() -> Vec<Table> {
     let mut ts = panels(
         |c, reread| {
-            let v = if reread { c.reread.cpu_ms } else { c.read.cpu_ms };
+            let v = if reread {
+                c.reread.cpu_ms
+            } else {
+                c.read.cpu_ms
+            };
             v * CPU_SCALE
         },
         "fig12",

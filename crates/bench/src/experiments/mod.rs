@@ -17,18 +17,21 @@ pub mod fig13;
 pub mod table2;
 pub mod table3;
 
+use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_apps::driver::run_until_counter;
 use vread_apps::java_reader::{JavaReader, ReaderMode};
-use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_sim::prelude::*;
 
 use crate::report::Table;
 use crate::scenarios::Testbed;
 
+/// An experiment entry point: renders one or more [`Table`]s.
+pub type Runner = fn() -> Vec<Table>;
+
 /// All experiments, in paper order: `(id, runner)`.
-pub fn registry() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+pub fn registry() -> Vec<(&'static str, Runner)> {
     vec![
-        ("fig2", fig02::run as fn() -> Vec<Table>),
+        ("fig2", fig02::run as Runner),
         ("fig3", fig03::run),
         ("fig6", fig06::run_fig6),
         ("fig7", fig06::run_fig7),
@@ -83,12 +86,7 @@ pub(crate) fn reader_pass(
 }
 
 /// Runs a local-filesystem [`JavaReader`] pass; returns mean delay (ms).
-pub(crate) fn local_reader_pass(
-    tb: &mut Testbed,
-    path: &str,
-    request: u64,
-    total: u64,
-) -> f64 {
+pub(crate) fn local_reader_pass(tb: &mut Testbed, path: &str, request: u64, total: u64) -> f64 {
     tb.w.metrics.reset();
     let reader = JavaReader::new(
         tb.client_vm,

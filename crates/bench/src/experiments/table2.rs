@@ -72,7 +72,10 @@ pub fn run() -> Vec<Table> {
         let vanilla = mbps(PathKind::Vanilla, op);
         let vread = mbps(PathKind::VreadRdma, op);
         let imp = improvement_pct(vanilla, vread);
-        t.row(format!("{label} (paper +{paper}%)"), vec![vanilla, vread, imp]);
+        t.row(
+            format!("{label} (paper +{paper}%)"),
+            vec![vanilla, vread, imp],
+        );
     }
     t.note("hybrid 4-VM setup, 2.0 GHz; rows scaled from the paper's 5 million");
     t.note("paper: vanilla 6.26 / 3.01 / 2.48 MB/s; improvements 27.3 / 23.6 / 17.3 %");

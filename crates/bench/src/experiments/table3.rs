@@ -93,10 +93,16 @@ pub fn run() -> Vec<Table> {
     );
     let hv = hive_secs(PathKind::Vanilla);
     let hr = hive_secs(PathKind::VreadRdma);
-    t.row("Hive select (paper 17.9 -> 14.1s, -21.3%)", vec![hv, hr, reduction_pct(hv, hr)]);
+    t.row(
+        "Hive select (paper 17.9 -> 14.1s, -21.3%)",
+        vec![hv, hr, reduction_pct(hv, hr)],
+    );
     let sv = sqoop_secs(PathKind::Vanilla);
     let sr = sqoop_secs(PathKind::VreadRdma);
-    t.row("Sqoop export (paper 385 -> 343s, -11.3%)", vec![sv, sr, reduction_pct(sv, sr)]);
+    t.row(
+        "Sqoop export (paper 385 -> 343s, -11.3%)",
+        vec![sv, sr, reduction_pct(sv, sr)],
+    );
     t.note("hybrid 4-VM setup, 2.0 GHz; 1.5M simulated rows projected to the paper's 30M");
     t.note("paper: Sqoop gains less because MySQL insert throughput bounds the export");
     vec![t]

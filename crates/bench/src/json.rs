@@ -440,7 +440,10 @@ mod tests {
         assert_eq!(b[0].as_bool(), Some(true));
         assert_eq!(b[1], Json::Null);
         assert_eq!(b[2].as_str(), Some("x\n"));
-        assert_eq!(j.get("c").unwrap().get("d").and_then(Json::as_f64), Some(-25.0));
+        assert_eq!(
+            j.get("c").unwrap().get("d").and_then(Json::as_f64),
+            Some(-25.0)
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl Table {
             .max(8);
         let col_w = 12usize;
         // header
-        let _ = write!(out, "{:label_w$}", self.columns.first().map(String::as_str).unwrap_or(""));
+        let _ = write!(
+            out,
+            "{:label_w$}",
+            self.columns.first().map(String::as_str).unwrap_or("")
+        );
         for c in self.columns.iter().skip(1) {
             let _ = write!(out, " {c:>col_w$}");
         }
@@ -97,10 +101,7 @@ impl Table {
         obj(vec![
             ("id", s(&self.id)),
             ("title", s(&self.title)),
-            (
-                "columns",
-                Json::Arr(self.columns.iter().map(s).collect()),
-            ),
+            ("columns", Json::Arr(self.columns.iter().map(s).collect())),
             (
                 "rows",
                 Json::Arr(

@@ -119,7 +119,11 @@ impl Testbed {
 
         // Background VMs (the "rest" up to 4 per host).
         let mut bg_threads = Vec::new();
-        let (bg1, bg2) = if opts.four_vms { (2usize, 3usize) } else { (0, 0) };
+        let (bg1, bg2) = if opts.four_vms {
+            (2usize, 3usize)
+        } else {
+            (0, 0)
+        };
         for i in 0..bg1 {
             let vm = cl.add_vm(&mut w, h1, &format!("bg1-{i}"));
             bg_threads.push(cl.vm(vm).vcpu);
@@ -230,7 +234,10 @@ impl Testbed {
     /// Daemon threads (host1, host2), if vRead is deployed.
     pub fn daemon_threads(&self) -> Option<(ThreadId, ThreadId)> {
         let reg = self.w.ext.get::<vread_core::VreadRegistry>()?;
-        Some((reg.daemons[&self.hosts.0 .0].1, reg.daemons[&self.hosts.1 .0].1))
+        Some((
+            reg.daemons[&self.hosts.0 .0].1,
+            reg.daemons[&self.hosts.1 .0].1,
+        ))
     }
 }
 

@@ -232,17 +232,21 @@ fn req_str(j: &Json, key: &str, ctx: &str) -> Result<String, SpecError> {
 }
 
 fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
-    req(j, key, ctx)?
-        .as_u64()
-        .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a non-negative integer")))
+    req(j, key, ctx)?.as_u64().ok_or_else(|| {
+        parse_err(format!(
+            "{ctx}: field {key:?} must be a non-negative integer"
+        ))
+    })
 }
 
 fn opt_u64(j: &Json, key: &str, default: u64, ctx: &str) -> Result<u64, SpecError> {
     match j.get(key) {
         None | Some(Json::Null) => Ok(default),
-        Some(v) => v
-            .as_u64()
-            .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a non-negative integer"))),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            parse_err(format!(
+                "{ctx}: field {key:?} must be a non-negative integer"
+            ))
+        }),
     }
 }
 
@@ -402,8 +406,7 @@ impl ScenarioSpec {
                 }
             }
         }
-        let client_vm =
-            client_vm.ok_or_else(|| SpecError::Invalid("no client VM".to_owned()))?;
+        let client_vm = client_vm.ok_or_else(|| SpecError::Invalid("no client VM".to_owned()))?;
         if datanode_vms.is_empty() {
             return Err(SpecError::Invalid("no datanode VM".to_owned()));
         }
@@ -435,7 +438,10 @@ impl ScenarioSpec {
                 })
                 .collect::<Result<_, _>>()?;
             if dns.is_empty() {
-                return Err(SpecError::Invalid(format!("file {} has no placement", f.path)));
+                return Err(SpecError::Invalid(format!(
+                    "file {} has no placement",
+                    f.path
+                )));
             }
             populate_file(&mut w, &f.path, f.mb << 20, &Placement::RoundRobin(dns));
         }
@@ -476,8 +482,10 @@ impl ScenarioSpec {
                     })
                     .collect::<Result<_, _>>()?;
                 let file_bytes = sizes[0];
-                let mut cfg = DfsioConfig::default();
-                cfg.buffer_bytes = buffer_kb << 10;
+                let cfg = DfsioConfig {
+                    buffer_bytes: buffer_kb << 10,
+                    ..Default::default()
+                };
                 let job = TestDfsio::new(
                     client,
                     client_vm,
@@ -488,12 +496,16 @@ impl ScenarioSpec {
                 );
                 let a = w.add_actor("dfsio", job);
                 w.send_now(a, Start);
-                if !run_until_counter(&mut w, "dfsio_done", 1.0, SimDuration::from_millis(100), cap)
-                {
+                if !run_until_counter(
+                    &mut w,
+                    "dfsio_done",
+                    1.0,
+                    SimDuration::from_millis(100),
+                    cap,
+                ) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs =
-                    w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
+                let secs = w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
                 let b = w.metrics.counter("dfsio_bytes") as u64;
                 (secs, b, b as f64 / 1e6 / secs)
             }
@@ -508,12 +520,16 @@ impl ScenarioSpec {
                 );
                 let a = w.add_actor("dfsio", job);
                 w.send_now(a, Start);
-                if !run_until_counter(&mut w, "dfsio_done", 1.0, SimDuration::from_millis(100), cap)
-                {
+                if !run_until_counter(
+                    &mut w,
+                    "dfsio_done",
+                    1.0,
+                    SimDuration::from_millis(100),
+                    cap,
+                ) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs =
-                    w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
+                let secs = w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
                 let b = w.metrics.counter("dfsio_bytes") as u64;
                 (secs, b, b as f64 / 1e6 / secs)
             }
@@ -526,21 +542,31 @@ impl ScenarioSpec {
                 };
                 let rdr = JavaReader::new(
                     client_vm,
-                    ReaderMode::Dfs { client, path: path.clone() },
+                    ReaderMode::Dfs {
+                        client,
+                        path: path.clone(),
+                    },
                     request_kb << 10,
                     total,
                 );
                 let a = w.add_actor("reader", rdr);
                 w.send_now(a, Start);
-                if !run_until_counter(&mut w, "reader_done", 1.0, SimDuration::from_millis(50), cap)
-                {
+                if !run_until_counter(
+                    &mut w,
+                    "reader_done",
+                    1.0,
+                    SimDuration::from_millis(50),
+                    cap,
+                ) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs =
-                    w.metrics.mean("reader_done_at_s") - w.metrics.mean("reader_start_at_s");
+                let secs = w.metrics.mean("reader_done_at_s") - w.metrics.mean("reader_start_at_s");
                 (secs, total, total as f64 / 1e6 / secs)
             }
-            WorkloadSpec::Netperf { request_kb, duration_ms } => {
+            WorkloadSpec::Netperf {
+                request_kb,
+                duration_ms,
+            } => {
                 let server_vm = dn_vms[0];
                 let measure_from = w.now();
                 let np =
@@ -564,8 +590,7 @@ impl ScenarioSpec {
                 }
                 let cycles = w.acct.cycles(t, cat);
                 if cycles > 0.0 {
-                    *cpu_by_cat.entry(cat.figure_bucket()).or_insert(0.0) +=
-                        cycles / ghz / 1e6;
+                    *cpu_by_cat.entry(cat.figure_bucket()).or_insert(0.0) += cycles / ghz / 1e6;
                 }
             }
         }

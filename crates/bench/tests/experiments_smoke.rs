@@ -20,7 +20,11 @@ fn fig3_shape_lookbusy_drop() {
     let t = table("fig3");
     for row in &t.rows {
         let (quiet, busy, drop) = (row.values[0], row.values[1], row.values[2]);
-        assert!(busy < quiet, "{}: contention must cost throughput", row.label);
+        assert!(
+            busy < quiet,
+            "{}: contention must cost throughput",
+            row.label
+        );
         assert!(
             (5.0..40.0).contains(&drop),
             "{}: drop {drop}% outside the paper's ballpark (~20%)",

@@ -214,14 +214,8 @@ pub struct VreadRegistry {
 
 #[derive(Debug)]
 enum VfdState {
-    Local {
-        dn_vm: VmId,
-        file: FileId,
-    },
-    Remote {
-        peer_host: usize,
-        peer_vfd: u64,
-    },
+    Local { dn_vm: VmId, file: FileId },
+    Remote { peer_host: usize, peer_vfd: u64 },
 }
 
 struct LocalRead {
@@ -312,7 +306,12 @@ impl VreadDaemon {
     }
 
     /// Opens `block` on a *local* datanode VM through the mounted view.
-    fn open_local(&mut self, ctx: &Ctx<'_>, dn: DatanodeIx, block: BlockId) -> Option<(u64, u64, VmId)> {
+    fn open_local(
+        &mut self,
+        ctx: &Ctx<'_>,
+        dn: DatanodeIx,
+        block: BlockId,
+    ) -> Option<(u64, u64, VmId)> {
         let meta = ctx.world.ext.get::<HdfsMeta>().expect("meta");
         let dn_vm = meta.datanodes[dn.0].vm;
         let snap = self.mounts.get(&dn_vm.0)?;
@@ -348,8 +347,14 @@ impl VreadDaemon {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: me, flavor: mk(my_thread) },
-                Endpoint { actor: peer_actor, flavor: mk(peer_thread) },
+                Endpoint {
+                    actor: me,
+                    flavor: mk(my_thread),
+                },
+                Endpoint {
+                    actor: peer_actor,
+                    flavor: mk(peer_thread),
+                },
                 ConnSpec::default(),
             )
         });
@@ -403,7 +408,9 @@ impl VreadDaemon {
                         st.push(Stage::cpu(thread, c.blk_host_cycles, CpuCategory::DiskRead));
                         st.push(Stage::disk(cl.hosts[host.0].dev, missing));
                     }
-                    cl.hosts[host.0].cache.insert_range(obj, e.image_offset, e.len);
+                    cl.hosts[host.0]
+                        .cache
+                        .insert_range(obj, e.image_offset, e.len);
                 }
             }
             st
@@ -415,7 +422,9 @@ impl VreadDaemon {
     fn pump_local(&mut self, ctx: &mut Ctx<'_>, read: u64) {
         let me = ctx.me();
         loop {
-            let Some(r) = self.local_reads.get(&read) else { return };
+            let Some(r) = self.local_reads.get(&read) else {
+                return;
+            };
             if r.inflight >= DAEMON_WINDOW || r.remaining == 0 {
                 return;
             }
@@ -449,7 +458,9 @@ impl VreadDaemon {
     fn pump_serve(&mut self, ctx: &mut Ctx<'_>, key: (u32, u64)) {
         let me = ctx.me();
         loop {
-            let Some(s) = self.serves.get(&key) else { return };
+            let Some(s) = self.serves.get(&key) else {
+                return;
+            };
             if s.inflight >= DAEMON_WINDOW || s.remaining == 0 {
                 return;
             }
@@ -521,7 +532,8 @@ impl Actor for VreadDaemon {
                 } else {
                     // remote open via the peer daemon (control path)
                     let tag = self.alloc();
-                    self.open_waits.insert(tag, (req.reply_to, req.token, req.dn));
+                    self.open_waits
+                        .insert(tag, (req.reply_to, req.token, req.dn));
                     let me = ctx.me();
                     let peer = {
                         let reg = ctx.world.ext.get::<VreadRegistry>().expect("registry");
@@ -552,9 +564,10 @@ impl Actor for VreadDaemon {
             Ok(req) => {
                 let state = match self.vfds.get(&req.vfd) {
                     Some(VfdState::Local { dn_vm, file }) => Some((Some((*dn_vm, *file)), None)),
-                    Some(VfdState::Remote { peer_host, peer_vfd }) => {
-                        Some((None, Some((*peer_host, *peer_vfd))))
-                    }
+                    Some(VfdState::Remote {
+                        peer_host,
+                        peer_vfd,
+                    }) => Some((None, Some((*peer_host, *peer_vfd)))),
                     None => None,
                 };
                 match state {
@@ -627,7 +640,11 @@ impl Actor for VreadDaemon {
         // ---- vRead_close -----------------------------------------------------
         let msg = match downcast::<VreadClose>(msg) {
             Ok(cl) => {
-                if let Some(VfdState::Remote { peer_host, peer_vfd }) = self.vfds.remove(&cl.vfd) {
+                if let Some(VfdState::Remote {
+                    peer_host,
+                    peer_vfd,
+                }) = self.vfds.remove(&cl.vfd)
+                {
                     let peer = {
                         let reg = ctx.world.ext.get::<VreadRegistry>().expect("registry");
                         reg.daemons[&peer_host].0
@@ -643,7 +660,9 @@ impl Actor for VreadDaemon {
         let msg = match downcast::<LocalChunkDone>(msg) {
             Ok(done) => {
                 let finished = {
-                    let Some(r) = self.local_reads.get_mut(&done.read) else { return };
+                    let Some(r) = self.local_reads.get_mut(&done.read) else {
+                        return;
+                    };
                     r.inflight -= 1;
                     ctx.send(
                         r.reply_to,
@@ -696,7 +715,13 @@ impl Actor for VreadDaemon {
                             let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
                             cl.vm(meta.datanodes[dn.0].vm).host.0
                         };
-                        self.vfds.insert(id, VfdState::Remote { peer_host, peer_vfd });
+                        self.vfds.insert(
+                            id,
+                            VfdState::Remote {
+                                peer_host,
+                                peer_vfd,
+                            },
+                        );
                         Vfd {
                             id,
                             size,
@@ -776,8 +801,9 @@ impl Actor for VreadDaemon {
                     // The VM left this host: unmount and invalidate any
                     // descriptors backed by it.
                     self.mounts.remove(&mig.vm.0);
-                    self.vfds
-                        .retain(|_, st| !matches!(st, VfdState::Local { dn_vm, .. } if *dn_vm == mig.vm));
+                    self.vfds.retain(
+                        |_, st| !matches!(st, VfdState::Local { dn_vm, .. } if *dn_vm == mig.vm),
+                    );
                 }
                 return;
             }
@@ -785,7 +811,9 @@ impl Actor for VreadDaemon {
         };
         let msg = match downcast::<ServeChunkReady>(msg) {
             Ok(sr) => {
-                let Some(s) = self.serves.get(&sr.key) else { return };
+                let Some(s) = self.serves.get(&sr.key) else {
+                    return;
+                };
                 ctx.send(
                     s.conn,
                     ConnSend {
@@ -824,11 +852,15 @@ impl Actor for VreadDaemon {
         let msg = match downcast::<ConnRecv>(msg) {
             Ok(r) => {
                 let key = (r.conn.raw(), r.tag);
-                let Some(&read) = self.data_waits.get(&key) else { return };
+                let Some(&read) = self.data_waits.get(&key) else {
+                    return;
+                };
                 let costs = Self::costs(ctx);
                 let ring = RingSpec::from_costs(&costs);
                 let (client_vm,) = {
-                    let Some(rr) = self.remote_reads.get_mut(&read) else { return };
+                    let Some(rr) = self.remote_reads.get_mut(&read) else {
+                        return;
+                    };
                     rr.ring_inflight += 1;
                     (rr.client_vm,)
                 };
@@ -854,7 +886,9 @@ impl Actor for VreadDaemon {
         let msg = match downcast::<RingForwarded>(msg) {
             Ok(f) => {
                 let finished = {
-                    let Some(rr) = self.remote_reads.get_mut(&f.read) else { return };
+                    let Some(rr) = self.remote_reads.get_mut(&f.read) else {
+                        return;
+                    };
                     rr.ring_inflight -= 1;
                     rr.forwarded += f.bytes;
                     ctx.send(

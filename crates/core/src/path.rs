@@ -38,6 +38,8 @@ pub struct VreadPath {
     /// Failure counts per fetch token (a stale descriptor is retried once
     /// through a fresh open before falling back to vanilla).
     attempts: HashMap<u64, u8>,
+    m_vfd_hits: LazyCounter,
+    m_opens: LazyCounter,
 }
 
 impl Default for VreadPath {
@@ -56,6 +58,8 @@ impl VreadPath {
             active: HashMap::new(),
             fallback_tokens: HashSet::new(),
             attempts: HashMap::new(),
+            m_vfd_hits: LazyCounter::new("vread_vfd_hits"),
+            m_opens: LazyCounter::new("vread_opens"),
         }
     }
 
@@ -142,12 +146,12 @@ impl BlockReadPath for VreadPath {
     ) {
         if self.vfds.get(req.block).is_some() {
             // Algorithm 1 line 15: descriptor reuse from vfd_hash.
-            ctx.metrics().incr("vread_vfd_hits");
+            self.m_vfd_hits.incr(ctx.metrics());
             self.issue_read(ctx, shared, req);
             return;
         }
         // Algorithm 1 line 12: vRead_open.
-        ctx.metrics().incr("vread_opens");
+        self.m_opens.incr(ctx.metrics());
         let (daemon, _) = Self::daemon_of(ctx, shared);
         self.pending_open.insert(req.token, req);
         let stages = Self::request_stages(ctx, shared);

@@ -132,7 +132,10 @@ mod tests {
         let (r, _) = spec();
         assert_eq!(r.max_chunk_for_window(4), 1 << 20);
         // degenerate ring still allows a slot-sized chunk
-        let tiny = RingSpec { slots: 2, slot_bytes: 4096 };
+        let tiny = RingSpec {
+            slots: 2,
+            slot_bytes: 4096,
+        };
         assert_eq!(tiny.max_chunk_for_window(8), 4096);
     }
 

@@ -1,7 +1,10 @@
 //! Edge-case tests of the vRead daemon: tiny rings, concurrent readers,
 //! descriptor lifecycle, unknown-descriptor handling.
 
-use vread_core::daemon::{RemoteTransport, VreadClose, VreadOpenReq, VreadOpenResp, VreadReadDone, VreadReadFailed, VreadReadReq};
+use vread_core::daemon::{
+    RemoteTransport, VreadClose, VreadOpenReq, VreadOpenResp, VreadReadDone, VreadReadFailed,
+    VreadReadReq,
+};
 use vread_core::{deploy_vread, VreadPath, VreadRegistry};
 use vread_hdfs::client::{add_client, DfsRead, DfsReadDone};
 use vread_hdfs::populate::{populate_file, Placement};
@@ -33,7 +36,14 @@ impl Actor for Rd {
             let me = ctx.me();
             ctx.send(
                 self.client,
-                DfsRead { req: 1, reply_to: me, path: "/f".into(), offset: 0, len: 16 << 20, pread: false },
+                DfsRead {
+                    req: 1,
+                    reply_to: me,
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 16 << 20,
+                    pread: false,
+                },
             );
         } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
             self.got.set(d.bytes);
@@ -44,12 +54,20 @@ impl Actor for Rd {
 #[test]
 fn tiny_ring_still_delivers_exact_bytes() {
     // A degenerate 8 KB ring (2 × 4 KB slots) forces tiny daemon chunks.
-    let mut costs = Costs::default();
-    costs.ring_slots = 2;
+    let costs = Costs {
+        ring_slots: 2,
+        ..Default::default()
+    };
     let (mut w, cvm, _) = bed(costs);
     let client = add_client(&mut w, cvm, Box::new(VreadPath::new()));
     let got = std::rc::Rc::new(std::cell::Cell::new(0));
-    let a = w.add_actor("rd", Rd { client, got: got.clone() });
+    let a = w.add_actor(
+        "rd",
+        Rd {
+            client,
+            got: got.clone(),
+        },
+    );
     w.send_now(a, Start);
     w.run();
     assert_eq!(got.get(), 16 << 20);
@@ -63,7 +81,13 @@ fn concurrent_clients_share_one_daemon() {
     for i in 0..4 {
         let client = add_client(&mut w, cvm, Box::new(VreadPath::new()));
         let got = std::rc::Rc::new(std::cell::Cell::new(0));
-        let a = w.add_actor(&format!("rd{i}"), Rd { client, got: got.clone() });
+        let a = w.add_actor(
+            &format!("rd{i}"),
+            Rd {
+                client,
+                got: got.clone(),
+            },
+        );
         w.send_now(a, Start);
         gots.push(got);
     }
@@ -105,7 +129,12 @@ fn raw_daemon_protocol_lifecycle() {
             if msg.is::<Start>() {
                 ctx.send(
                     self.daemon,
-                    VreadOpenReq { reply_to: me, token: 1, dn: self.dn, block: self.block },
+                    VreadOpenReq {
+                        reply_to: me,
+                        token: 1,
+                        dn: self.dn,
+                        block: self.block,
+                    },
                 );
                 return;
             }
@@ -166,7 +195,17 @@ fn raw_daemon_protocol_lifecycle() {
     }
 
     let log = std::rc::Rc::new(std::cell::RefCell::new(RawLog::default()));
-    let a = w.add_actor("raw", Raw { daemon, dn, block, cvm, log: log.clone(), phase: 0 });
+    let a = w.add_actor(
+        "raw",
+        Raw {
+            daemon,
+            dn,
+            block,
+            cvm,
+            log: log.clone(),
+            phase: 0,
+        },
+    );
     w.send_now(a, Start);
     w.run();
     let log = log.borrow();
@@ -204,7 +243,14 @@ fn open_of_unknown_block_returns_none() {
         }
     }
     let got_none = std::rc::Rc::new(std::cell::Cell::new(false));
-    let a = w.add_actor("open", Open { daemon, dn, got_none: got_none.clone() });
+    let a = w.add_actor(
+        "open",
+        Open {
+            daemon,
+            dn,
+            got_none: got_none.clone(),
+        },
+    );
     w.send_now(a, Start);
     w.run();
     assert!(got_none.get());

@@ -31,7 +31,13 @@ fn bed() -> Bed {
     let (_, dns) = deploy_hdfs(&mut w, client_vm, &[dn_vm]);
     populate_file(&mut w, "/f", 16 << 20, &Placement::One(dns[0]));
     deploy_vread(&mut w, RemoteTransport::Rdma);
-    Bed { w, client_vm, dn_vm, h1, h2 }
+    Bed {
+        w,
+        client_vm,
+        dn_vm,
+        h1,
+        h2,
+    }
 }
 
 struct Rd {
@@ -64,7 +70,15 @@ impl Actor for Rd {
 fn read(b: &mut Bed, offset: u64, len: u64) -> u64 {
     let client = add_client(&mut b.w, b.client_vm, Box::new(VreadPath::new()));
     let got = std::rc::Rc::new(std::cell::Cell::new(0));
-    let a = b.w.add_actor("rd", Rd { client, offset, len, got: got.clone() });
+    let a = b.w.add_actor(
+        "rd",
+        Rd {
+            client,
+            offset,
+            len,
+            got: got.clone(),
+        },
+    );
     b.w.send_now(a, Start);
     b.w.run();
     got.get()
@@ -128,7 +142,15 @@ fn stale_descriptor_is_retried_transparently() {
     // cached vfd for the 64MB block) alive across the migration.
     let client = add_client(&mut b.w, b.client_vm, Box::new(VreadPath::new()));
     let got = std::rc::Rc::new(std::cell::Cell::new(0));
-    let a = b.w.add_actor("rd1", Rd { client, offset: 0, len: 1 << 20, got: got.clone() });
+    let a = b.w.add_actor(
+        "rd1",
+        Rd {
+            client,
+            offset: 0,
+            len: 1 << 20,
+            got: got.clone(),
+        },
+    );
     b.w.send_now(a, Start);
     b.w.run();
     assert_eq!(got.get(), 1 << 20);
@@ -140,7 +162,15 @@ fn stale_descriptor_is_retried_transparently() {
     // The next read reuses the (now stale) descriptor, gets a failure
     // from the daemon, and transparently reopens through the new route.
     let got2 = std::rc::Rc::new(std::cell::Cell::new(0));
-    let a2 = b.w.add_actor("rd2", Rd { client, offset: 1 << 20, len: 2 << 20, got: got2.clone() });
+    let a2 = b.w.add_actor(
+        "rd2",
+        Rd {
+            client,
+            offset: 1 << 20,
+            len: 2 << 20,
+            got: got2.clone(),
+        },
+    );
     b.w.send_now(a2, Start);
     b.w.run();
     assert_eq!(got2.get(), 2 << 20, "read recovered after migration");
@@ -160,7 +190,12 @@ fn daemon_hash_table_updates_both_sides() {
     migrate_vm_with_vread(&mut b.w, dn_vm, h2);
     b.w.run();
     // materialize a new file directly + remount via namenode-style notify:
-    populate_file(&mut b.w, "/late", 2 << 20, &Placement::One(vread_hdfs::DatanodeIx(0)));
+    populate_file(
+        &mut b.w,
+        "/late",
+        2 << 20,
+        &Placement::One(vread_hdfs::DatanodeIx(0)),
+    );
     // trigger the refresh path through a block-added notification
     let observers = b.w.ext.get::<HdfsMeta>().unwrap().observers.clone();
     let block = {
@@ -170,7 +205,10 @@ fn daemon_hash_table_updates_both_sides() {
     for obs in observers {
         b.w.send_now(
             obs,
-            vread_hdfs::namenode::BlockAdded { dn: vread_hdfs::DatanodeIx(0), block },
+            vread_hdfs::namenode::BlockAdded {
+                dn: vread_hdfs::DatanodeIx(0),
+                block,
+            },
         );
     }
     b.w.run();
@@ -187,14 +225,27 @@ fn daemon_hash_table_updates_both_sides() {
                 let me = ctx.me();
                 ctx.send(
                     self.client,
-                    DfsRead { req: 1, reply_to: me, path: "/late".into(), offset: 0, len: 2 << 20, pread: false },
+                    DfsRead {
+                        req: 1,
+                        reply_to: me,
+                        path: "/late".into(),
+                        offset: 0,
+                        len: 2 << 20,
+                        pread: false,
+                    },
                 );
             } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
                 self.got.set(d.bytes);
             }
         }
     }
-    let a = b.w.add_actor("rd", Rd2 { client, got: got.clone() });
+    let a = b.w.add_actor(
+        "rd",
+        Rd2 {
+            client,
+            got: got.clone(),
+        },
+    );
     b.w.send_now(a, Start);
     b.w.run();
     assert_eq!(got.get(), 2 << 20);

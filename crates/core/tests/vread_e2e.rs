@@ -1,8 +1,10 @@
 //! End-to-end tests of the vRead read path against the vanilla baseline.
 
-use vread_core::daemon::{RemountAll, RemoteTransport};
+use vread_core::daemon::{RemoteTransport, RemountAll};
 use vread_core::{deploy_vread, VreadPath};
-use vread_hdfs::client::{add_client, BlockReadPath, DfsRead, DfsReadDone, DfsWrite, DfsWriteDone, VanillaPath};
+use vread_hdfs::client::{
+    add_client, BlockReadPath, DfsRead, DfsReadDone, DfsWrite, DfsWriteDone, VanillaPath,
+};
 use vread_hdfs::populate::{populate_file, Placement};
 use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
 use vread_host::cluster::{Cluster, VmId};
@@ -25,9 +27,7 @@ enum Op {
 
 impl Actor for App {
     fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
-        let issue = msg.is::<Start>()
-            || msg.is::<DfsReadDone>()
-            || msg.is::<DfsWriteDone>();
+        let issue = msg.is::<Start>() || msg.is::<DfsReadDone>() || msg.is::<DfsWriteDone>();
         if let Ok(d) = downcast::<DfsReadDone>(msg) {
             let ms = ctx.now().since(self.issued_at).as_millis_f64();
             self.done.borrow_mut().push((d.bytes, ms));
@@ -41,11 +41,23 @@ impl Actor for App {
         match self.script[self.next].clone() {
             Op::Read { path, offset, len } => ctx.send(
                 self.client,
-                DfsRead { req, reply_to: me, path, offset, len, pread: false },
+                DfsRead {
+                    req,
+                    reply_to: me,
+                    path,
+                    offset,
+                    len,
+                    pread: false,
+                },
             ),
             Op::Write { path, bytes } => ctx.send(
                 self.client,
-                DfsWrite { req, reply_to: me, path, bytes },
+                DfsWrite {
+                    req,
+                    reply_to: me,
+                    path,
+                    bytes,
+                },
             ),
         }
         self.next += 1;
@@ -106,7 +118,11 @@ fn vread_local_read_delivers_exact_bytes() {
     let done = run(
         &mut b,
         Box::new(VreadPath::new()),
-        vec![Op::Read { path: "/f".into(), offset: 0, len: 8 << 20 }],
+        vec![Op::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 8 << 20,
+        }],
     );
     assert_eq!(done, vec![(8 << 20, done[0].1)]);
     assert!(b.w.metrics.counter("vread_opens") >= 1.0);
@@ -115,7 +131,11 @@ fn vread_local_read_delivers_exact_bytes() {
 
 #[test]
 fn vread_beats_vanilla_on_colocated_read() {
-    let script = vec![Op::Read { path: "/f".into(), offset: 0, len: 32 << 20 }];
+    let script = vec![Op::Read {
+        path: "/f".into(),
+        offset: 0,
+        len: 32 << 20,
+    }];
     let mut bv = bed(RemoteTransport::Rdma, &[("/f", 32 << 20, false)]);
     let vanilla = run(&mut bv, Box::new(VanillaPath::new()), script.clone());
     let mut br = bed(RemoteTransport::Rdma, &[("/f", 32 << 20, false)]);
@@ -132,8 +152,16 @@ fn vread_beats_vanilla_on_colocated_read() {
 #[test]
 fn vread_reread_improvement_exceeds_cold_read_improvement() {
     let script = vec![
-        Op::Read { path: "/f".into(), offset: 0, len: 32 << 20 },
-        Op::Read { path: "/f".into(), offset: 0, len: 32 << 20 },
+        Op::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 32 << 20,
+        },
+        Op::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 32 << 20,
+        },
     ];
     let mut bv = bed(RemoteTransport::Rdma, &[("/f", 32 << 20, false)]);
     let vanilla = run(&mut bv, Box::new(VanillaPath::new()), script.clone());
@@ -151,15 +179,18 @@ fn vread_reread_improvement_exceeds_cold_read_improvement() {
 
 #[test]
 fn vread_saves_cpu_on_both_sides() {
-    let script = vec![Op::Read { path: "/f".into(), offset: 0, len: 32 << 20 }];
+    let script = vec![Op::Read {
+        path: "/f".into(),
+        offset: 0,
+        len: 32 << 20,
+    }];
     let mut bv = bed(RemoteTransport::Rdma, &[("/f", 32 << 20, false)]);
     let _ = run(&mut bv, Box::new(VanillaPath::new()), script.clone());
     let mut br = bed(RemoteTransport::Rdma, &[("/f", 32 << 20, false)]);
     let _ = run(&mut br, Box::new(VreadPath::new()), script);
 
-    let total_cycles = |b: &Bed| -> f64 {
-        (0..b.w.acct.len()).map(|t| b.w.acct.total_cycles(t)).sum()
-    };
+    let total_cycles =
+        |b: &Bed| -> f64 { (0..b.w.acct.len()).map(|t| b.w.acct.total_cycles(t)).sum() };
     let vanilla_cpu = total_cycles(&bv);
     let vread_cpu = total_cycles(&br);
     assert!(
@@ -174,7 +205,8 @@ fn vread_saves_cpu_on_both_sides() {
         let vm = meta.datanodes[br.dn_local.0].vm;
         (cl.vm(vm).vcpu, cl.vm(vm).vhost)
     };
-    let dn_busy = br.w.acct.busy_ns(dn_vm_threads.0.index()) + br.w.acct.busy_ns(dn_vm_threads.1.index());
+    let dn_busy =
+        br.w.acct.busy_ns(dn_vm_threads.0.index()) + br.w.acct.busy_ns(dn_vm_threads.1.index());
     assert!(
         dn_busy < 1_000_000,
         "datanode VM should be idle under vread (busy {dn_busy}ns)"
@@ -187,7 +219,11 @@ fn vread_charges_ring_copies_not_virtio_net() {
     let _ = run(
         &mut b,
         Box::new(VreadPath::new()),
-        vec![Op::Read { path: "/f".into(), offset: 0, len: 8 << 20 }],
+        vec![Op::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 8 << 20,
+        }],
     );
     let (vcpu, vhost) = {
         let cl = b.w.ext.get::<Cluster>().unwrap();
@@ -210,7 +246,11 @@ fn vread_remote_read_over_rdma() {
     let done = run(
         &mut b,
         Box::new(VreadPath::new()),
-        vec![Op::Read { path: "/r".into(), offset: 0, len: 16 << 20 }],
+        vec![Op::Read {
+            path: "/r".into(),
+            offset: 0,
+            len: 16 << 20,
+        }],
     );
     assert_eq!(done[0].0, 16 << 20);
     // data crossed the remote host's NIC
@@ -230,7 +270,11 @@ fn vread_remote_read_over_rdma() {
 
 #[test]
 fn vread_remote_tcp_fallback_costs_more_cpu_than_rdma() {
-    let script = vec![Op::Read { path: "/r".into(), offset: 0, len: 16 << 20 }];
+    let script = vec![Op::Read {
+        path: "/r".into(),
+        offset: 0,
+        len: 16 << 20,
+    }];
     let mut brdma = bed(RemoteTransport::Rdma, &[("/r", 16 << 20, true)]);
     let _ = run(&mut brdma, Box::new(VreadPath::new()), script.clone());
     let mut btcp = bed(RemoteTransport::Tcp, &[("/r", 16 << 20, true)]);
@@ -264,8 +308,15 @@ fn blocks_written_after_mount_become_visible_via_namenode_refresh() {
         &mut b,
         Box::new(VreadPath::new()),
         vec![
-            Op::Write { path: "/w".into(), bytes: 6 << 20 },
-            Op::Read { path: "/w".into(), offset: 0, len: 6 << 20 },
+            Op::Write {
+                path: "/w".into(),
+                bytes: 6 << 20,
+            },
+            Op::Read {
+                path: "/w".into(),
+                offset: 0,
+                len: 6 << 20,
+            },
         ],
     );
     assert_eq!(done.len(), 1);
@@ -285,7 +336,11 @@ fn stale_mount_falls_back_to_vanilla_and_still_delivers() {
     let done = run(
         &mut b,
         Box::new(VreadPath::new()),
-        vec![Op::Read { path: "/late".into(), offset: 0, len: 4 << 20 }],
+        vec![Op::Read {
+            path: "/late".into(),
+            offset: 0,
+            len: 4 << 20,
+        }],
     );
     assert_eq!(done[0].0, 4 << 20);
     assert!(b.w.metrics.counter("vread_fallbacks") >= 1.0);
@@ -304,7 +359,11 @@ fn remount_all_makes_late_blocks_visible() {
     let done = run(
         &mut b,
         Box::new(VreadPath::new()),
-        vec![Op::Read { path: "/late".into(), offset: 0, len: 4 << 20 }],
+        vec![Op::Read {
+            path: "/late".into(),
+            offset: 0,
+            len: 4 << 20,
+        }],
     );
     assert_eq!(done[0].0, 4 << 20);
     assert_eq!(b.w.metrics.counter("vread_fallbacks"), 0.0);
@@ -336,8 +395,16 @@ fn vread_partial_and_offset_reads() {
         &mut b,
         Box::new(VreadPath::new()),
         vec![
-            Op::Read { path: "/f".into(), offset: 3 << 20, len: 2 << 20 },
-            Op::Read { path: "/f".into(), offset: 7 << 20, len: 4 << 20 }, // truncated at EOF
+            Op::Read {
+                path: "/f".into(),
+                offset: 3 << 20,
+                len: 2 << 20,
+            },
+            Op::Read {
+                path: "/f".into(),
+                offset: 7 << 20,
+                len: 4 << 20,
+            }, // truncated at EOF
         ],
     );
     assert_eq!(done[0].0, 2 << 20);
@@ -348,7 +415,10 @@ fn vread_partial_and_offset_reads() {
 fn write_path_unaffected_by_vread_deployment() {
     // Fig 13: mount refresh must not hurt writes. Compare write latency
     // with and without vread deployed.
-    let script = vec![Op::Write { path: "/out".into(), bytes: 16 << 20 }];
+    let script = vec![Op::Write {
+        path: "/out".into(),
+        bytes: 16 << 20,
+    }];
     // without vread
     let mut w1 = World::new(23);
     let mut cl = Cluster::new(Costs::default());
@@ -360,7 +430,16 @@ fn write_path_unaffected_by_vread_deployment() {
     let t1 = {
         let done = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
         let client = add_client(&mut w1, client_vm, Box::new(VanillaPath::new()));
-        let app = w1.add_actor("app", App { client, script: script.clone(), next: 0, done, issued_at: SimTime::ZERO });
+        let app = w1.add_actor(
+            "app",
+            App {
+                client,
+                script: script.clone(),
+                next: 0,
+                done,
+                issued_at: SimTime::ZERO,
+            },
+        );
         w1.send_now(app, Start);
         w1.run();
         w1.now()

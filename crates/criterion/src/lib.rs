@@ -84,8 +84,7 @@ impl Criterion {
 
     /// Runs one benchmark (unless filtered out) and records the result.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        if !self.filters.is_empty() && !self.filters.iter().any(|flt| name.contains(flt.as_str()))
-        {
+        if !self.filters.is_empty() && !self.filters.iter().any(|flt| name.contains(flt.as_str())) {
             return self;
         }
         let mut b = Bencher {
@@ -154,7 +153,13 @@ fn fmt_ns(ns: f64) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -16,9 +16,9 @@ use vread_host::cluster::{with_cluster, Cluster, VmId};
 use vread_net::conn::{add_conn, ConnRecv, ConnSend, ConnSpec, Endpoint, Flavor, Side};
 use vread_sim::prelude::*;
 
+use crate::datanode::{DnReadReq, DnWriteChunk};
 use crate::meta::{BlockId, DatanodeIx, HdfsMeta, LocatedBlock};
 use crate::namenode::{NnAddBlock, NnBlockAllocated, NnGetLocations, NnLocations};
-use crate::datanode::{DnReadReq, DnWriteChunk};
 
 /// Size of a block-read request header on the wire.
 const READ_REQUEST_BYTES: u64 = 256;
@@ -210,9 +210,18 @@ impl VanillaPath {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: me, flavor: Flavor::Guest(vm) },
-                Endpoint { actor: dn_actor, flavor: Flavor::Guest(dn_vm) },
-                ConnSpec { sriov: cl.costs.sriov_nics, ..Default::default() },
+                Endpoint {
+                    actor: me,
+                    flavor: Flavor::Guest(vm),
+                },
+                Endpoint {
+                    actor: dn_actor,
+                    flavor: Flavor::Guest(dn_vm),
+                },
+                ConnSpec {
+                    sriov: cl.costs.sriov_nics,
+                    ..Default::default()
+                },
             )
         });
         self.conns.insert(dn.0, conn);
@@ -393,6 +402,7 @@ pub struct DfsClient {
     writes: HashMap<u64, WriteReq>,
     write_tags: HashMap<u64, u64>,
     write_conns: HashMap<usize, ActorId>,
+    m_bytes_read: LazyCounter,
 }
 
 /// Creates a DFSClient in `vm` using the given block read path.
@@ -410,6 +420,7 @@ pub fn add_client(w: &mut World, vm: VmId, path_impl: Box<dyn BlockReadPath>) ->
             writes: HashMap::new(),
             write_tags: HashMap::new(),
             write_conns: HashMap::new(),
+            m_bytes_read: LazyCounter::new("hdfs_bytes_read"),
         },
     )
 }
@@ -437,14 +448,24 @@ impl DfsClient {
     }
 
     fn client_cycles(&self, ctx: &Ctx<'_>, bytes: u64) -> u64 {
-        let c = &ctx.world.ext.get::<Cluster>().expect("Cluster missing").costs;
+        let c = &ctx
+            .world
+            .ext
+            .get::<Cluster>()
+            .expect("Cluster missing")
+            .costs;
         (bytes as f64 * self.path_impl.client_cyc_per_byte(c)).round() as u64
             + bytes.div_ceil(c.hdfs_packet_bytes).max(1) * 2_000
     }
 
     /// Write-side client cost (always the vanilla stack).
     fn write_cycles(ctx: &Ctx<'_>, bytes: u64) -> u64 {
-        let c = &ctx.world.ext.get::<Cluster>().expect("Cluster missing").costs;
+        let c = &ctx
+            .world
+            .ext
+            .get::<Cluster>()
+            .expect("Cluster missing")
+            .costs;
         (bytes as f64 * c.client_cyc_per_byte).round() as u64
             + bytes.div_ceil(c.hdfs_packet_bytes).max(1) * 2_000
     }
@@ -484,9 +505,7 @@ impl DfsClient {
                         .filter(|d| !tried.contains(d))
                         .collect();
                     if meta.topology_aware {
-                        candidates.sort_by_key(|&d| {
-                            cl.vm(meta.datanodes[d.0].vm).host != my_host
-                        });
+                        candidates.sort_by_key(|&d| cl.vm(meta.datanodes[d.0].vm).host != my_host);
                     }
                     candidates.first().copied()
                 };
@@ -515,7 +534,11 @@ impl DfsClient {
                     cl.costs.client_read_timeout_ms
                 };
                 ctx.timer(
-                    FetchTimeout { rid, token, progress_mark: mark },
+                    FetchTimeout {
+                        rid,
+                        token,
+                        progress_mark: mark,
+                    },
                     vread_sim::SimDuration::from_millis(timeout_ms),
                 );
                 (
@@ -544,7 +567,9 @@ impl DfsClient {
         for ev in events {
             match ev {
                 PathEvent::Chunk { token, bytes } => {
-                    let Some(&rid) = self.tokens.get(&token) else { continue };
+                    let Some(&rid) = self.tokens.get(&token) else {
+                        continue;
+                    };
                     if let Some(r) = self.reads.get_mut(&rid) {
                         r.processing += 1;
                     }
@@ -558,7 +583,9 @@ impl DfsClient {
                     );
                 }
                 PathEvent::Done { token } => {
-                    let Some(&rid) = self.tokens.get(&token) else { continue };
+                    let Some(&rid) = self.tokens.get(&token) else {
+                        continue;
+                    };
                     let advance = {
                         let r = self.reads.get_mut(&rid).expect("read vanished");
                         r.cur_token = None;
@@ -581,14 +608,16 @@ impl DfsClient {
 
     fn maybe_finish_read(&mut self, ctx: &mut Ctx<'_>, rid: u64) {
         let finished = {
-            let Some(r) = self.reads.get(&rid) else { return };
+            let Some(r) = self.reads.get(&rid) else {
+                return;
+            };
             r.all_sent && r.processing == 0
         };
         if finished {
             let r = self.reads.remove(&rid).expect("just checked");
             // release tokens for this read
             self.tokens.retain(|_, v| *v != rid);
-            ctx.metrics().add("hdfs_bytes_read", r.bytes_done as f64);
+            self.m_bytes_read.add(ctx.metrics(), r.bytes_done as f64);
             ctx.send(
                 r.app,
                 DfsReadDone {
@@ -647,9 +676,18 @@ impl DfsClient {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: me, flavor: Flavor::Guest(vm) },
-                Endpoint { actor: dn_actor, flavor: Flavor::Guest(dn_vm) },
-                ConnSpec { sriov: cl.costs.sriov_nics, ..Default::default() },
+                Endpoint {
+                    actor: me,
+                    flavor: Flavor::Guest(vm),
+                },
+                Endpoint {
+                    actor: dn_actor,
+                    flavor: Flavor::Guest(dn_vm),
+                },
+                ConnSpec {
+                    sriov: cl.costs.sriov_nics,
+                    ..Default::default()
+                },
             )
         });
         self.write_conns.insert(dn.0, conn);
@@ -665,7 +703,9 @@ impl DfsClient {
                 Finish,
             }
             let action = {
-                let Some(wr) = self.writes.get_mut(&rid) else { return };
+                let Some(wr) = self.writes.get_mut(&rid) else {
+                    return;
+                };
                 if wr.remaining == 0 && wr.inflight == 0 {
                     Next::Finish
                 } else if wr.remaining == 0 || wr.inflight >= WRITE_WINDOW {
@@ -736,7 +776,11 @@ impl DfsClient {
                     let vcpu = self.vcpu(ctx);
                     let cycles = Self::write_cycles(ctx, cpu.bytes);
                     let me = ctx.me();
-                    ctx.chain(vec![Stage::cpu(vcpu, cycles, CpuCategory::ClientApp)], me, cpu);
+                    ctx.chain(
+                        vec![Stage::cpu(vcpu, cycles, CpuCategory::ClientApp)],
+                        me,
+                        cpu,
+                    );
                 }
             }
         }
@@ -878,7 +922,8 @@ impl Actor for DfsClient {
                     Some(wr) => wr.path.clone(),
                     None => return,
                 };
-                let dn_actor = ctx.world.ext.get::<HdfsMeta>().expect("meta").datanodes[wc.dn.0].actor;
+                let dn_actor =
+                    ctx.world.ext.get::<HdfsMeta>().expect("meta").datanodes[wc.dn.0].actor;
                 ctx.send(
                     dn_actor,
                     DnWriteChunk {
@@ -908,7 +953,9 @@ impl Actor for DfsClient {
         // -- fetch watchdog -----------------------------------------------------
         let msg = match downcast::<FetchTimeout>(msg) {
             Ok(t) => {
-                let Some(r) = self.reads.get_mut(&t.rid) else { return };
+                let Some(r) = self.reads.get_mut(&t.rid) else {
+                    return;
+                };
                 if r.cur_token != Some(t.token) {
                     return; // fetch completed; stale watchdog
                 }
@@ -920,7 +967,11 @@ impl Actor for DfsClient {
                         cl.costs.client_read_timeout_ms
                     };
                     ctx.timer(
-                        FetchTimeout { rid: t.rid, token: t.token, progress_mark: mark },
+                        FetchTimeout {
+                            rid: t.rid,
+                            token: t.token,
+                            progress_mark: mark,
+                        },
                         vread_sim::SimDuration::from_millis(timeout_ms),
                     );
                     return;
@@ -942,9 +993,7 @@ impl Actor for DfsClient {
                         .filter(|d| !tried.contains(d))
                         .collect();
                     if meta.topology_aware {
-                        candidates.sort_by_key(|&d| {
-                            cl.vm(meta.datanodes[d.0].vm).host != my_host
-                        });
+                        candidates.sort_by_key(|&d| cl.vm(meta.datanodes[d.0].vm).host != my_host);
                     }
                     candidates.first().copied()
                 };
@@ -978,11 +1027,7 @@ impl Actor for DfsClient {
         // -- everything else belongs to the read path ----------------------------
         let shared = self.shared(ctx);
         let mut out = Vec::new();
-        if self
-            .path_impl
-            .on_msg(ctx, &shared, msg, &mut out)
-            .is_ok()
-        {
+        if self.path_impl.on_msg(ctx, &shared, msg, &mut out).is_ok() {
             self.process_events(ctx, out);
         }
     }

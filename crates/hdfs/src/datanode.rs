@@ -164,7 +164,10 @@ impl Datanode {
                     actor: next_actor,
                     flavor: vread_net::conn::Flavor::Guest(next_vm),
                 },
-                vread_net::conn::ConnSpec { sriov: cl.costs.sriov_nics, ..Default::default() },
+                vread_net::conn::ConnSpec {
+                    sriov: cl.costs.sriov_nics,
+                    ..Default::default()
+                },
             )
         });
         self.fwd_conns.insert(next.0, conn);
@@ -175,7 +178,9 @@ impl Datanode {
         let me = ctx.me();
         loop {
             let (offset, chunk) = {
-                let Some(st) = self.reads.get(&key) else { return };
+                let Some(st) = self.reads.get(&key) else {
+                    return;
+                };
                 if st.inflight >= READ_WINDOW || st.remaining == 0 {
                     break;
                 }
@@ -186,11 +191,10 @@ impl Datanode {
                 let st = self.reads.get(&key).expect("stream vanished");
                 let take = st.remaining.min(cl.costs.stream_chunk_bytes);
                 let vm = self.vm;
-                let fs_file = cl
-                    .vm(vm)
-                    .fs
-                    .lookup(&st.block.path())
-                    .unwrap_or_else(|| panic!("datanode missing block file {}", st.block.path()));
+                let fs_file =
+                    cl.vm(vm).fs.lookup(&st.block.path()).unwrap_or_else(|| {
+                        panic!("datanode missing block file {}", st.block.path())
+                    });
                 let extents = cl
                     .vm(vm)
                     .fs
@@ -208,7 +212,11 @@ impl Datanode {
                 }
                 let vcpu = cl.vm(vm).vcpu;
                 let setup = self.reads.get(&key).expect("stream").setup_pending;
-                let setup_cycles = if setup { cl.costs.dn_stream_setup_cycles } else { 0 };
+                let setup_cycles = if setup {
+                    cl.costs.dn_stream_setup_cycles
+                } else {
+                    0
+                };
                 stages.push(Stage::cpu(
                     vcpu,
                     Self::dn_cycles(cl, take) + setup_cycles,
@@ -292,8 +300,13 @@ impl Actor for Datanode {
                                 None => fs.create(&path).expect("fresh block file"),
                             };
                             let ext = fs.append(file, meta.bytes);
-                            let mut stages =
-                                guest_disk_write(cl, vm, ext.image_offset, meta.bytes, CpuCategory::DatanodeApp);
+                            let mut stages = guest_disk_write(
+                                cl,
+                                vm,
+                                ext.image_offset,
+                                meta.bytes,
+                                CpuCategory::DatanodeApp,
+                            );
                             let vcpu = cl.vm(vm).vcpu;
                             stages.push(Stage::cpu(
                                 vcpu,
@@ -352,9 +365,8 @@ impl Actor for Datanode {
                         // disambiguate streams from different upstreams
                         (self.ix.0 as u64) << 48 | self.next_tag
                     });
-                    let next_actor = ctx.world.ext.get::<HdfsMeta>().expect("meta").datanodes
-                        [next.0]
-                        .actor;
+                    let next_actor =
+                        ctx.world.ext.get::<HdfsMeta>().expect("meta").datanodes[next.0].actor;
                     ctx.send(
                         next_actor,
                         DnWriteChunk {

@@ -126,7 +126,11 @@ impl HdfsMeta {
 
     /// Appends a located block to a file's metadata (creating the file).
     pub fn add_block(&mut self, path: &str, block: LocatedBlock) {
-        self.files.entry(path.to_owned()).or_default().blocks.push(block);
+        self.files
+            .entry(path.to_owned())
+            .or_default()
+            .blocks
+            .push(block);
     }
 
     /// File metadata, if the file exists.

@@ -62,9 +62,7 @@ pub fn populate_file(w: &mut World, path: &str, bytes: u64, placement: &Placemen
         for &dn in &replicas {
             let vm = meta.datanodes[dn.0].vm;
             let fs = &mut cl.vm_mut(vm).fs;
-            let file = fs
-                .create(&block.path())
-                .expect("fresh block path collided");
+            let file = fs.create(&block.path()).expect("fresh block path collided");
             fs.append(file, len);
         }
         meta.add_block(

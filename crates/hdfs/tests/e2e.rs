@@ -34,11 +34,23 @@ impl App {
         match self.script[self.next].clone() {
             Req::Read { path, offset, len } => ctx.send(
                 self.client,
-                DfsRead { req, reply_to: me, path, offset, len, pread: false },
+                DfsRead {
+                    req,
+                    reply_to: me,
+                    path,
+                    offset,
+                    len,
+                    pread: false,
+                },
             ),
             Req::Write { path, bytes } => ctx.send(
                 self.client,
-                DfsWrite { req, reply_to: me, path, bytes },
+                DfsWrite {
+                    req,
+                    reply_to: me,
+                    path,
+                    bytes,
+                },
             ),
         }
         self.next += 1;
@@ -119,7 +131,11 @@ fn colocated_read_delivers_exact_bytes() {
     populate_file(&mut tb.w, "/f", 8 << 20, &Placement::One(tb.dn_local));
     let done = run_script(
         &mut tb,
-        vec![Req::Read { path: "/f".into(), offset: 0, len: 8 << 20 }],
+        vec![Req::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 8 << 20,
+        }],
     );
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].1, 8 << 20);
@@ -132,7 +148,11 @@ fn read_beyond_eof_truncates() {
     populate_file(&mut tb.w, "/f", 1 << 20, &Placement::One(tb.dn_local));
     let done = run_script(
         &mut tb,
-        vec![Req::Read { path: "/f".into(), offset: 512 << 10, len: 10 << 20 }],
+        vec![Req::Read {
+            path: "/f".into(),
+            offset: 512 << 10,
+            len: 10 << 20,
+        }],
     );
     assert_eq!(done[0].1, 512 << 10);
 }
@@ -142,7 +162,11 @@ fn missing_file_reads_zero_bytes() {
     let mut tb = testbed(64);
     let done = run_script(
         &mut tb,
-        vec![Req::Read { path: "/nope".into(), offset: 0, len: 1024 }],
+        vec![Req::Read {
+            path: "/nope".into(),
+            offset: 0,
+            len: 1024,
+        }],
     );
     assert_eq!(done[0].1, 0);
 }
@@ -159,7 +183,11 @@ fn read_spans_multiple_blocks_and_datanodes() {
     // read [0.5MB, 3.5MB): touches blocks 0..=3 on both datanodes
     let done = run_script(
         &mut tb,
-        vec![Req::Read { path: "/f".into(), offset: 512 << 10, len: 3 << 20 }],
+        vec![Req::Read {
+            path: "/f".into(),
+            offset: 512 << 10,
+            len: 3 << 20,
+        }],
     );
     assert_eq!(done[0].1, 3 << 20);
 }
@@ -171,8 +199,16 @@ fn reread_is_faster_than_cold_read() {
     let done = run_script(
         &mut tb,
         vec![
-            Req::Read { path: "/f".into(), offset: 0, len: 16 << 20 },
-            Req::Read { path: "/f".into(), offset: 0, len: 16 << 20 },
+            Req::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: 16 << 20,
+            },
+            Req::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: 16 << 20,
+            },
         ],
     );
     let cold = done[0].2;
@@ -190,7 +226,11 @@ fn warmed_file_reads_like_reread() {
     warm_file(&mut tb.w, "/f");
     let done = run_script(
         &mut tb,
-        vec![Req::Read { path: "/f".into(), offset: 0, len: 16 << 20 }],
+        vec![Req::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 16 << 20,
+        }],
     );
     // 16MB from guest cache: no disk time at all; at 300MB/s the disk
     // alone would need ~53ms
@@ -205,8 +245,16 @@ fn remote_read_slower_than_colocated() {
     let done = run_script(
         &mut tb,
         vec![
-            Req::Read { path: "/local".into(), offset: 0, len: 8 << 20 },
-            Req::Read { path: "/remote".into(), offset: 0, len: 8 << 20 },
+            Req::Read {
+                path: "/local".into(),
+                offset: 0,
+                len: 8 << 20,
+            },
+            Req::Read {
+                path: "/remote".into(),
+                offset: 0,
+                len: 8 << 20,
+            },
         ],
     );
     assert!(
@@ -223,8 +271,15 @@ fn write_then_read_roundtrip() {
     let done = run_script(
         &mut tb,
         vec![
-            Req::Write { path: "/out".into(), bytes: (4 << 20) + 123 },
-            Req::Read { path: "/out".into(), offset: 0, len: 8 << 20 },
+            Req::Write {
+                path: "/out".into(),
+                bytes: (4 << 20) + 123,
+            },
+            Req::Read {
+                path: "/out".into(),
+                offset: 0,
+                len: 8 << 20,
+            },
         ],
     );
     assert_eq!(done.len(), 2);
@@ -241,11 +296,17 @@ fn topology_aware_write_lands_on_colocated_datanode() {
     let mut tb = testbed(1);
     let _ = run_script(
         &mut tb,
-        vec![Req::Write { path: "/out".into(), bytes: 3 << 20 }],
+        vec![Req::Write {
+            path: "/out".into(),
+            bytes: 3 << 20,
+        }],
     );
     let meta = tb.w.ext.get::<HdfsMeta>().unwrap();
     for b in &meta.file("/out").unwrap().blocks {
-        assert_eq!(b.replicas[0], tb.dn_local, "HVE placement prefers co-located");
+        assert_eq!(
+            b.replicas[0], tb.dn_local,
+            "HVE placement prefers co-located"
+        );
     }
 }
 
@@ -255,7 +316,11 @@ fn vanilla_read_charges_expected_categories() {
     populate_file(&mut tb.w, "/f", 4 << 20, &Placement::One(tb.dn_local));
     let _ = run_script(
         &mut tb,
-        vec![Req::Read { path: "/f".into(), offset: 0, len: 4 << 20 }],
+        vec![Req::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 4 << 20,
+        }],
     );
     let (client_vcpu, dn_vcpu, dn_vhost) = {
         let cl = tb.w.ext.get::<Cluster>().unwrap();
@@ -274,5 +339,8 @@ fn vanilla_read_charges_expected_categories() {
     assert!(a.cycles(dn_vhost.index(), CpuCategory::CopyVirtioVqueue) > 0.0);
     assert!(a.cycles(dn_vcpu.index(), CpuCategory::DiskRead) > 0.0);
     // no vRead machinery on the vanilla path
-    assert_eq!(a.cycles(client_vcpu.index(), CpuCategory::CopyVreadBuffer), 0.0);
+    assert_eq!(
+        a.cycles(client_vcpu.index(), CpuCategory::CopyVreadBuffer),
+        0.0
+    );
 }

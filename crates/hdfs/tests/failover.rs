@@ -18,7 +18,14 @@ impl Actor for Rd {
             let me = ctx.me();
             ctx.send(
                 self.client,
-                DfsRead { req: 1, reply_to: me, path: "/f".into(), offset: 0, len: self.len, pread: false },
+                DfsRead {
+                    req: 1,
+                    reply_to: me,
+                    path: "/f".into(),
+                    offset: 0,
+                    len: self.len,
+                    pread: false,
+                },
             );
         } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
             self.got.set(d.bytes);
@@ -44,7 +51,14 @@ fn bed() -> (World, VmId, ActorId, ActorId) {
 fn read(w: &mut World, client_vm: VmId, len: u64) -> u64 {
     let client = add_client(w, client_vm, Box::new(VanillaPath::new()));
     let got = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
-    let a = w.add_actor("rd", Rd { client, len, got: got.clone() });
+    let a = w.add_actor(
+        "rd",
+        Rd {
+            client,
+            len,
+            got: got.clone(),
+        },
+    );
     w.send_now(a, Start);
     w.run();
     got.get()
@@ -73,7 +87,12 @@ fn crashed_primary_fails_over_to_replica() {
 #[test]
 fn crash_with_no_replica_returns_partial() {
     let (mut w, client_vm, dn1_actor, _) = bed();
-    populate_file(&mut w, "/f", 4 << 20, &Placement::One(vread_hdfs::DatanodeIx(0)));
+    populate_file(
+        &mut w,
+        "/f",
+        4 << 20,
+        &Placement::One(vread_hdfs::DatanodeIx(0)),
+    );
     w.remove_actor(dn1_actor);
     let got = read(&mut w, client_vm, 4 << 20);
     // all replicas exhausted: the read completes with what arrived (0)
@@ -110,7 +129,14 @@ fn mid_stream_crash_recovers_remaining_blocks() {
     );
     let client = add_client(&mut w, client_vm, Box::new(VanillaPath::new()));
     let got = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
-    let a = w.add_actor("rd", Rd { client, len: 8 << 20, got: got.clone() });
+    let a = w.add_actor(
+        "rd",
+        Rd {
+            client,
+            len: 8 << 20,
+            got: got.clone(),
+        },
+    );
     w.send_now(a, Start);
     // let the first block stream, then crash the primary
     w.run_until(SimTime::from_nanos(8_000_000));

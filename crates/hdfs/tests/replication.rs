@@ -19,13 +19,25 @@ impl Actor for App {
         if msg.is::<Start>() {
             ctx.send(
                 self.client,
-                DfsWrite { req: 1, reply_to: me, path: "/r".into(), bytes: 5 << 20 },
+                DfsWrite {
+                    req: 1,
+                    reply_to: me,
+                    path: "/r".into(),
+                    bytes: 5 << 20,
+                },
             );
         } else if msg.is::<DfsWriteDone>() {
             self.wrote = true;
             ctx.send(
                 self.client,
-                DfsRead { req: 2, reply_to: me, path: "/r".into(), offset: 0, len: 5 << 20, pread: false },
+                DfsRead {
+                    req: 2,
+                    reply_to: me,
+                    path: "/r".into(),
+                    offset: 0,
+                    len: 5 << 20,
+                    pread: false,
+                },
             );
         } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
             self.read_bytes.set(d.bytes);
@@ -55,7 +67,11 @@ fn run(replication: usize) -> (World, u64, VmId, VmId) {
     let read_bytes = std::rc::Rc::new(std::cell::Cell::new(0));
     let app = w.add_actor(
         "app",
-        App { client, wrote: false, read_bytes: read_bytes.clone() },
+        App {
+            client,
+            wrote: false,
+            read_bytes: read_bytes.clone(),
+        },
     );
     w.send_now(app, Start);
     w.run();
@@ -147,17 +163,34 @@ fn reads_can_use_either_replica() {
                 let me = ctx.me();
                 ctx.send(
                     self.client,
-                    DfsRead { req: 9, reply_to: me, path: "/r".into(), offset: 0, len: 5 << 20, pread: false },
+                    DfsRead {
+                        req: 9,
+                        reply_to: me,
+                        path: "/r".into(),
+                        offset: 0,
+                        len: 5 << 20,
+                        pread: false,
+                    },
                 );
             } else if let Ok(d) = downcast::<DfsReadDone>(msg) {
                 self.read_bytes.set(d.bytes);
             }
         }
     }
-    let app = w.add_actor("rd", Rd { client, read_bytes: read_bytes.clone() });
+    let app = w.add_actor(
+        "rd",
+        Rd {
+            client,
+            read_bytes: read_bytes.clone(),
+        },
+    );
     w.send_now(app, Start);
     w.run();
-    assert_eq!(read_bytes.get(), 5 << 20, "read served from the second replica");
+    assert_eq!(
+        read_bytes.get(),
+        5 << 20,
+        "read served from the second replica"
+    );
     // dn2's VM did datanode work this time
     let cl = w.ext.get::<Cluster>().unwrap();
     let dn2_vcpu = cl.vm(dn2).vcpu;

@@ -180,7 +180,12 @@ fn written_replicas_exist_on_both_datanodes() {
     let written = std::rc::Rc::new(std::cell::Cell::new(0u32));
     let a = w.add_actor(
         "writer",
-        LoopWriter { client, files: 2, bytes: 3 << 20, written: written.clone() },
+        LoopWriter {
+            client,
+            files: 2,
+            bytes: 3 << 20,
+            written: written.clone(),
+        },
     );
     w.send_now(a, Start);
     w.run();

@@ -213,7 +213,7 @@ mod tests {
         c.insert_range(obj(1), 0, 4096); // chunk 0
         c.insert_range(obj(1), 4096, 4096); // chunk 1
         c.insert_range(obj(1), 8192, 4096); // chunk 2
-        // touch chunk 0 so chunk 1 is LRU
+                                            // touch chunk 0 so chunk 1 is LRU
         assert_eq!(c.missing_bytes(obj(1), 0, 4096), 0);
         c.insert_range(obj(1), 12288, 4096); // chunk 3 evicts chunk 1
         assert!(c.covers(obj(1), 0, 4096));

@@ -200,8 +200,8 @@ impl Default for Costs {
             lan_latency_ns: 30_000,
             sriov_nics: false,
             client_read_timeout_ms: 2_000,
-            guest_cache_bytes: 1 << 30,        // 1 GiB
-            host_cache_bytes: 12 * (1 << 30),  // 12 GiB
+            guest_cache_bytes: 1 << 30,       // 1 GiB
+            host_cache_bytes: 12 * (1 << 30), // 12 GiB
             cache_chunk_bytes: 64 * 1024,
             stream_chunk_bytes: 256 * 1024,
         }

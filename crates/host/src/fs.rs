@@ -339,8 +339,20 @@ mod tests {
         f.append(a, 1000); // a: [2000,3000)
         let exts = f.resolve(a, 500, 1000).unwrap();
         assert_eq!(exts.len(), 2);
-        assert_eq!(exts[0], Extent { image_offset: 500, len: 500 });
-        assert_eq!(exts[1], Extent { image_offset: 2000, len: 500 });
+        assert_eq!(
+            exts[0],
+            Extent {
+                image_offset: 500,
+                len: 500
+            }
+        );
+        assert_eq!(
+            exts[1],
+            Extent {
+                image_offset: 2000,
+                len: 500
+            }
+        );
     }
 
     #[test]

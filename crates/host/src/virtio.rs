@@ -167,7 +167,13 @@ mod tests {
         let _ = guest_disk_read(&mut cl, vm, 0, 65536, CpuCategory::ClientApp);
         let stages = guest_disk_read(&mut cl, vm, 0, 65536, CpuCategory::ClientApp);
         assert_eq!(stages.len(), 1, "guest-cache hit short-circuits virtio");
-        assert!(matches!(stages[0], Stage::Cpu { cat: CpuCategory::ClientApp, .. }));
+        assert!(matches!(
+            stages[0],
+            Stage::Cpu {
+                cat: CpuCategory::ClientApp,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -202,8 +208,7 @@ mod tests {
         else {
             panic!("no disk stage");
         };
-        let expect =
-            (100_000.0 * cl.costs.ssd_bw_bps / cl.costs.ssd_write_bw_bps).round() as u64;
+        let expect = (100_000.0 * cl.costs.ssd_bw_bps / cl.costs.ssd_write_bw_bps).round() as u64;
         assert_eq!(*bytes, expect);
     }
 

@@ -17,10 +17,16 @@ enum CacheOp {
 
 fn cache_op() -> impl Strategy<Value = CacheOp> {
     prop_oneof![
-        (0u64..3, 0u64..1 << 16, 1u64..1 << 14)
-            .prop_map(|(obj, off, len)| CacheOp::Insert { obj, off, len }),
-        (0u64..3, 0u64..1 << 16, 1u64..1 << 14)
-            .prop_map(|(obj, off, len)| CacheOp::Query { obj, off, len }),
+        (0u64..3, 0u64..1 << 16, 1u64..1 << 14).prop_map(|(obj, off, len)| CacheOp::Insert {
+            obj,
+            off,
+            len
+        }),
+        (0u64..3, 0u64..1 << 16, 1u64..1 << 14).prop_map(|(obj, off, len)| CacheOp::Query {
+            obj,
+            off,
+            len
+        }),
         (0u64..3).prop_map(|obj| CacheOp::EvictObj { obj }),
         Just(CacheOp::Clear),
     ]

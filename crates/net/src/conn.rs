@@ -257,7 +257,11 @@ impl Conn {
                     // memory — no vhost, no host stack.
                 } else {
                     // vhost: kick handling + guest->host vqueue copy
-                    st.push(Stage::cpu(snd.vhost, c.vhost_kick_cycles, CpuCategory::VhostNet));
+                    st.push(Stage::cpu(
+                        snd.vhost,
+                        c.vhost_kick_cycles,
+                        CpuCategory::VhostNet,
+                    ));
                     st.push(Stage::cpu(
                         snd.vhost,
                         c.copy_cycles(bytes),
@@ -295,7 +299,11 @@ impl Conn {
                 if sriov_direct {
                     // VF delivers into guest memory; only the interrupt
                     // (posted via the IOMMU) costs anything.
-                    st.push(Stage::cpu(rcv.vcpu, c.irq_inject_cycles / 2, CpuCategory::Other));
+                    st.push(Stage::cpu(
+                        rcv.vcpu,
+                        c.irq_inject_cycles / 2,
+                        CpuCategory::Other,
+                    ));
                 } else {
                     if self.inter_host {
                         st.push(Stage::cpu(
@@ -310,7 +318,11 @@ impl Conn {
                         c.copy_cycles(bytes),
                         CpuCategory::CopyVirtioVqueue,
                     ));
-                    st.push(Stage::cpu(rcv.vhost, c.irq_inject_cycles, CpuCategory::VhostNet));
+                    st.push(Stage::cpu(
+                        rcv.vhost,
+                        c.irq_inject_cycles,
+                        CpuCategory::VhostNet,
+                    ));
                 }
                 // guest TCP rx + kernel->app copy
                 st.push(Stage::cpu(
@@ -438,7 +450,13 @@ impl Actor for Conn {
                     },
                 );
                 if m.notify {
-                    ctx.send(self.ends[six].actor, ConnSent { conn: me, tag: m.tag });
+                    ctx.send(
+                        self.ends[six].actor,
+                        ConnSent {
+                            conn: me,
+                            tag: m.tag,
+                        },
+                    );
                 }
             }
             self.pump(six, ctx);
@@ -499,20 +517,45 @@ mod tests {
     #[test]
     fn intra_host_delivery_and_categories() {
         let (mut w, vma, vmb) = two_vm_world();
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
                 ConnSpec::default(),
             )
         });
         w.send_now(
             conn,
-            ConnSend { dir: Side::A, bytes: 1 << 20, tag: 42, notify: true },
+            ConnSend {
+                dir: Side::A,
+                bytes: 1 << 20,
+                tag: 42,
+                notify: true,
+            },
         );
         w.run();
         // delivered + acked
@@ -521,8 +564,16 @@ mod tests {
             (cl.vm(vma).vhost, cl.vm(vmb).vhost)
         };
         // vqueue copies charged on both vhost threads
-        assert!(w.acct.cycles(vma_vhost.index(), CpuCategory::CopyVirtioVqueue) > 0.0);
-        assert!(w.acct.cycles(vmb_vhost.index(), CpuCategory::CopyVirtioVqueue) > 0.0);
+        assert!(
+            w.acct
+                .cycles(vma_vhost.index(), CpuCategory::CopyVirtioVqueue)
+                > 0.0
+        );
+        assert!(
+            w.acct
+                .cycles(vmb_vhost.index(), CpuCategory::CopyVirtioVqueue)
+                > 0.0
+        );
         // no physical-NIC TCP on the intra-host path
         assert_eq!(w.acct.cycles(vma_vhost.index(), CpuCategory::HostTcp), 0.0);
         assert_eq!(w.metrics.samples("recv_ms").unwrap().count(), 1);
@@ -548,14 +599,28 @@ mod tests {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
                 ConnSpec::default(),
             )
         });
         // several messages, including one spanning many chunks
         for (tag, bytes) in [(1u64, 100u64), (2, 5 << 20), (3, 4096)] {
-            w.send_now(conn, ConnSend { dir: Side::A, bytes, tag, notify: false });
+            w.send_now(
+                conn,
+                ConnSend {
+                    dir: Side::A,
+                    bytes,
+                    tag,
+                    notify: false,
+                },
+            );
         }
         w.run();
         assert_eq!(*got.borrow(), vec![(1, 100), (2, 5 << 20), (3, 4096)]);
@@ -564,18 +629,46 @@ mod tests {
     #[test]
     fn rpc_round_trip_echo() {
         let (mut w, vma, vmb) = two_vm_world();
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: true, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: true,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
                 ConnSpec::default(),
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 32 * 1024, tag: 9, notify: false });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 32 * 1024,
+                tag: 9,
+                notify: false,
+            },
+        );
         w.run();
         // Two receive events: B got the request, A got the echo.
         assert_eq!(w.metrics.samples("recv_ms").unwrap().count(), 2);
@@ -594,20 +687,51 @@ mod tests {
         let vmb = cl.add_vm(&mut w, h2, "vmB");
         let nic1 = cl.hosts[h1.0].nic;
         w.ext.insert(cl);
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
                 ConnSpec::default(),
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 1 << 20, tag: 1, notify: false });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 1 << 20,
+                tag: 1,
+                notify: false,
+            },
+        );
         w.run();
-        assert!(w.link(nic1).bytes_total >= 1 << 20, "payload crossed the NIC");
+        assert!(
+            w.link(nic1).bytes_total >= 1 << 20,
+            "payload crossed the NIC"
+        );
         let cl = w.ext.get::<Cluster>().unwrap();
         let vhost_a = cl.vm(vma).vhost;
         assert!(w.acct.cycles(vhost_a.index(), CpuCategory::HostTcp) > 0.0);
@@ -622,18 +746,46 @@ mod tests {
         let d1 = w.add_thread(cl.hosts[h1.0].host, "daemon1");
         let d2 = w.add_thread(cl.hosts[h2.0].host, "daemon2");
         w.ext.insert(cl);
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Rdma { thread: d1 } },
-                Endpoint { actor: pb, flavor: Flavor::Rdma { thread: d2 } },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Rdma { thread: d1 },
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Rdma { thread: d2 },
+                },
                 ConnSpec::default(),
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 16 << 20, tag: 5, notify: false });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 16 << 20,
+                tag: 5,
+                notify: false,
+            },
+        );
         w.run();
         // 16 MB over RDMA: tiny CPU (only per-WR costs, no per-byte work)
         let cpu = w.acct.total_cycles(d1.index()) + w.acct.total_cycles(d2.index());
@@ -651,25 +803,64 @@ mod tests {
         let vma = cl.add_vm(&mut w, h1, "vmA");
         let vmb = cl.add_vm(&mut w, h2, "vmB");
         w.ext.insert(cl);
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
-                ConnSpec { sriov: true, ..Default::default() },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
+                ConnSpec {
+                    sriov: true,
+                    ..Default::default()
+                },
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 4 << 20, tag: 1, notify: false });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 4 << 20,
+                tag: 1,
+                notify: false,
+            },
+        );
         w.run();
         let cl = w.ext.get::<Cluster>().unwrap();
         let (vhost_a, vhost_b, nic1) = (cl.vm(vma).vhost, cl.vm(vmb).vhost, cl.hosts[0].nic);
         // no vhost copies or host TCP on either side; payload still
         // crossed the physical link
-        assert_eq!(w.acct.cycles(vhost_a.index(), CpuCategory::CopyVirtioVqueue), 0.0);
-        assert_eq!(w.acct.cycles(vhost_b.index(), CpuCategory::CopyVirtioVqueue), 0.0);
+        assert_eq!(
+            w.acct
+                .cycles(vhost_a.index(), CpuCategory::CopyVirtioVqueue),
+            0.0
+        );
+        assert_eq!(
+            w.acct
+                .cycles(vhost_b.index(), CpuCategory::CopyVirtioVqueue),
+            0.0
+        );
         assert_eq!(w.acct.cycles(vhost_a.index(), CpuCategory::HostTcp), 0.0);
         assert!(w.link(nic1).bytes_total >= 4 << 20);
         assert_eq!(w.metrics.samples("recv_ms").unwrap().count(), 1);
@@ -678,41 +869,108 @@ mod tests {
     #[test]
     fn sriov_does_not_change_the_intra_host_path() {
         let (mut w, vma, vmb) = two_vm_world();
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
-                ConnSpec { sriov: true, ..Default::default() },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
+                ConnSpec {
+                    sriov: true,
+                    ..Default::default()
+                },
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 1 << 20, tag: 1, notify: false });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 1 << 20,
+                tag: 1,
+                notify: false,
+            },
+        );
         w.run();
         // the paper's §6 point: device assignment does not help inter-VM
         // traffic on the same host — the vhost copies remain
         let cl = w.ext.get::<Cluster>().unwrap();
         let vhost_a = cl.vm(vma).vhost;
-        assert!(w.acct.cycles(vhost_a.index(), CpuCategory::CopyVirtioVqueue) > 0.0);
+        assert!(
+            w.acct
+                .cycles(vhost_a.index(), CpuCategory::CopyVirtioVqueue)
+                > 0.0
+        );
     }
 
     #[test]
     fn window_limits_inflight_chunks() {
         let (mut w, vma, vmb) = two_vm_world();
-        let pa = w.add_actor("pa", Probe { echo: false, recvd: vec![], acks: vec![] });
-        let pb = w.add_actor("pb", Probe { echo: false, recvd: vec![], acks: vec![] });
+        let pa = w.add_actor(
+            "pa",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
+        let pb = w.add_actor(
+            "pb",
+            Probe {
+                echo: false,
+                recvd: vec![],
+                acks: vec![],
+            },
+        );
         let conn = with_cluster(&mut w, |cl, w| {
             add_conn(
                 w,
                 cl,
-                Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-                Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
-                ConnSpec { window_chunks: 2, chunk_bytes: 64 * 1024, sriov: false },
+                Endpoint {
+                    actor: pa,
+                    flavor: Flavor::Guest(vma),
+                },
+                Endpoint {
+                    actor: pb,
+                    flavor: Flavor::Guest(vmb),
+                },
+                ConnSpec {
+                    window_chunks: 2,
+                    chunk_bytes: 64 * 1024,
+                    sriov: false,
+                },
             )
         });
-        w.send_now(conn, ConnSend { dir: Side::A, bytes: 10 << 20, tag: 1, notify: true });
+        w.send_now(
+            conn,
+            ConnSend {
+                dir: Side::A,
+                bytes: 10 << 20,
+                tag: 1,
+                notify: true,
+            },
+        );
         // Run a tiny bit and check we didn't schedule all 160 chunks at once:
         // at most window(2) chains exist besides the handshake.
         w.run_for(SimDuration::from_micros(1));

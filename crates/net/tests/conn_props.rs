@@ -39,15 +39,45 @@ fn bidirectional_traffic_does_not_interfere() {
         add_conn(
             w,
             cl,
-            Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-            Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+            Endpoint {
+                actor: pa,
+                flavor: Flavor::Guest(vma),
+            },
+            Endpoint {
+                actor: pb,
+                flavor: Flavor::Guest(vmb),
+            },
             ConnSpec::default(),
         )
     });
     // simultaneous full-duplex streams
-    w.send_now(conn, ConnSend { dir: Side::A, bytes: 3 << 20, tag: 1, notify: false });
-    w.send_now(conn, ConnSend { dir: Side::B, bytes: 2 << 20, tag: 2, notify: false });
-    w.send_now(conn, ConnSend { dir: Side::A, bytes: 1 << 20, tag: 3, notify: false });
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::A,
+            bytes: 3 << 20,
+            tag: 1,
+            notify: false,
+        },
+    );
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::B,
+            bytes: 2 << 20,
+            tag: 2,
+            notify: false,
+        },
+    );
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::A,
+            bytes: 1 << 20,
+            tag: 3,
+            notify: false,
+        },
+    );
     w.run();
     let got = got.borrow();
     // B received A's two messages in order; A received B's one
@@ -57,7 +87,10 @@ fn bidirectional_traffic_does_not_interfere() {
         to_b.iter().map(|(_, t, b)| (*t, *b)).collect::<Vec<_>>(),
         vec![(1, 3 << 20), (3, 1 << 20)]
     );
-    assert_eq!(to_a.iter().map(|(_, t, b)| (*t, *b)).collect::<Vec<_>>(), vec![(2, 2 << 20)]);
+    assert_eq!(
+        to_a.iter().map(|(_, t, b)| (*t, *b)).collect::<Vec<_>>(),
+        vec![(2, 2 << 20)]
+    );
 }
 
 #[test]
@@ -72,15 +105,29 @@ fn guest_to_hostuser_endpoint_works() {
         add_conn(
             w,
             cl,
-            Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
+            Endpoint {
+                actor: pa,
+                flavor: Flavor::Guest(vma),
+            },
             Endpoint {
                 actor: pb,
-                flavor: Flavor::HostUser { thread: host_thread, cat: CpuCategory::VreadNet },
+                flavor: Flavor::HostUser {
+                    thread: host_thread,
+                    cat: CpuCategory::VreadNet,
+                },
             },
             ConnSpec::default(),
         )
     });
-    w.send_now(conn, ConnSend { dir: Side::A, bytes: 1 << 20, tag: 7, notify: false });
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::A,
+            bytes: 1 << 20,
+            tag: 7,
+            notify: false,
+        },
+    );
     w.run();
     assert_eq!(got.borrow().len(), 1);
     assert!(w.acct.cycles(host_thread.index(), CpuCategory::VreadNet) > 0.0);
@@ -96,13 +143,27 @@ fn handshake_charged_once_per_direction() {
         add_conn(
             w,
             cl,
-            Endpoint { actor: pa, flavor: Flavor::Guest(vma) },
-            Endpoint { actor: pb, flavor: Flavor::Guest(vmb) },
+            Endpoint {
+                actor: pa,
+                flavor: Flavor::Guest(vma),
+            },
+            Endpoint {
+                actor: pb,
+                flavor: Flavor::Guest(vmb),
+            },
             ConnSpec::default(),
         )
     });
     // 1-byte messages isolate fixed costs
-    w.send_now(conn, ConnSend { dir: Side::A, bytes: 1, tag: 1, notify: false });
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::A,
+            bytes: 1,
+            tag: 1,
+            notify: false,
+        },
+    );
     w.run();
     let (vcpu_a, setup) = {
         let cl = w.ext.get::<Cluster>().unwrap();
@@ -110,7 +171,15 @@ fn handshake_charged_once_per_direction() {
     };
     let after_first = w.acct.cycles(vcpu_a.index(), CpuCategory::GuestTcp);
     assert!(after_first >= setup, "first send pays the handshake");
-    w.send_now(conn, ConnSend { dir: Side::A, bytes: 1, tag: 2, notify: false });
+    w.send_now(
+        conn,
+        ConnSend {
+            dir: Side::A,
+            bytes: 1,
+            tag: 2,
+            notify: false,
+        },
+    );
     w.run();
     let after_second = w.acct.cycles(vcpu_a.index(), CpuCategory::GuestTcp);
     assert!(

@@ -171,9 +171,9 @@ macro_rules! tuple_strategy {
     };
 }
 
-tuple_strategy!(A/0, B/1);
-tuple_strategy!(A/0, B/1, C/2);
-tuple_strategy!(A/0, B/1, C/2, D/3);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
 
 /// `&str` patterns are interpreted as a tiny regex subset — sequences of
 /// literal characters and character classes `[a-z0-9]`, each optionally
@@ -448,7 +448,10 @@ mod tests {
         for _ in 0..100 {
             let s = "[a-z]{1,6}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 6, "bad len: {s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()),
+                "bad chars: {s:?}"
+            );
         }
     }
 
@@ -479,7 +482,7 @@ mod tests {
         #[test]
         fn the_macro_itself_runs(x in 0u64..100, pair in (0u8..2, 1u32..5)) {
             prop_assert!(x < 100);
-            prop_assert_eq!(pair.0 as u32 * 0, 0u32);
+            prop_assert!(pair.0 < 2 && (1..5).contains(&pair.1));
         }
     }
 }

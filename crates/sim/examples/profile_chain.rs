@@ -1,0 +1,49 @@
+//! Wall-clock probe of the chain/scheduler path (mirrors the
+//! `engine/chain_5stage_x2000` bench): 2000 five-stage CPU chains over
+//! 5 threads on a 4-core host. Prints best-of-N ns/event.
+
+use std::time::Instant;
+
+use vread_sim::prelude::*;
+
+struct Fin;
+struct Sink;
+impl Actor for Sink {
+    fn handle(&mut self, _msg: BoxMsg, _ctx: &mut Ctx<'_>) {}
+}
+
+fn build() -> World {
+    let mut w = World::new(1);
+    let h = w.add_host("h", 4, 2.0);
+    let ts: Vec<ThreadId> = (0..5).map(|i| w.add_thread(h, &format!("t{i}"))).collect();
+    let sink = w.add_actor("sink", Sink);
+    for _ in 0..2000 {
+        let st: Vec<Stage> = ts
+            .iter()
+            .map(|&t| Stage::cpu(t, 10_000, CpuCategory::Other))
+            .collect();
+        w.start_chain(st, sink, Fin);
+    }
+    w
+}
+
+fn main() {
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..30 {
+        let mut w = build();
+        let t0 = Instant::now();
+        w.run();
+        let dt = t0.elapsed().as_nanos() as f64;
+        events = w.events_processed();
+        if dt < best {
+            best = dt;
+        }
+    }
+    println!(
+        "chain: {:.0} ns total, {} events, {:.2} ns/event (best of 30)",
+        best,
+        events,
+        best / events as f64
+    );
+}

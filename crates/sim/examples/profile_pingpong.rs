@@ -1,0 +1,45 @@
+//! Ad-hoc throughput probe for the engine's serial message hot path.
+//!
+//! Runs the same workload as the `engine/message_pingpong_100k` bench in a
+//! flat loop, printing ns/event — handy for quick A/B timing without the
+//! bench harness.
+
+use std::time::Instant;
+
+use vread_sim::prelude::*;
+
+struct PingPong {
+    left: u32,
+}
+
+struct Ball;
+
+impl Actor for PingPong {
+    fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
+        if msg.is::<Start>() || msg.is::<Ball>() {
+            if self.left == 0 {
+                return;
+            }
+            self.left -= 1;
+            let me = ctx.me();
+            ctx.send(me, Ball);
+        }
+    }
+}
+
+fn main() {
+    const EVENTS: u32 = 1_000_000;
+    const ROUNDS: usize = 30;
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let mut w = World::new(1);
+        let a = w.add_actor("a", PingPong { left: EVENTS });
+        w.send_now(a, Start);
+        let t = Instant::now();
+        w.run();
+        let ns = t.elapsed().as_nanos() as f64 / f64::from(EVENTS);
+        assert_eq!(w.events_processed(), u64::from(EVENTS) + 1);
+        best = best.min(ns);
+    }
+    println!("pingpong: {best:.2} ns/event (best of {ROUNDS})");
+}

@@ -10,15 +10,19 @@
 //! Example — the vanilla virtio-net transmit path for one TSO segment is a
 //! chain of four CPU stages on four different threads (guest TX, vhost TX,
 //! vhost RX, guest RX), which is exactly how `vread-net` builds it.
+//!
+//! Stages are small `Copy` values and a [`StageList`] keeps the first
+//! [`INLINE_STAGES`] of them inline (no heap allocation); real paths are
+//! almost always ≤ 8 hops, so a typical chain start allocates nothing
+//! beyond its completion message.
 
 use crate::cpu::CpuCategory;
 use crate::ids::{ActorId, BlockDevId, LinkId, ThreadId};
 use crate::msg::BoxMsg;
 use crate::time::SimDuration;
-use std::collections::VecDeque;
 
 /// One step of a [`Stage`] chain.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Stage {
     /// Burn `cycles` on `thread`, accounted under `cat`. The wall time this
     /// takes depends on the host's clock frequency and on scheduling.
@@ -77,18 +81,139 @@ impl Stage {
     }
 }
 
+/// Number of stages a [`StageList`] stores inline before spilling to the
+/// heap.
+pub const INLINE_STAGES: usize = 8;
+
+const FILLER: Stage = Stage::Delay {
+    dur: SimDuration::ZERO,
+};
+
+/// An ordered stage queue with inline storage for the common case.
+///
+/// The first [`INLINE_STAGES`] stages live in a fixed array inside the
+/// struct; any excess spills to a `Vec`. Consumption advances a cursor
+/// instead of shifting elements.
+#[derive(Debug, Clone)]
+pub struct StageList {
+    inline: [Stage; INLINE_STAGES],
+    spill: Vec<Stage>,
+    /// Next stage to consume (monotonic; counts consumed stages).
+    pos: u32,
+    /// Total stages ever pushed.
+    len: u32,
+}
+
+impl Default for StageList {
+    fn default() -> Self {
+        StageList::new()
+    }
+}
+
+impl StageList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        StageList {
+            inline: [FILLER; INLINE_STAGES],
+            spill: Vec::new(),
+            pos: 0,
+            len: 0,
+        }
+    }
+
+    /// A list holding a single stage (never allocates).
+    pub fn single(s: Stage) -> Self {
+        let mut l = StageList::new();
+        l.push(s);
+        l
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, s: Stage) {
+        let i = self.len as usize;
+        if i < INLINE_STAGES {
+            self.inline[i] = s;
+        } else {
+            self.spill.push(s);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the next stage, if any.
+    pub fn pop_front(&mut self) -> Option<Stage> {
+        let s = self.peek()?;
+        self.pos += 1;
+        Some(s)
+    }
+
+    /// The next stage without consuming it.
+    pub fn peek(&self) -> Option<Stage> {
+        if self.pos == self.len {
+            return None;
+        }
+        let i = self.pos as usize;
+        Some(if i < INLINE_STAGES {
+            self.inline[i]
+        } else {
+            self.spill[i - INLINE_STAGES]
+        })
+    }
+
+    /// Stages not yet consumed.
+    pub fn remaining(&self) -> usize {
+        (self.len - self.pos) as usize
+    }
+
+    /// True when all stages have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.len
+    }
+}
+
+impl From<Stage> for StageList {
+    fn from(s: Stage) -> Self {
+        StageList::single(s)
+    }
+}
+
+impl<const N: usize> From<[Stage; N]> for StageList {
+    fn from(arr: [Stage; N]) -> Self {
+        let mut l = StageList::new();
+        for s in arr {
+            l.push(s);
+        }
+        l
+    }
+}
+
+impl From<&[Stage]> for StageList {
+    fn from(v: &[Stage]) -> Self {
+        let mut l = StageList::new();
+        for &s in v {
+            l.push(s);
+        }
+        l
+    }
+}
+
+impl From<Vec<Stage>> for StageList {
+    fn from(v: Vec<Stage>) -> Self {
+        v.as_slice().into()
+    }
+}
+
 /// An in-flight chain owned by the engine.
 #[derive(Debug)]
 pub(crate) struct Chain {
-    pub(crate) stages: VecDeque<Stage>,
+    pub(crate) stages: StageList,
     /// `(recipient, message)` delivered when the last stage completes.
     pub(crate) then: Option<(ActorId, BoxMsg)>,
 }
 
 impl Chain {
-    pub(crate) fn new(stages: Vec<Stage>, to: ActorId, msg: BoxMsg) -> Self {
+    pub(crate) fn new(stages: StageList, to: ActorId, msg: BoxMsg) -> Self {
         Chain {
-            stages: stages.into(),
+            stages,
             then: Some((to, msg)),
         }
     }
@@ -115,5 +240,41 @@ mod tests {
                 dur: SimDuration::from_nanos(3)
             }
         );
+    }
+
+    #[test]
+    fn stage_list_inline_and_spill() {
+        let mut l = StageList::new();
+        assert!(l.is_empty());
+        for i in 0..INLINE_STAGES + 3 {
+            l.push(Stage::delay(SimDuration::from_nanos(i as u64)));
+        }
+        assert_eq!(l.remaining(), INLINE_STAGES + 3);
+        for i in 0..INLINE_STAGES + 3 {
+            assert_eq!(
+                l.pop_front(),
+                Some(Stage::delay(SimDuration::from_nanos(i as u64))),
+                "stage {i}"
+            );
+        }
+        assert!(l.is_empty());
+        assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn stage_list_from_conversions() {
+        let t = ThreadId::from_raw(0);
+        let single: StageList = Stage::cpu(t, 1, CpuCategory::Other).into();
+        assert_eq!(single.remaining(), 1);
+
+        let arr: StageList = [
+            Stage::delay(SimDuration::from_nanos(1)),
+            Stage::delay(SimDuration::from_nanos(2)),
+        ]
+        .into();
+        assert_eq!(arr.remaining(), 2);
+
+        let vec: StageList = vec![Stage::delay(SimDuration::ZERO); 12].into();
+        assert_eq!(vec.remaining(), 12);
     }
 }

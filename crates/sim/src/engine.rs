@@ -2,14 +2,33 @@
 //!
 //! [`World`] owns everything; actors are dispatched one at a time (their
 //! slot is temporarily vacated so they can freely mutate the world through
-//! [`Ctx`]). All actor-to-actor communication flows through the event heap,
-//! so there is no reentrancy and event ordering is fully deterministic
-//! (time, then insertion sequence).
+//! [`Ctx`]). All actor-to-actor communication flows through the event
+//! queue, so there is no reentrancy and event ordering is fully
+//! deterministic (time, then insertion sequence).
+//!
+//! # Hot-path layout
+//!
+//! Three structures carry nearly all of the run-loop cost, and each is
+//! shaped to avoid per-event work:
+//!
+//! * **Same-time fast lane** — events scheduled for the current instant
+//!   (`send_now`, zero delays) go to a FIFO ring buffer instead of the
+//!   time-ordered heap. Because the global sequence number is monotonic,
+//!   anything pushed "at now" sorts after every pending same-time heap
+//!   entry, so FIFO order *is* `(time, seq)` order; RPC-style message
+//!   ping-pong never touches the `BinaryHeap` at all.
+//! * **Chain slab** — in-flight chains live in a free-list slab indexed
+//!   directly by [`ChainId`] (generation-tagged against stale resumes)
+//!   rather than a hash map; see [`crate::slab`].
+//! * **Unboxed internal events** — engine-internal events (core timers,
+//!   chain resumes) are plain enum variants, and a boxed zero-sized
+//!   completion message does not allocate, so steady-state event traffic
+//!   is allocation-free.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::chain::{Chain, Stage};
+use crate::chain::{Chain, Stage, StageList};
 use crate::cpu::{CpuAccounting, CpuCategory};
 use crate::ext::Extensions;
 use crate::ids::{ActorId, BlockDevId, ChainId, HostId, LinkId, ThreadId};
@@ -18,6 +37,7 @@ use crate::msg::BoxMsg;
 use crate::resources::{BlockDev, Link};
 use crate::rng::SimRng;
 use crate::sched::{Sched, SchedParams};
+use crate::slab::ChainSlab;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceKind, Tracer};
 
@@ -67,21 +87,49 @@ struct ActorSlot {
     name: String,
 }
 
+/// Armed-timer slot of one core. Each core has at most one *valid*
+/// pending [`EvKind::CoreTimer`] at any time (re-arming always bumps the
+/// core's generation, invalidating the previous timer), so core timers
+/// live in a flat per-core table instead of the heap: arming is a slot
+/// overwrite and stale timers vanish instead of firing as no-ops.
+struct CoreTimerSlot {
+    host: HostId,
+    core: u32,
+    /// `(fire_time, seq, gen)` when armed.
+    armed: Option<(SimTime, u64, u64)>,
+}
+
 /// The simulation world. See the crate docs for an end-to-end example.
 pub struct World {
     now: SimTime,
     seq: u64,
+    events_processed: u64,
+    /// Single-event buffer in front of `fifo`: the earliest same-instant
+    /// event. Serial request/response traffic (one event in flight) lives
+    /// entirely in this slot and never touches the ring buffer.
+    next_now: Option<(u64, EvKind)>,
+    /// Fast lane for events scheduled at the current instant (their time
+    /// is implicitly `now`). Invariant: entries are in ascending `seq`
+    /// order, all larger than `next_now`'s seq and larger than any
+    /// same-time heap entry pushed before time advanced to `now`.
+    fifo: VecDeque<(u64, EvKind)>,
     heap: BinaryHeap<HeapEv>,
+    /// One slot per core across all hosts (see [`CoreTimerSlot`]).
+    core_timers: Vec<CoreTimerSlot>,
+    /// Number of currently armed `core_timers` slots.
+    armed_timers: usize,
     actors: Vec<ActorSlot>,
     pub(crate) sched: Sched,
-    chains: HashMap<u64, Chain>,
-    next_chain: u64,
+    chains: ChainSlab,
     links: Vec<Link>,
     devs: Vec<BlockDev>,
     /// Per-thread, per-category CPU accounting.
     pub acct: CpuAccounting,
     /// Counters and sample distributions recorded by workloads.
     pub metrics: Metrics,
+    /// Pre-interned id for the scheduler's migration counter (bumped on
+    /// every cross-core install — far too hot for a string lookup).
+    pub(crate) m_sched_migrations: crate::metrics::CounterId,
     /// The world's deterministic RNG.
     pub rng: SimRng,
     /// Typed blackboard for shared hardware/software state (page caches,
@@ -89,7 +137,6 @@ pub struct World {
     pub ext: Extensions,
     /// Optional bounded event trace (see [`crate::trace`]).
     pub tracer: Tracer,
-    events_processed: u64,
 }
 
 impl std::fmt::Debug for World {
@@ -97,7 +144,13 @@ impl std::fmt::Debug for World {
         f.debug_struct("World")
             .field("now", &self.now)
             .field("actors", &self.actors.len())
-            .field("pending_events", &self.heap.len())
+            .field(
+                "pending_events",
+                &(self.heap.len()
+                    + self.fifo.len()
+                    + usize::from(self.next_now.is_some())
+                    + self.armed_timers),
+            )
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -106,22 +159,28 @@ impl std::fmt::Debug for World {
 impl World {
     /// Creates an empty world seeded with `seed`.
     pub fn new(seed: u64) -> Self {
+        let mut metrics = Metrics::new();
+        let m_sched_migrations = metrics.register_counter("sched_migrations");
         World {
             now: SimTime::ZERO,
             seq: 0,
+            events_processed: 0,
+            next_now: None,
+            fifo: VecDeque::new(),
             heap: BinaryHeap::new(),
+            core_timers: Vec::new(),
+            armed_timers: 0,
             actors: Vec::new(),
             sched: Sched::default(),
-            chains: HashMap::new(),
-            next_chain: 0,
+            chains: ChainSlab::new(),
             links: Vec::new(),
             devs: Vec::new(),
             acct: CpuAccounting::new(),
-            metrics: Metrics::new(),
+            metrics,
+            m_sched_migrations,
             rng: SimRng::new(seed),
             ext: Extensions::new(),
             tracer: Tracer::new(),
-            events_processed: 0,
         }
     }
 
@@ -140,7 +199,7 @@ impl World {
     /// Adds a host with `cores` cores at `ghz` GHz and default scheduler
     /// parameters.
     pub fn add_host(&mut self, name: &str, cores: usize, ghz: f64) -> HostId {
-        self.sched.add_host(name, cores, ghz, SchedParams::default())
+        self.add_host_with_params(name, cores, ghz, SchedParams::default())
     }
 
     /// Adds a host with explicit scheduler parameters.
@@ -151,7 +210,16 @@ impl World {
         ghz: f64,
         params: SchedParams,
     ) -> HostId {
-        self.sched.add_host(name, cores, ghz, params)
+        let core_base = self.core_timers.len();
+        let id = self.sched.add_host(name, cores, ghz, params, core_base);
+        for c in 0..cores {
+            self.core_timers.push(CoreTimerSlot {
+                host: id,
+                core: c as u32,
+                armed: None,
+            });
+        }
+        id
     }
 
     /// Adds a schedulable thread to `host`.
@@ -212,13 +280,21 @@ impl World {
     /// Delivers `msg` to `to` at the current time (after already-queued
     /// same-time events).
     pub fn send_now<M: Send + 'static>(&mut self, to: ActorId, msg: M) {
-        self.push_event(
-            self.now,
-            EvKind::Deliver {
-                to,
-                msg: Box::new(msg),
-            },
-        );
+        // Always the fast lane: `t == now` by definition.
+        self.push_now(EvKind::Deliver {
+            to,
+            msg: Box::new(msg),
+        });
+    }
+
+    #[inline]
+    fn push_now(&mut self, kind: EvKind) {
+        self.seq += 1;
+        if self.next_now.is_none() && self.fifo.is_empty() {
+            self.next_now = Some((self.seq, kind));
+        } else {
+            self.fifo.push_back((self.seq, kind));
+        }
     }
 
     /// Delivers `msg` to `to` after `delay`.
@@ -234,32 +310,59 @@ impl World {
 
     fn push_event(&mut self, t: SimTime, kind: EvKind) {
         debug_assert!(t >= self.now, "event scheduled in the past");
-        self.seq += 1;
-        self.heap.push(HeapEv {
-            t,
-            seq: self.seq,
-            kind,
-        });
+        if t == self.now {
+            // Same-instant events keep FIFO order by construction (seq is
+            // monotonic), so they skip the heap entirely.
+            self.push_now(kind);
+        } else {
+            self.seq += 1;
+            self.heap.push(HeapEv {
+                t,
+                seq: self.seq,
+                kind,
+            });
+        }
     }
 
     pub(crate) fn push_core_timer(&mut self, t: SimTime, host: HostId, core: usize, gen: u64) {
-        self.push_event(t, EvKind::CoreTimer { host, core, gen });
+        let slot = self.sched.hosts[host.index()].core_base + core;
+        self.seq += 1;
+        let s = &mut self.core_timers[slot];
+        if s.armed.is_none() {
+            self.armed_timers += 1;
+        }
+        s.armed = Some((t, self.seq, gen));
+    }
+
+    /// Earliest armed core timer as `(time, seq, slot)`, if any.
+    fn min_timer(&self) -> Option<(SimTime, u64, usize)> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, s) in self.core_timers.iter().enumerate() {
+            if let Some((t, seq, _)) = s.armed {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, i));
+                }
+            }
+        }
+        best
     }
 
     // -- chains -------------------------------------------------------------
 
     /// Starts a chain of stages; when the last stage completes, `msg` is
     /// delivered to `to`. Returns the chain id (useful for tracing).
+    ///
+    /// Accepts anything convertible to a [`StageList`]: a single
+    /// [`Stage`], a fixed-size array, a slice, or a `Vec<Stage>`.
     pub fn start_chain<M: Send + 'static>(
         &mut self,
-        stages: Vec<Stage>,
+        stages: impl Into<StageList>,
         to: ActorId,
         msg: M,
     ) -> ChainId {
-        self.next_chain += 1;
-        let id = ChainId::from_raw(self.next_chain);
-        self.chains
-            .insert(id.raw(), Chain::new(stages, to, Box::new(msg)));
+        let id = self
+            .chains
+            .insert(Chain::new(stages.into(), to, Box::new(msg)));
         self.advance_chain(id);
         id
     }
@@ -268,17 +371,14 @@ impl World {
     pub(crate) fn advance_chain(&mut self, id: ChainId) {
         loop {
             let stage = {
-                let Some(ch) = self.chains.get_mut(&id.raw()) else {
+                let Some(ch) = self.chains.get_mut(id) else {
                     return;
                 };
-                match ch.stages.pop_front() {
-                    Some(s) => Some(s),
-                    None => None,
-                }
+                ch.stages.pop_front()
             };
             match stage {
                 None => {
-                    let ch = self.chains.remove(&id.raw()).expect("chain vanished");
+                    let ch = self.chains.remove(id).expect("chain vanished");
                     if self.tracer.is_enabled() {
                         self.tracer.record(
                             self.now,
@@ -327,15 +427,79 @@ impl World {
 
     // -- run loop -----------------------------------------------------------
 
-    /// Processes a single event. Returns `false` when the heap is empty.
+    /// Time of the next pending event, if any.
+    fn next_event_time(&self) -> Option<SimTime> {
+        // Fast-lane entries are always at `now`, earlier than (or tied
+        // with) anything in the heap or the timer table.
+        if self.next_now.is_some() {
+            return Some(self.now);
+        }
+        let heap = self.heap.peek().map(|ev| ev.t);
+        if self.armed_timers == 0 {
+            return heap;
+        }
+        let timer = self.min_timer().map(|(t, _, _)| t);
+        match (heap, timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the globally next event in `(time, seq)` order, returning its
+    /// time and payload. Fast-lane entries are implicitly at `now`.
+    fn pop_event(&mut self) -> Option<(SimTime, EvKind)> {
+        // Candidate from each queue, all ordered by the same `(t, seq)`
+        // key. The heap may still hold same-time events pushed before
+        // time advanced to `now`, whose seq is necessarily smaller than
+        // any fast-lane entry — they go first.
+        let mut best = self.next_now.as_ref().map(|(fseq, _)| (self.now, *fseq));
+        let mut src = u8::from(best.is_some()); // 0 = none, 1 = fast lane
+        if let Some(h) = self.heap.peek() {
+            if best.is_none_or(|b| (h.t, h.seq) < b) {
+                best = Some((h.t, h.seq));
+                src = 2;
+            }
+        }
+        let mut slot = 0usize;
+        if self.armed_timers > 0 {
+            if let Some((t, seq, i)) = self.min_timer() {
+                if best.is_none_or(|b| (t, seq) < b) {
+                    src = 3;
+                    slot = i;
+                }
+            }
+        }
+        match src {
+            1 => {
+                let (_, kind) = self.next_now.take().expect("fronted");
+                // Promote the next fast-lane entry into the front slot.
+                self.next_now = self.fifo.pop_front();
+                Some((self.now, kind))
+            }
+            2 => {
+                let ev = self.heap.pop().expect("peeked");
+                Some((ev.t, ev.kind))
+            }
+            3 => {
+                let s = &mut self.core_timers[slot];
+                let (t, _, gen) = s.armed.take().expect("scanned");
+                self.armed_timers -= 1;
+                let (host, core) = (s.host, s.core as usize);
+                Some((t, EvKind::CoreTimer { host, core, gen }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Processes a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else {
+        let Some((t, kind)) = self.pop_event() else {
             return false;
         };
-        debug_assert!(ev.t >= self.now);
-        self.now = ev.t;
+        debug_assert!(t >= self.now);
+        self.now = t;
         self.events_processed += 1;
-        match ev.kind {
+        match kind {
             EvKind::Deliver { to, msg } => self.dispatch(to, msg),
             EvKind::CoreTimer { host, core, gen } => self.on_core_timer(host, core, gen),
             EvKind::ChainResume { chain } => self.advance_chain(chain),
@@ -351,8 +515,8 @@ impl World {
     /// Runs until simulated time `t` (inclusive of events at `t`), then
     /// fast-forwards the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.t > t {
+        while let Some(et) = self.next_event_time() {
+            if et > t {
                 break;
             }
             self.step();
@@ -374,36 +538,62 @@ impl World {
     pub fn dump_state(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "now={} pending_events={} chains={}", self.now, self.heap.len(), self.chains.len());
-        for (id, ch) in &self.chains {
-            let _ = writeln!(out, "  chain {id}: {} stages left, first={:?}", ch.stages.len(), ch.stages.front());
+        let _ = writeln!(
+            out,
+            "now={} pending_events={} chains={}",
+            self.now,
+            self.heap.len() + self.fifo.len() + usize::from(self.next_now.is_some()),
+            self.chains.len()
+        );
+        for (id, ch) in self.chains.iter() {
+            let _ = writeln!(
+                out,
+                "  chain {}: {} stages left, first={:?}",
+                id.raw(),
+                ch.stages.remaining(),
+                ch.stages.peek()
+            );
         }
         for (i, th) in self.sched.threads.iter().enumerate() {
             if !th.work.is_empty() || th.state != crate::sched::TState::Idle {
-                let _ = writeln!(out, "  thread {i} ({}): state={:?} work={}", th.name, th.state, th.work.len());
+                let _ = writeln!(
+                    out,
+                    "  thread {i} ({}): state={:?} work={}",
+                    th.name,
+                    th.state,
+                    th.work.len()
+                );
             }
         }
         for (i, h) in self.sched.hosts.iter().enumerate() {
-            let _ = writeln!(out, "  host {i}: runq={} cores_busy={}", h.runq.len(), h.cores.iter().filter(|c| c.running.is_some()).count());
+            let _ = writeln!(
+                out,
+                "  host {i}: runq={} cores_busy={}",
+                h.runq.len(),
+                h.cores.iter().filter(|c| c.running.is_some()).count()
+            );
         }
         out
     }
 
     fn dispatch(&mut self, to: ActorId, msg: BoxMsg) {
         let idx = to.index();
-        if idx >= self.actors.len() {
+        let Some(slot) = self.actors.get_mut(idx) else {
             return;
-        }
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            // Actor is gone (removed) — drop the message.
+            return;
+        };
         if self.tracer.is_enabled() {
             let name = self.actors[idx].name.clone();
             self.tracer
                 .record(self.now, TraceKind::Deliver, &name, String::new());
         }
-        let Some(mut actor) = self.actors[idx].actor.take() else {
-            // Actor is gone (removed) — drop the message.
-            return;
+        let mut ctx = Ctx {
+            world: self,
+            me: to,
         };
-        let mut ctx = Ctx { world: self, me: to };
         actor.handle(msg, &mut ctx);
         self.actors[idx].actor = Some(actor);
     }
@@ -445,11 +635,16 @@ impl<'a> Ctx<'a> {
     }
 
     /// Starts a stage chain completing with `msg` to `to`.
-    pub fn chain<M: Send + 'static>(&mut self, stages: Vec<Stage>, to: ActorId, msg: M) -> ChainId {
+    pub fn chain<M: Send + 'static>(
+        &mut self,
+        stages: impl Into<StageList>,
+        to: ActorId,
+        msg: M,
+    ) -> ChainId {
         self.world.start_chain(stages, to, msg)
     }
 
-    /// Shorthand for a single-CPU-stage chain.
+    /// Shorthand for a single-CPU-stage chain (allocation-free).
     pub fn cpu<M: Send + 'static>(
         &mut self,
         thread: ThreadId,
@@ -458,7 +653,7 @@ impl<'a> Ctx<'a> {
         to: ActorId,
         msg: M,
     ) -> ChainId {
-        self.chain(vec![Stage::cpu(thread, cycles, cat)], to, msg)
+        self.chain(Stage::cpu(thread, cycles, cat), to, msg)
     }
 
     /// Registers a new actor (usable immediately).
@@ -723,10 +918,16 @@ mod tests {
         w.start_chain(vec![Stage::cpu(t, 100_000, CpuCategory::Other)], a, Done);
         w.run();
         let rendered = w.tracer.render(&[]);
-        assert!(rendered.contains("dispatch"), "no dispatch records:\n{rendered}");
-        assert!(rendered.contains("deliver"), "no delivery records:\n{rendered}");
+        assert!(
+            rendered.contains("dispatch"),
+            "no dispatch records:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("deliver"),
+            "no delivery records:\n{rendered}"
+        );
         assert!(rendered.contains("chain-done"));
-        assert!(w.tracer.len() > 0);
+        assert!(!w.tracer.is_empty(), "tracer recorded nothing");
     }
 
     #[test]

@@ -57,13 +57,15 @@ pub mod msg;
 pub mod resources;
 pub mod rng;
 pub mod sched;
+mod slab;
 pub mod time;
 pub mod trace;
 
-pub use chain::Stage;
+pub use chain::{Stage, StageList};
 pub use cpu::{CpuAccounting, CpuCategory};
 pub use engine::{Actor, Ctx, World};
 pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Samples};
 pub use msg::{downcast, BoxMsg, Start};
 pub use rng::SimRng;
 pub use sched::SchedParams;
@@ -72,10 +74,11 @@ pub use trace::{TraceKind, Tracer};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::chain::Stage;
+    pub use crate::chain::{Stage, StageList};
     pub use crate::cpu::{CpuAccounting, CpuCategory};
     pub use crate::engine::{Actor, Ctx, World};
     pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+    pub use crate::metrics::{CounterId, LazyCounter, LazySamples, SampleId};
     pub use crate::msg::{downcast, BoxMsg, Start};
     pub use crate::rng::SimRng;
     pub use crate::sched::SchedParams;

@@ -3,21 +3,43 @@
 //! Workload actors record observations (transaction latencies, bytes read,
 //! completed operations) under string keys; experiment harnesses read them
 //! back after the run.
+//!
+//! # Interning
+//!
+//! Every key is interned once into a dense id ([`CounterId`] /
+//! [`SampleId`]); recording through an id is a plain `Vec` index with no
+//! hashing or tree walk. The string-keyed API is a thin resolve-then-record
+//! wrapper kept for tests and cold paths. Hot actors hold a
+//! [`LazyCounter`] / [`LazySamples`] that resolves its key on first use and
+//! records through the cached id afterwards.
+//!
+//! [`Metrics::reset`] keeps registrations (ids stay valid across warm-up /
+//! measurement phases) but clears values; keys that were never touched
+//! since the last reset are invisible to the read-side API, matching the
+//! semantics of a registry that only materializes keys on first write.
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
 
 /// A set of recorded samples with order statistics.
+///
+/// Order statistics ([`Samples::quantile`]) are served from a lazily
+/// rebuilt sorted copy, so asking for p50/p95/p99 in a row sorts once, and
+/// a fresh recording only invalidates the cache.
 #[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<f64>,
+    sorted: RefCell<Vec<f64>>,
+    sorted_valid: Cell<bool>,
 }
 
 impl Samples {
     /// Records one observation.
     pub fn record(&mut self, v: f64) {
         self.values.push(v);
+        self.sorted_valid.set(false);
     }
 
     /// Number of observations.
@@ -44,10 +66,16 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        v[idx]
+        if !self.sorted_valid.get() {
+            let mut sorted = self.sorted.borrow_mut();
+            sorted.clear();
+            sorted.extend_from_slice(&self.values);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted_valid.set(true);
+        }
+        let sorted = self.sorted.borrow();
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
     }
 
     /// Largest observation, or 0.0 when empty.
@@ -59,13 +87,30 @@ impl Samples {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    fn clear(&mut self) {
+        self.values.clear();
+        self.sorted.get_mut().clear();
+        self.sorted_valid.set(false);
+    }
 }
+
+/// Dense handle to an interned counter key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Dense handle to an interned sample key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleId(u32);
 
 /// The world's metrics registry.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, f64>,
-    samples: BTreeMap<String, Samples>,
+    counter_index: BTreeMap<String, CounterId>,
+    counter_vals: Vec<f64>,
+    counter_touched: Vec<bool>,
+    sample_index: BTreeMap<String, SampleId>,
+    sample_sets: Vec<Samples>,
 }
 
 impl Metrics {
@@ -74,9 +119,64 @@ impl Metrics {
         Self::default()
     }
 
+    // -- interning -----------------------------------------------------------
+
+    /// Interns a counter key (idempotent) and returns its dense id.
+    pub fn register_counter(&mut self, key: &str) -> CounterId {
+        if let Some(&id) = self.counter_index.get(key) {
+            return id;
+        }
+        let id = CounterId(u32::try_from(self.counter_vals.len()).expect("counter id overflow"));
+        self.counter_index.insert(key.to_owned(), id);
+        self.counter_vals.push(0.0);
+        self.counter_touched.push(false);
+        id
+    }
+
+    /// Interns a sample key (idempotent) and returns its dense id.
+    pub fn register_sample(&mut self, key: &str) -> SampleId {
+        if let Some(&id) = self.sample_index.get(key) {
+            return id;
+        }
+        let id = SampleId(u32::try_from(self.sample_sets.len()).expect("sample id overflow"));
+        self.sample_index.insert(key.to_owned(), id);
+        self.sample_sets.push(Samples::default());
+        id
+    }
+
+    // -- id-based hot path ---------------------------------------------------
+
+    /// Adds `v` to an interned counter (O(1), no hashing).
+    #[inline]
+    pub fn add_to(&mut self, id: CounterId, v: f64) {
+        self.counter_vals[id.0 as usize] += v;
+        self.counter_touched[id.0 as usize] = true;
+    }
+
+    /// Increments an interned counter by 1.
+    #[inline]
+    pub fn incr_to(&mut self, id: CounterId) {
+        self.add_to(id, 1.0);
+    }
+
+    /// Current value of an interned counter.
+    #[inline]
+    pub fn counter_value(&self, id: CounterId) -> f64 {
+        self.counter_vals[id.0 as usize]
+    }
+
+    /// Records a raw observation under an interned sample key (O(1)).
+    #[inline]
+    pub fn record_to(&mut self, id: SampleId, v: f64) {
+        self.sample_sets[id.0 as usize].record(v);
+    }
+
+    // -- string API (resolve-once wrapper) -----------------------------------
+
     /// Adds `v` to counter `key` (creating it at 0).
     pub fn add(&mut self, key: &str, v: f64) {
-        *self.counters.entry(key.to_owned()).or_insert(0.0) += v;
+        let id = self.register_counter(key);
+        self.add_to(id, v);
     }
 
     /// Increments counter `key` by 1.
@@ -86,12 +186,15 @@ impl Metrics {
 
     /// Current value of counter `key` (0 when absent).
     pub fn counter(&self, key: &str) -> f64 {
-        self.counters.get(key).copied().unwrap_or(0.0)
+        self.counter_index
+            .get(key)
+            .map_or(0.0, |&id| self.counter_vals[id.0 as usize])
     }
 
     /// Records a raw sample under `key`.
     pub fn sample(&mut self, key: &str, v: f64) {
-        self.samples.entry(key.to_owned()).or_default().record(v);
+        let id = self.register_sample(key);
+        self.record_to(id, v);
     }
 
     /// Records a duration sample (stored in milliseconds) under `key`.
@@ -101,22 +204,33 @@ impl Metrics {
 
     /// The sample set under `key`, if any samples were recorded.
     pub fn samples(&self, key: &str) -> Option<&Samples> {
-        self.samples.get(key)
+        let set = &self.sample_sets[self.sample_index.get(key)?.0 as usize];
+        if set.count() == 0 {
+            None
+        } else {
+            Some(set)
+        }
     }
 
     /// Mean of samples under `key` (0.0 when absent).
     pub fn mean(&self, key: &str) -> f64 {
-        self.samples.get(key).map_or(0.0, Samples::mean)
+        self.samples(key).map_or(0.0, Samples::mean)
     }
 
-    /// All counter keys (sorted).
+    /// Keys of counters written since the last reset (sorted).
     pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(String::as_str)
+        self.counter_index
+            .iter()
+            .filter(|(_, id)| self.counter_touched[id.0 as usize])
+            .map(|(k, _)| k.as_str())
     }
 
-    /// All sample keys (sorted).
+    /// Keys of samples recorded since the last reset (sorted).
     pub fn sample_keys(&self) -> impl Iterator<Item = &str> {
-        self.samples.keys().map(String::as_str)
+        self.sample_index
+            .iter()
+            .filter(|(_, id)| self.sample_sets[id.0 as usize].count() > 0)
+            .map(|(k, _)| k.as_str())
     }
 
     /// Throughput helper: counter `key` divided by elapsed seconds.
@@ -129,10 +243,101 @@ impl Metrics {
         }
     }
 
-    /// Clears everything (used between warm-up and measurement phases).
+    /// Clears all recorded values (used between warm-up and measurement
+    /// phases). Interned ids stay valid; untouched keys disappear from the
+    /// read-side API until written again.
     pub fn reset(&mut self) {
-        self.counters.clear();
-        self.samples.clear();
+        self.counter_vals.fill(0.0);
+        self.counter_touched.fill(false);
+        for s in &mut self.sample_sets {
+            s.clear();
+        }
+    }
+}
+
+/// A counter handle that resolves its key on first use.
+///
+/// Intended to live inside an actor: construct with the key, then record
+/// through it with no per-event string lookup. Deliberately `!Sync` (the
+/// cached id is only meaningful for the `Metrics` it was resolved
+/// against, i.e. one world).
+#[derive(Debug)]
+pub struct LazyCounter {
+    key: &'static str,
+    id: Cell<Option<CounterId>>,
+}
+
+impl LazyCounter {
+    /// Creates an unresolved handle for `key`.
+    pub const fn new(key: &'static str) -> Self {
+        LazyCounter {
+            key,
+            id: Cell::new(None),
+        }
+    }
+
+    #[inline]
+    fn id(&self, m: &mut Metrics) -> CounterId {
+        match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = m.register_counter(self.key);
+                self.id.set(Some(id));
+                id
+            }
+        }
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, m: &mut Metrics, v: f64) {
+        let id = self.id(m);
+        m.add_to(id, v);
+    }
+
+    /// Increments the counter by 1.
+    #[inline]
+    pub fn incr(&self, m: &mut Metrics) {
+        self.add(m, 1.0);
+    }
+}
+
+/// A sample-set handle that resolves its key on first use.
+///
+/// See [`LazyCounter`] for the usage pattern.
+#[derive(Debug)]
+pub struct LazySamples {
+    key: &'static str,
+    id: Cell<Option<SampleId>>,
+}
+
+impl LazySamples {
+    /// Creates an unresolved handle for `key`.
+    pub const fn new(key: &'static str) -> Self {
+        LazySamples {
+            key,
+            id: Cell::new(None),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, m: &mut Metrics, v: f64) {
+        let id = match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = m.register_sample(self.key);
+                self.id.set(Some(id));
+                id
+            }
+        };
+        m.record_to(id, v);
+    }
+
+    /// Records a duration observation in milliseconds.
+    #[inline]
+    pub fn record_duration(&self, m: &mut Metrics, d: SimDuration) {
+        self.record(m, d.as_millis_f64());
     }
 }
 
@@ -163,6 +368,20 @@ mod tests {
     }
 
     #[test]
+    fn quantile_cache_sees_new_samples() {
+        let mut s = Samples::default();
+        s.record(1.0);
+        assert_eq!(s.quantile(1.0), 1.0);
+        s.record(5.0); // invalidates the sorted cache
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        // unsorted insertion order is preserved for values()
+        s.record(3.0);
+        assert_eq!(s.values(), &[1.0, 5.0, 3.0]);
+        assert_eq!(s.quantile(0.5), 3.0);
+    }
+
+    #[test]
     fn empty_samples_are_zero() {
         let s = Samples::default();
         assert_eq!(s.mean(), 0.0);
@@ -186,5 +405,53 @@ mod tests {
         let mut m = Metrics::new();
         m.sample_duration("lat", SimDuration::from_micros(1500));
         assert!((m.mean("lat") - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interned_ids_match_string_api() {
+        let mut m = Metrics::new();
+        let c = m.register_counter("ops");
+        let s = m.register_sample("lat");
+        m.incr_to(c);
+        m.add("ops", 2.0); // string API hits the same slot
+        m.record_to(s, 7.0);
+        assert_eq!(m.counter("ops"), 3.0);
+        assert_eq!(m.counter_value(c), 3.0);
+        assert_eq!(m.samples("lat").unwrap().values(), &[7.0]);
+        assert_eq!(m.register_counter("ops"), c, "interning is idempotent");
+    }
+
+    #[test]
+    fn reset_keeps_ids_but_hides_untouched_keys() {
+        let mut m = Metrics::new();
+        let c = m.register_counter("ops");
+        m.incr_to(c);
+        m.sample("lat", 1.0);
+        assert_eq!(m.counter_keys().collect::<Vec<_>>(), vec!["ops"]);
+        assert_eq!(m.sample_keys().collect::<Vec<_>>(), vec!["lat"]);
+        m.reset();
+        assert_eq!(m.counter("ops"), 0.0);
+        assert_eq!(m.counter_keys().count(), 0, "untouched keys hidden");
+        assert_eq!(m.sample_keys().count(), 0);
+        assert!(m.samples("lat").is_none(), "empty sample set reads absent");
+        m.incr_to(c); // id survives the reset
+        assert_eq!(m.counter("ops"), 1.0);
+        assert_eq!(m.counter_keys().collect::<Vec<_>>(), vec!["ops"]);
+    }
+
+    #[test]
+    fn lazy_handles_resolve_once() {
+        let mut m = Metrics::new();
+        let c = LazyCounter::new("hot_ops");
+        let s = LazySamples::new("hot_lat");
+        for _ in 0..3 {
+            c.incr(&mut m);
+            s.record(&mut m, 2.0);
+        }
+        c.add(&mut m, 4.0);
+        s.record_duration(&mut m, SimDuration::from_micros(500));
+        assert_eq!(m.counter("hot_ops"), 7.0);
+        assert_eq!(m.samples("hot_lat").unwrap().count(), 4);
+        assert!((m.samples("hot_lat").unwrap().values()[3] - 0.5).abs() < 1e-9);
     }
 }

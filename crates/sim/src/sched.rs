@@ -70,6 +70,7 @@ impl Default for SchedParams {
 }
 
 /// Converts cycles to wall nanoseconds at `ghz` (cycles per ns).
+#[inline]
 pub(crate) fn cycles_to_ns(cycles: f64, ghz: f64) -> u64 {
     (cycles / ghz).ceil().max(0.0) as u64
 }
@@ -138,6 +139,8 @@ pub(crate) struct HostSched {
     /// pressure. Calibrated against the paper's Figure 3 (two 85%
     /// lookbusy VMs cost an inter-VM TCP_RR pair ≈20%).
     pub cache_pressure: f64,
+    /// Index of this host's first core in the world's core-timer table.
+    pub core_base: usize,
 }
 
 impl HostSched {
@@ -159,7 +162,14 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
-    pub fn add_host(&mut self, name: &str, cores: usize, ghz: f64, params: SchedParams) -> HostId {
+    pub fn add_host(
+        &mut self,
+        name: &str,
+        cores: usize,
+        ghz: f64,
+        params: SchedParams,
+        core_base: usize,
+    ) -> HostId {
         assert!(cores > 0, "a host needs at least one core");
         assert!(ghz > 0.0, "clock frequency must be positive");
         let id = HostId::from_raw(self.hosts.len() as u16);
@@ -171,15 +181,13 @@ impl Sched {
             min_vr: 0,
             params,
             cache_pressure: 1.0,
+            core_base,
         });
         id
     }
 
     pub fn add_thread(&mut self, host: HostId, name: &str) -> ThreadId {
-        assert!(
-            (host.index()) < self.hosts.len(),
-            "unknown host {host}"
-        );
+        assert!((host.index()) < self.hosts.len(), "unknown host {host}");
         let id = ThreadId::from_raw(self.threads.len() as u32);
         self.threads.push(ThreadSched {
             host,
@@ -310,8 +318,12 @@ impl World {
             if let Some(r) = self.sched.hosts[host.index()].cores[cix].running {
                 let name = self.sched.threads[r.thread as usize].name.clone();
                 let now = self.now();
-                self.tracer
-                    .record(now, crate::trace::TraceKind::Preempt, &name, format!("core{cix}"));
+                self.tracer.record(
+                    now,
+                    crate::trace::TraceKind::Preempt,
+                    &name,
+                    format!("core{cix}"),
+                );
             }
         }
         self.charge_core(host, cix, self.now());
@@ -332,11 +344,10 @@ impl World {
     fn install(&mut self, host: HostId, cix: usize) {
         let hix = host.index();
         debug_assert!(self.sched.hosts[hix].cores[cix].running.is_none());
-        let Some(&(vr, traw)) = self.sched.hosts[hix].runq.iter().next() else {
+        let Some((vr, traw)) = self.sched.hosts[hix].runq.pop_first() else {
             self.sched.hosts[hix].cores[cix].gen += 1;
             return;
         };
-        self.sched.hosts[hix].runq.remove(&(vr, traw));
         let now = self.now();
         let (quantum, ghz, switch_cycles, migration_cycles) = {
             let h = &mut self.sched.hosts[hix];
@@ -360,10 +371,14 @@ impl World {
             th.vr += switch_ns;
         }
         if migrated {
-            self.metrics.incr("sched_migrations");
+            self.metrics.incr_to(self.m_sched_migrations);
         }
-        self.acct
-            .add(traw as usize, CpuCategory::Other, total_cycles as f64, switch_ns);
+        self.acct.add(
+            traw as usize,
+            CpuCategory::Other,
+            total_cycles as f64,
+            switch_ns,
+        );
         if self.tracer.is_enabled() {
             let name = self.sched.threads[traw as usize].name.clone();
             self.tracer.record(
@@ -462,9 +477,7 @@ impl World {
             let gen_before = self.sched.hosts[hix].cores[cix].gen;
             self.advance_chain(w.chain);
             let core = &self.sched.hosts[hix].cores[cix];
-            if core.gen != gen_before
-                || core.running.map(|r2| r2.thread) != Some(r.thread)
-            {
+            if core.gen != gen_before || core.running.map(|r2| r2.thread) != Some(r.thread) {
                 // This thread was preempted mid-completion; if it has no
                 // work left it must not linger in the run queue.
                 let th = &mut self.sched.threads[tix];

@@ -257,8 +257,16 @@ mod tests {
         let hi = SimDuration::from_micros(100);
         assert_eq!(SimDuration::from_micros(5).clamp(lo, hi), lo);
         assert_eq!(SimDuration::from_micros(500).clamp(lo, hi), hi);
-        assert_eq!(SimDuration::from_micros(50).clamp(lo, hi).as_nanos(), 50_000);
-        assert_eq!(SimTime::from_nanos(3).max(SimTime::from_nanos(7)).as_nanos(), 7);
+        assert_eq!(
+            SimDuration::from_micros(50).clamp(lo, hi).as_nanos(),
+            50_000
+        );
+        assert_eq!(
+            SimTime::from_nanos(3)
+                .max(SimTime::from_nanos(7))
+                .as_nanos(),
+            7
+        );
     }
 
     #[test]

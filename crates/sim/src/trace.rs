@@ -147,7 +147,10 @@ impl Tracer {
     pub fn render(&self, kinds: &[TraceKind]) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier records dropped ...\n",
+                self.dropped
+            ));
         }
         for r in &self.ring {
             if kinds.is_empty() || kinds.contains(&r.kind) {

@@ -22,7 +22,13 @@ fn frequency_change_mid_run_scales_future_work() {
     let mut w = World::new(1);
     let h = w.add_host("h", 1, 1.0);
     let t = w.add_thread(h, "t");
-    let a = w.add_actor("hog", Hog { thread: t, burst: 1_000_000 }); // 1ms at 1GHz
+    let a = w.add_actor(
+        "hog",
+        Hog {
+            thread: t,
+            burst: 1_000_000,
+        },
+    ); // 1ms at 1GHz
     w.send_now(a, Start);
     w.run_for(SimDuration::from_millis(50));
     let cycles_at_1ghz = w.acct.total_cycles(t.index());
@@ -46,11 +52,20 @@ fn heavy_oversubscription_is_fair_and_conserving() {
     for i in 0..12 {
         let t = w.add_thread(h, &format!("t{i}"));
         threads.push(t);
-        let a = w.add_actor(&format!("h{i}"), Hog { thread: t, burst: 200_000 });
+        let a = w.add_actor(
+            &format!("h{i}"),
+            Hog {
+                thread: t,
+                burst: 200_000,
+            },
+        );
         w.send_now(a, Start);
     }
     w.run_for(SimDuration::from_millis(300));
-    let busies: Vec<f64> = threads.iter().map(|t| w.acct.busy_ns(t.index()) as f64).collect();
+    let busies: Vec<f64> = threads
+        .iter()
+        .map(|t| w.acct.busy_ns(t.index()) as f64)
+        .collect();
     let total: f64 = busies.iter().sum();
     // conservation: 2 cores × 300ms
     assert!(total <= 600e6 * 1.001, "over-committed: {total}");
@@ -103,7 +118,13 @@ fn run_until_counter_sees_partial_charges() {
     let mut w = World::new(1);
     let h = w.add_host("h", 1, 1.0);
     let t = w.add_thread(h, "t");
-    let a = w.add_actor("hog", Hog { thread: t, burst: 100_000_000 }); // 100ms burst
+    let a = w.add_actor(
+        "hog",
+        Hog {
+            thread: t,
+            burst: 100_000_000,
+        },
+    ); // 100ms burst
     w.send_now(a, Start);
     w.run_until(SimTime::from_nanos(30_000_000)); // mid-burst
     let busy = w.acct.busy_ns(t.index());

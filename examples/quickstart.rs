@@ -27,7 +27,11 @@ impl Actor for TwoReads {
         if let Ok(done) = downcast::<DfsReadDone>(msg) {
             let secs = ctx.now().since(self.issued).as_secs_f64();
             let mbps = done.bytes as f64 / 1e6 / secs;
-            let label = if self.pass == 1 { "cold read" } else { "re-read " };
+            let label = if self.pass == 1 {
+                "cold read"
+            } else {
+                "re-read "
+            };
             println!(
                 "  {label}: {} bytes in {:6.1} ms  ->  {:5.0} MB/s",
                 done.bytes,

@@ -5,8 +5,8 @@
 //! cargo run --release --example remote_rdma
 //! ```
 
-use vread::apps::java_reader::{JavaReader, ReaderMode};
 use vread::apps::driver::run_until_counter;
+use vread::apps::java_reader::{JavaReader, ReaderMode};
 use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
 use vread::core::VreadRegistry;
 use vread::sim::prelude::*;
@@ -45,15 +45,13 @@ fn main() {
             SimDuration::from_millis(50),
             SimDuration::from_secs(600),
         ));
-        let secs =
-            tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
+        let secs = tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
 
         let (d1, d2) = {
             let reg = tb.w.ext.get::<VreadRegistry>().unwrap();
             (reg.daemons[&0].1, reg.daemons[&1].1)
         };
-        let daemon_cycles =
-            tb.w.acct.total_cycles(d1.index()) + tb.w.acct.total_cycles(d2.index());
+        let daemon_cycles = tb.w.acct.total_cycles(d1.index()) + tb.w.acct.total_cycles(d2.index());
         let rdma = tb.w.acct.cycles(d2.index(), CpuCategory::Rdma);
         let vnet = tb.w.acct.cycles(d2.index(), CpuCategory::VreadNet);
         println!(

@@ -14,7 +14,10 @@ const INPUT: u64 = 256 << 20;
 
 fn main() {
     println!("WordCount over 256 MB of HDFS input (hybrid layout, 2.0 GHz, 4 VMs/host):");
-    println!("{:10} {:>12} {:>12} {:>12}", "path", "job secs", "map secs", "MB/s in");
+    println!(
+        "{:10} {:>12} {:>12} {:>12}",
+        "path", "job secs", "map secs", "MB/s in"
+    );
     for path in [PathKind::Vanilla, PathKind::VreadRdma] {
         let mut tb = Testbed::build(TestbedOpts {
             ghz: 2.0,

@@ -44,18 +44,37 @@ impl Actor for Script {
             //    vRead_open fails, the client falls back to vanilla HDFS.
             1 => ctx.send(
                 self.client,
-                DfsRead { req: 1, reply_to: me, path: "/smuggled".into(), offset: 0, len: 4 << 20, pread: false },
+                DfsRead {
+                    req: 1,
+                    reply_to: me,
+                    path: "/smuggled".into(),
+                    offset: 0,
+                    len: 4 << 20,
+                    pread: false,
+                },
             ),
             // 2: a real HDFS write; finalized blocks notify the namenode,
             //    which triggers the daemons' mount refresh (vRead_update).
             2 => ctx.send(
                 self.client,
-                DfsWrite { req: 2, reply_to: me, path: "/fresh".into(), bytes: 8 << 20 },
+                DfsWrite {
+                    req: 2,
+                    reply_to: me,
+                    path: "/fresh".into(),
+                    bytes: 8 << 20,
+                },
             ),
             // 3: the freshly written blocks are visible — served by vRead.
             3 => ctx.send(
                 self.client,
-                DfsRead { req: 3, reply_to: me, path: "/fresh".into(), offset: 0, len: 8 << 20, pread: false },
+                DfsRead {
+                    req: 3,
+                    reply_to: me,
+                    path: "/fresh".into(),
+                    offset: 0,
+                    len: 8 << 20,
+                    pread: false,
+                },
             ),
             _ => {}
         }

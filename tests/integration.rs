@@ -15,13 +15,22 @@ fn reader_done(tb: &mut Testbed, client: ActorId, path: &str, req: u64, total: u
     tb.w.metrics.reset();
     let r = JavaReader::new(
         tb.client_vm,
-        ReaderMode::Dfs { client, path: path.to_owned() },
+        ReaderMode::Dfs {
+            client,
+            path: path.to_owned(),
+        },
         req,
         total,
     );
     let a = tb.w.add_actor("rdr", r);
     tb.w.send_now(a, Start);
-    assert!(run_until_counter(&mut tb.w, "reader_done", 1.0, SimDuration::from_millis(50), CAP));
+    assert!(run_until_counter(
+        &mut tb.w,
+        "reader_done",
+        1.0,
+        SimDuration::from_millis(50),
+        CAP
+    ));
     assert_eq!(tb.w.metrics.counter("reader_bytes"), total as f64);
     tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s")
 }
@@ -34,7 +43,12 @@ fn headline_speedups_hold_in_all_vm_configs() {
     for four_vms in [false, true] {
         let mut res = Vec::new();
         for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-            let mut tb = Testbed::build(TestbedOpts { ghz: 2.0, four_vms, path, ..Default::default() });
+            let mut tb = Testbed::build(TestbedOpts {
+                ghz: 2.0,
+                four_vms,
+                path,
+                ..Default::default()
+            });
             tb.populate("/f", 128 << 20, Locality::CoLocated);
             let client = tb.make_client();
             let cold = reader_done(&mut tb, client, "/f", 1 << 20, 128 << 20);
@@ -42,11 +56,22 @@ fn headline_speedups_hold_in_all_vm_configs() {
             res.push((cold, warm));
         }
         let (va, vr) = (res[0], res[1]);
-        assert!(vr.0 < va.0, "cold: vread {} vs vanilla {} (four_vms={four_vms})", vr.0, va.0);
+        assert!(
+            vr.0 < va.0,
+            "cold: vread {} vs vanilla {} (four_vms={four_vms})",
+            vr.0,
+            va.0
+        );
         let cold_speedup = va.0 / vr.0;
         let warm_speedup = va.1 / vr.1;
-        assert!(warm_speedup > cold_speedup, "re-read gains exceed cold gains");
-        assert!(warm_speedup > 1.8, "re-read speedup {warm_speedup} too small");
+        assert!(
+            warm_speedup > cold_speedup,
+            "re-read gains exceed cold gains"
+        );
+        assert!(
+            warm_speedup > 1.8,
+            "re-read speedup {warm_speedup} too small"
+        );
     }
 }
 
@@ -57,10 +82,10 @@ fn read_plans_agree_across_paths() {
     let plans: &[(u64, u64)] = &[
         (0, 1),
         (0, 96 << 20),
-        ((64 << 20) - 1, 2),      // block boundary straddle
-        (5 << 20, 60 << 20),      // cross-block middle read
-        ((96 << 20) - 10, 1000),  // truncated at EOF
-        (96 << 20, 5),            // fully past EOF
+        ((64 << 20) - 1, 2),     // block boundary straddle
+        (5 << 20, 60 << 20),     // cross-block middle read
+        ((96 << 20) - 10, 1000), // truncated at EOF
+        (96 << 20, 5),           // fully past EOF
     ];
     for locality in [Locality::CoLocated, Locality::Remote, Locality::Hybrid] {
         let mut results: Vec<Vec<u64>> = Vec::new();
@@ -70,7 +95,10 @@ fn read_plans_agree_across_paths() {
                 path,
                 ..Default::default()
             });
-            tb.w.ext.get_mut::<vread::hdfs::HdfsMeta>().unwrap().block_bytes = 64 << 20;
+            tb.w.ext
+                .get_mut::<vread::hdfs::HdfsMeta>()
+                .unwrap()
+                .block_bytes = 64 << 20;
             tb.populate("/f", 96 << 20, locality);
             let client = tb.make_client();
 
@@ -102,19 +130,22 @@ fn read_plans_agree_across_paths() {
                                 path: "/f".into(),
                                 offset,
                                 len,
-                                pread: self.next % 2 == 0,
+                                pread: self.next.is_multiple_of(2),
                             },
                         );
                     }
                 }
             }
             let got = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-            let a = tb.w.add_actor("plan", Plan {
-                client,
-                plans: plans.to_vec(),
-                next: 0,
-                got: got.clone(),
-            });
+            let a = tb.w.add_actor(
+                "plan",
+                Plan {
+                    client,
+                    plans: plans.to_vec(),
+                    next: 0,
+                    got: got.clone(),
+                },
+            );
             tb.w.send_now(a, Start);
             tb.w.run();
             results.push(got.borrow().clone());
@@ -139,16 +170,33 @@ fn read_plans_agree_across_paths() {
 fn accounting_is_conserved_and_vread_cheaper() {
     let mut totals = Vec::new();
     for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-        let mut tb = Testbed::build(TestbedOpts { ghz: 2.0, path, ..Default::default() });
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz: 2.0,
+            path,
+            ..Default::default()
+        });
         let files = vec!["/a".to_string(), "/b".to_string()];
         for f in &files {
             tb.populate(f, 64 << 20, Locality::Hybrid);
         }
         let client = tb.make_client();
-        let job = TestDfsio::new(client, tb.client_vm, DfsioMode::Read, files, 64 << 20, DfsioConfig::default());
+        let job = TestDfsio::new(
+            client,
+            tb.client_vm,
+            DfsioMode::Read,
+            files,
+            64 << 20,
+            DfsioConfig::default(),
+        );
         let a = tb.w.add_actor("dfsio", job);
         tb.w.send_now(a, Start);
-        assert!(run_until_counter(&mut tb.w, "dfsio_done", 1.0, SimDuration::from_millis(100), CAP));
+        assert!(run_until_counter(
+            &mut tb.w,
+            "dfsio_done",
+            1.0,
+            SimDuration::from_millis(100),
+            CAP
+        ));
 
         // conservation per host
         let hosts: Vec<_> = {
@@ -168,7 +216,9 @@ fn accounting_is_conserved_and_vread_cheaper() {
                 "host {h:?} over-committed"
             );
         }
-        let cycles: f64 = (0..tb.w.acct.len()).map(|t| tb.w.acct.total_cycles(t)).sum();
+        let cycles: f64 = (0..tb.w.acct.len())
+            .map(|t| tb.w.acct.total_cycles(t))
+            .sum();
         totals.push(cycles);
     }
     assert!(
@@ -183,7 +233,12 @@ fn accounting_is_conserved_and_vread_cheaper() {
 #[test]
 fn scenarios_are_deterministic() {
     let run = || {
-        let mut tb = Testbed::build(TestbedOpts { ghz: 2.0, four_vms: true, path: PathKind::VreadRdma, ..Default::default() });
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz: 2.0,
+            four_vms: true,
+            path: PathKind::VreadRdma,
+            ..Default::default()
+        });
         tb.populate("/f", 32 << 20, Locality::Hybrid);
         let client = tb.make_client();
         let secs = reader_done(&mut tb, client, "/f", 1 << 20, 32 << 20);
@@ -197,7 +252,11 @@ fn scenarios_are_deterministic() {
 #[test]
 fn frequency_scaling_widens_the_gap() {
     let tput = |ghz: f64, path: PathKind| {
-        let mut tb = Testbed::build(TestbedOpts { ghz, path, ..Default::default() });
+        let mut tb = Testbed::build(TestbedOpts {
+            ghz,
+            path,
+            ..Default::default()
+        });
         tb.populate("/f", 96 << 20, Locality::CoLocated);
         let client = tb.make_client();
         // measure re-read (CPU-bound regime)
