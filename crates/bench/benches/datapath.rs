@@ -4,7 +4,7 @@
 //! harness's own performance.)
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use vread_bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread_bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread_core::VreadRegistry;
 use vread_hdfs::client::{DfsRead, DfsReadDone};
 use vread_sim::prelude::*;
@@ -34,12 +34,8 @@ impl Actor for OneShot {
     }
 }
 
-fn scenario(path: PathKind) -> World {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        path,
-        ..Default::default()
-    });
+fn scenario(path: ReadPath) -> World {
+    let mut tb = Testbed::build(TestbedOpts::new().path(path));
     tb.populate("/bench", 64 << 20, Locality::CoLocated);
     let client = tb.make_client();
     let a = tb.w.add_actor(
@@ -55,9 +51,9 @@ fn scenario(path: PathKind) -> World {
 
 fn bench_paths(c: &mut Criterion) {
     for (name, path) in [
-        ("datapath/vanilla_64mb_read", PathKind::Vanilla),
-        ("datapath/vread_64mb_read", PathKind::VreadRdma),
-        ("datapath/vread_tcp_64mb_read", PathKind::VreadTcp),
+        ("datapath/vanilla_64mb_read", ReadPath::Vanilla),
+        ("datapath/vread_64mb_read", ReadPath::VreadRdma),
+        ("datapath/vread_tcp_64mb_read", ReadPath::VreadTcp),
     ] {
         c.bench_function(name, |b| {
             b.iter_batched(
@@ -92,10 +88,7 @@ fn bench_remote_setup(c: &mut Criterion) {
     // daemon-to-daemon connection establishment + registry lookups
     c.bench_function("datapath/testbed_build_with_vread", |b| {
         b.iter(|| {
-            let mut tb = Testbed::build(TestbedOpts {
-                path: PathKind::VreadRdma,
-                ..Default::default()
-            });
+            let mut tb = Testbed::build(TestbedOpts::new().path(ReadPath::VreadRdma));
             let _c = tb.make_client();
             assert!(tb.w.ext.get::<VreadRegistry>().is_some());
             tb.w.events_processed()

@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--json DIR] [--jobs N] <experiment>... | all | list
 //! repro scenario <file.json>
+//! repro fault-matrix [--jobs N]
 //! repro bench-engine [--out FILE]
 //! ```
 //!
@@ -55,6 +56,7 @@ fn main() {
                     println!("{id}");
                 }
                 println!("scenario <file.json>");
+                println!("fault-matrix [--jobs N]");
                 println!("bench-engine [--out FILE]");
                 return;
             }
@@ -76,6 +78,29 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+                return;
+            }
+            "fault-matrix" => {
+                let mut fm_jobs = jobs;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--jobs" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => fm_jobs = Some(n),
+                                _ => {
+                                    eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        other => {
+                            eprintln!("fault-matrix: unknown argument {other:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                fault_matrix(fm_jobs.unwrap_or(1));
                 return;
             }
             "bench-engine" => {
@@ -204,6 +229,165 @@ fn run_parallel(
         }
     });
     failed
+}
+
+// ---------------------------------------------------------------------------
+// fault-matrix: the reliability smoke gate. Every fault kind crossed
+// with every read path on a short replicated-read scenario; one
+// deterministic summary line per cell, diffable across --jobs counts.
+// ---------------------------------------------------------------------------
+
+/// The 7 planned-fault timelines of the matrix, over the fixed two-host
+/// cell topology (client + dn1 on h1, dn2 on h2).
+fn fault_timelines() -> Vec<(&'static str, Vec<(u64, vread_bench::FaultKind)>)> {
+    use vread_bench::FaultKind;
+    let h1 = || "h1".to_owned();
+    vec![
+        (
+            "daemon-crash",
+            vec![(100, FaultKind::DaemonCrash { host: h1() })],
+        ),
+        (
+            "daemon-restart",
+            vec![
+                (100, FaultKind::DaemonCrash { host: h1() }),
+                (600, FaultKind::DaemonRestart { host: h1() }),
+            ],
+        ),
+        (
+            "link-flap",
+            vec![(
+                100,
+                FaultKind::LinkFlap {
+                    host: "h2".to_owned(),
+                    factor: 20.0,
+                    duration_ms: 300,
+                },
+            )],
+        ),
+        (
+            "disk-slow",
+            vec![(
+                100,
+                FaultKind::DiskSlow {
+                    host: h1(),
+                    factor: 8.0,
+                    duration_ms: 300,
+                },
+            )],
+        ),
+        (
+            "cache-drop",
+            vec![(100, FaultKind::CacheDrop { host: h1() })],
+        ),
+        (
+            "vhost-stall",
+            vec![(
+                100,
+                FaultKind::VhostStall {
+                    vm: "dn1".to_owned(),
+                    duration_ms: 200,
+                },
+            )],
+        ),
+        (
+            "vm-crash",
+            vec![(
+                100,
+                FaultKind::VmCrash {
+                    vm: "dn1".to_owned(),
+                },
+            )],
+        ),
+    ]
+}
+
+fn fault_cell(
+    path: vread_bench::ReadPath,
+    name: &str,
+    faults: &[(u64, vread_bench::FaultKind)],
+) -> String {
+    use vread_bench::spec::WorkloadSpec;
+    let mut b = vread_bench::ScenarioSpec::builder()
+        .path(path)
+        .host("h1", 4, 2.0)
+        .host("h2", 4, 2.0)
+        .client("client", "h1")
+        .datanode("dn1", "h1")
+        .datanode("dn2", "h2")
+        .replicated_file("/d", 128, &["dn1", "dn2"])
+        .workload(WorkloadSpec::Reader {
+            path: "/d".to_owned(),
+            request_kb: 1024,
+        });
+    for (at_ms, kind) in faults {
+        b = b.fault(*at_ms, kind.clone());
+    }
+    let report = b.build().and_then(|s| s.run());
+    let kind = name;
+    match report {
+        Ok(r) => {
+            let f = r.faults.as_ref().expect("fault report");
+            format!(
+                "{:<10} {:<14} bytes={} elapsed_s={:.3} events={} fallbacks={} \
+                 failovers={} retries={} restarts={}",
+                path.as_str(),
+                kind,
+                r.bytes,
+                r.elapsed_s,
+                f.events,
+                f.fallback_reads,
+                f.failovers,
+                f.path_retries,
+                f.daemon_restarts,
+            )
+        }
+        Err(e) => format!("{:<10} {:<14} FAILED: {e}", path.as_str(), kind),
+    }
+}
+
+fn fault_matrix(jobs: usize) {
+    let timelines = fault_timelines();
+    let cells: Vec<_> = vread_bench::ReadPath::ALL
+        .iter()
+        .flat_map(|&p| timelines.iter().map(move |(name, t)| (p, *name, t)))
+        .collect();
+    let n = cells.len();
+    let mut lines: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, String)>();
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let cells = &cells;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let (path, name, faults) = &cells[i];
+                if tx.send((i, fault_cell(*path, name, faults))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, line) in rx {
+            lines[i] = Some(line);
+        }
+    });
+    let mut failed = 0usize;
+    for line in lines.into_iter().flatten() {
+        if line.contains("FAILED") {
+            failed += 1;
+        }
+        println!("{line}");
+    }
+    if failed > 0 {
+        eprintln!("{failed} fault-matrix cell(s) failed");
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

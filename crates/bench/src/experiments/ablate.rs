@@ -12,7 +12,7 @@ use vread_hdfs::populate::{populate_file, Placement};
 use vread_host::costs::Costs;
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::reader_pass;
 
@@ -44,12 +44,7 @@ pub fn run_ring() -> Vec<Table> {
             ring_slots: (4 << 20) / slot,
             ..Default::default()
         };
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path: PathKind::VreadRdma,
-            costs,
-            ..Default::default()
-        });
+        let mut tb = Testbed::build(TestbedOpts::new().path(ReadPath::VreadRdma).costs(costs));
         tb.populate("/f", FILE, Locality::CoLocated);
         let client = tb.make_client();
         let cold = read_mbps(&mut tb, client, "/f");
@@ -72,11 +67,7 @@ pub fn run_bypass() -> Vec<Table> {
         (false, "mounted (paper design)"),
         (true, "bypass host FS (§6)"),
     ] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path: PathKind::VreadRdma,
-            ..Default::default()
-        });
+        let mut tb = Testbed::build(TestbedOpts::new().path(ReadPath::VreadRdma));
         tb.populate("/f", FILE, Locality::CoLocated);
         let client = tb.make_client();
         if bypass {
@@ -105,19 +96,14 @@ pub fn run_sriov() -> Vec<Table> {
         "remote & co-located vanilla reads with SR-IOV NICs vs vRead (MB/s, re-read)",
         &["variant", "remote", "co-located"],
     );
-    let measure = |path: PathKind, sriov: bool| -> (f64, f64) {
+    let measure = |path: ReadPath, sriov: bool| -> (f64, f64) {
         let mut out = [0.0f64; 2];
         for (i, locality) in [Locality::Remote, Locality::CoLocated].iter().enumerate() {
             let costs = Costs {
                 sriov_nics: sriov,
                 ..Default::default()
             };
-            let mut tb = Testbed::build(TestbedOpts {
-                ghz: 2.0,
-                path,
-                costs,
-                ..Default::default()
-            });
+            let mut tb = Testbed::build(TestbedOpts::new().path(path).costs(costs));
             tb.populate("/f", FILE, *locality);
             let client = tb.make_client();
             let _cold = read_mbps(&mut tb, client, "/f");
@@ -126,9 +112,9 @@ pub fn run_sriov() -> Vec<Table> {
         (out[0], out[1])
     };
     for (label, path, sriov) in [
-        ("vanilla", PathKind::Vanilla, false),
-        ("vanilla + SR-IOV", PathKind::Vanilla, true),
-        ("vRead", PathKind::VreadRdma, false),
+        ("vanilla", ReadPath::Vanilla, false),
+        ("vanilla + SR-IOV", ReadPath::Vanilla, true),
+        ("vRead", ReadPath::VreadRdma, false),
     ] {
         let (remote, colocated) = measure(path, sriov);
         t.row(label, vec![remote, colocated]);
@@ -145,11 +131,7 @@ pub fn run_hve() -> Vec<Table> {
         &["variant", "read"],
     );
     for (aware, label) in [(true, "HVE on (prefer co-located)"), (false, "HVE off")] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path: PathKind::Vanilla,
-            ..Default::default()
-        });
+        let mut tb = Testbed::build(TestbedOpts::new());
         // every block on both datanodes, primary rotating
         let placement = Placement::Replicated(vec![tb.dn_local, tb.dn_remote]);
         populate_file(&mut tb.w, "/f", FILE, &placement);

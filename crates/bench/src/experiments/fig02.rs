@@ -4,7 +4,7 @@
 use vread_apps::java_reader::JavaReader;
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, Testbed, TestbedOpts};
 
 use super::{local_reader_pass, reader_pass};
 
@@ -26,21 +26,14 @@ pub fn run() -> Vec<Table> {
     );
     for (req, label) in REQUESTS {
         // inter-VM: vanilla HDFS from the co-located datanode VM
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path: PathKind::Vanilla,
-            ..Default::default()
-        });
+        let mut tb = Testbed::build(TestbedOpts::new());
         tb.populate("/f", FILE, Locality::CoLocated);
         let client = tb.make_client();
         let cold_inter = reader_pass(&mut tb, client, "/f", req, FILE);
         let warm_inter = reader_pass(&mut tb, client, "/f", req, FILE);
 
         // local: a plain file in the reader's own VM
-        let mut tl = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            ..Default::default()
-        });
+        let mut tl = Testbed::build(TestbedOpts::new());
         JavaReader::create_local_file(&mut tl.w, tl.client_vm, "/local", FILE);
         let cold_local = local_reader_pass(&mut tl, "/local", req, FILE);
         let warm_local = local_reader_pass(&mut tl, "/local", req, FILE);

@@ -10,7 +10,7 @@ use vread_sim::cpu::CpuCategory;
 use vread_sim::prelude::*;
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::reader_pass;
 
@@ -42,14 +42,10 @@ fn breakdown(
 /// Runs one CPU-breakdown measurement; returns (client-side map,
 /// datanode-side map).
 fn measure(
-    path: PathKind,
+    path: ReadPath,
     locality: Locality,
 ) -> (BTreeMap<&'static str, f64>, BTreeMap<&'static str, f64>) {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        path,
-        ..Default::default()
-    });
+    let mut tb = Testbed::build(TestbedOpts::new().path(path));
     tb.populate("/f", FILE, locality);
     let client = tb.make_client();
     let (cvcpu, cvhost, dvcpu, dvhost) = tb.key_threads();
@@ -68,11 +64,11 @@ fn measure(
         (tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s")) * 1e9;
 
     let (client_threads, dn_threads): (Vec<ThreadId>, Vec<ThreadId>) = match path {
-        PathKind::Vanilla => (
+        ReadPath::Vanilla => (
             vec![cvcpu, cvhost],
             vec![serving_dn_threads.0, serving_dn_threads.1],
         ),
-        PathKind::VreadRdma | PathKind::VreadTcp => {
+        ReadPath::VreadRdma | ReadPath::VreadTcp => {
             let (d1, d2) = daemons.expect("vread deployed");
             match locality {
                 // Local reads: the host1 daemon IS the datanode side
@@ -90,9 +86,9 @@ fn measure(
     )
 }
 
-fn build_table(id: &str, title: &str, locality: Locality, vread_kind: PathKind) -> Table {
+fn build_table(id: &str, title: &str, locality: Locality, vread_kind: ReadPath) -> Table {
     let (vr_client, vr_dn) = measure(vread_kind, locality);
-    let (va_client, va_dn) = measure(PathKind::Vanilla, locality);
+    let (va_client, va_dn) = measure(ReadPath::Vanilla, locality);
     let mut t = Table::new(
         id,
         title,
@@ -137,7 +133,7 @@ pub fn run_fig6() -> Vec<Table> {
         "fig6",
         "CPU utilization, co-located 1 GB read (scaled)",
         Locality::CoLocated,
-        PathKind::VreadRdma,
+        ReadPath::VreadRdma,
     );
     t.note("paper: vRead saves ~40% of client-side and ~65% of datanode-side CPU");
     vec![t]
@@ -149,7 +145,7 @@ pub fn run_fig7() -> Vec<Table> {
         "fig7",
         "CPU utilization, remote read with RDMA",
         Locality::Remote,
-        PathKind::VreadRdma,
+        ReadPath::VreadRdma,
     );
     t.note(
         "paper: ~45% client-side / >50% datanode-side CPU savings; rdma cost far below vhost-net",
@@ -163,7 +159,7 @@ pub fn run_fig8() -> Vec<Table> {
         "fig8",
         "CPU utilization, remote read with the TCP fallback",
         Locality::Remote,
-        PathKind::VreadTcp,
+        ReadPath::VreadTcp,
     );
     t.note("paper: total still slightly below vanilla, but vRead-net costs more than vhost-net");
     vec![t]

@@ -2,20 +2,15 @@
 //! 2 VMs vs 4 VMs, with and without caches.
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::reader_pass;
 
 const FILE: u64 = 256 << 20; // scaled from 1 GB
 const REQUESTS: [(u64, &str); 3] = [(64 << 10, "64KB"), (1 << 20, "1MB"), (4 << 20, "4MB")];
 
-fn delays(path: PathKind, four_vms: bool, request: u64) -> (f64, f64) {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        four_vms,
-        path,
-        ..Default::default()
-    });
+fn delays(path: ReadPath, four_vms: bool, request: u64) -> (f64, f64) {
+    let mut tb = Testbed::build(TestbedOpts::new().four_vms(four_vms).path(path));
     tb.populate("/f", FILE, Locality::CoLocated);
     let client = tb.make_client();
     let cold = reader_pass(&mut tb, client, "/f", request, FILE);
@@ -35,10 +30,10 @@ pub fn run() -> Vec<Table> {
     let mut a = Table::new("fig9a", "HDFS data access delay without cache (ms)", &cols);
     let mut b = Table::new("fig9b", "HDFS data access delay with cache (ms)", &cols);
     for (req, label) in REQUESTS {
-        let (va2c, va2w) = delays(PathKind::Vanilla, false, req);
-        let (vr2c, vr2w) = delays(PathKind::VreadRdma, false, req);
-        let (va4c, va4w) = delays(PathKind::Vanilla, true, req);
-        let (vr4c, vr4w) = delays(PathKind::VreadRdma, true, req);
+        let (va2c, va2w) = delays(ReadPath::Vanilla, false, req);
+        let (vr2c, vr2w) = delays(ReadPath::VreadRdma, false, req);
+        let (va4c, va4w) = delays(ReadPath::Vanilla, true, req);
+        let (vr4c, vr4w) = delays(ReadPath::VreadRdma, true, req);
         a.row(label, vec![va2c, vr2c, va4c, vr4c]);
         b.row(label, vec![va2w, vr2w, va4w, vr4w]);
     }

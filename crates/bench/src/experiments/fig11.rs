@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use vread_apps::dfsio::DfsioMode;
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::{dfsio_pass, DfsioResult};
 
@@ -28,20 +28,16 @@ struct Cell {
 }
 
 /// One full matrix of results, keyed `[locality][freq][four_vms][path]`.
-type Matrix = Vec<((Locality, f64, bool, PathKind), Cell)>;
+type Matrix = Vec<((Locality, f64, bool, ReadPath), Cell)>;
 
 fn compute() -> Matrix {
     let mut out = Vec::new();
     for locality in LOCALITIES {
         for ghz in FREQS {
             for four_vms in [false, true] {
-                for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-                    let mut tb = Testbed::build(TestbedOpts {
-                        ghz,
-                        four_vms,
-                        path,
-                        ..Default::default()
-                    });
+                for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+                    let mut tb =
+                        Testbed::build(TestbedOpts::new().ghz(ghz).four_vms(four_vms).path(path));
                     let files: Vec<String> = (0..FILES).map(|i| format!("/dfsio/{i}")).collect();
                     for f in &files {
                         tb.populate(f, FILE_BYTES, locality);
@@ -62,7 +58,7 @@ fn matrix() -> &'static Matrix {
     M.get_or_init(compute)
 }
 
-fn cell(m: &Matrix, locality: Locality, ghz: f64, four: bool, path: PathKind) -> Cell {
+fn cell(m: &Matrix, locality: Locality, ghz: f64, four: bool, path: ReadPath) -> Cell {
     m.iter()
         .find(|((l, g, f, p), _)| *l == locality && *g == ghz && *f == four && *p == path)
         .map(|(_, c)| *c)
@@ -96,10 +92,10 @@ fn panels(value: impl Fn(&Cell, bool) -> f64, id_prefix: &str, unit: &str) -> Ve
             t.row(
                 format!("{ghz:.1}GHz"),
                 vec![
-                    value(&cell(m, locality, ghz, false, PathKind::Vanilla), reread),
-                    value(&cell(m, locality, ghz, false, PathKind::VreadRdma), reread),
-                    value(&cell(m, locality, ghz, true, PathKind::Vanilla), reread),
-                    value(&cell(m, locality, ghz, true, PathKind::VreadRdma), reread),
+                    value(&cell(m, locality, ghz, false, ReadPath::Vanilla), reread),
+                    value(&cell(m, locality, ghz, false, ReadPath::VreadRdma), reread),
+                    value(&cell(m, locality, ghz, true, ReadPath::Vanilla), reread),
+                    value(&cell(m, locality, ghz, true, ReadPath::VreadRdma), reread),
                 ],
             );
         }

@@ -6,19 +6,15 @@ use vread_apps::dfsio::DfsioMode;
 use vread_hdfs::HdfsMeta;
 
 use crate::report::Table;
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::dfsio_pass;
 
 const FILES: usize = 4;
 const FILE_BYTES: u64 = 64 << 20; // 256 MB total, scaled from 5 GB
 
-fn write_mbps(path: PathKind, locality: Locality) -> f64 {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        path,
-        ..Default::default()
-    });
+fn write_mbps(path: ReadPath, locality: Locality) -> f64 {
+    let mut tb = Testbed::build(TestbedOpts::new().path(path));
     // Small blocks so several finalizations (and hence mount refreshes)
     // happen per file.
     tb.w.ext.get_mut::<HdfsMeta>().expect("meta").block_bytes = 32 << 20;
@@ -37,8 +33,8 @@ pub fn run() -> Vec<Table> {
         &["scenario", "vanilla", "vRead", "overhead %"],
     );
     for locality in [Locality::CoLocated, Locality::Remote, Locality::Hybrid] {
-        let vanilla = write_mbps(PathKind::Vanilla, locality);
-        let vread = write_mbps(PathKind::VreadRdma, locality);
+        let vanilla = write_mbps(ReadPath::Vanilla, locality);
+        let vread = write_mbps(ReadPath::VreadRdma, locality);
         t.row(
             locality.label(),
             vec![vanilla, vread, (1.0 - vread / vanilla) * 100.0],

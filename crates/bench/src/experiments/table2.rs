@@ -7,7 +7,7 @@ use vread_apps::hbase::{HbaseClient, HbaseConfig, HbaseOp};
 use vread_sim::prelude::*;
 
 use crate::report::{improvement_pct, Table};
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::CAP;
 
@@ -15,13 +15,8 @@ use super::CAP;
 const SCAN_ROWS: u64 = 120_000;
 const RANDOM_ROWS: u64 = 15_000;
 
-fn mbps(path: PathKind, op: HbaseOp) -> f64 {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        four_vms: true,
-        path,
-        ..Default::default()
-    });
+fn mbps(path: ReadPath, op: HbaseOp) -> f64 {
+    let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
     let cfg = HbaseConfig::default();
     let table_rows = SCAN_ROWS;
     let rows = match op {
@@ -69,8 +64,8 @@ pub fn run() -> Vec<Table> {
         (HbaseOp::SequentialRead, "SequentialRead", 23.6),
         (HbaseOp::RandomRead, "RandomRead", 17.3),
     ] {
-        let vanilla = mbps(PathKind::Vanilla, op);
-        let vread = mbps(PathKind::VreadRdma, op);
+        let vanilla = mbps(ReadPath::Vanilla, op);
+        let vread = mbps(ReadPath::VreadRdma, op);
         let imp = improvement_pct(vanilla, vread);
         t.row(
             format!("{label} (paper +{paper}%)"),

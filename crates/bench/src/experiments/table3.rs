@@ -7,7 +7,7 @@ use vread_apps::sqoop::{deploy_sqoop, SqoopConfig, SqoopExport};
 use vread_sim::prelude::*;
 
 use crate::report::{reduction_pct, Table};
-use crate::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 
 use super::CAP;
 
@@ -15,13 +15,8 @@ use super::CAP;
 const ROWS: u64 = 1_500_000;
 const PAPER_ROWS: u64 = 30_000_000;
 
-fn hive_secs(path: PathKind) -> f64 {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        four_vms: true,
-        path,
-        ..Default::default()
-    });
+fn hive_secs(path: ReadPath) -> f64 {
+    let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
     let cfg = HiveConfig::default();
     tb.populate(
         "/hive/test",
@@ -47,13 +42,8 @@ fn hive_secs(path: PathKind) -> f64 {
     setup_secs + (secs - setup_secs) * (PAPER_ROWS as f64 / ROWS as f64)
 }
 
-fn sqoop_secs(path: PathKind) -> f64 {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        four_vms: true,
-        path,
-        ..Default::default()
-    });
+fn sqoop_secs(path: ReadPath) -> f64 {
+    let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
     let cfg = SqoopConfig::default();
     tb.populate(
         "/export/t",
@@ -91,14 +81,14 @@ pub fn run() -> Vec<Table> {
         "Hive select & Sqoop export completion time (s, projected to 30M rows)",
         &["job", "vanilla", "vRead", "reduction %"],
     );
-    let hv = hive_secs(PathKind::Vanilla);
-    let hr = hive_secs(PathKind::VreadRdma);
+    let hv = hive_secs(ReadPath::Vanilla);
+    let hr = hive_secs(ReadPath::VreadRdma);
     t.row(
         "Hive select (paper 17.9 -> 14.1s, -21.3%)",
         vec![hv, hr, reduction_pct(hv, hr)],
     );
-    let sv = sqoop_secs(PathKind::Vanilla);
-    let sr = sqoop_secs(PathKind::VreadRdma);
+    let sv = sqoop_secs(ReadPath::Vanilla);
+    let sr = sqoop_secs(ReadPath::VreadRdma);
     t.row(
         "Sqoop export (paper 385 -> 343s, -11.3%)",
         vec![sv, sr, reduction_pct(sv, sr)],

@@ -13,11 +13,13 @@
 //! `benches/`.
 
 pub mod experiments;
+pub mod faults;
 pub mod json;
 pub mod report;
 pub mod scenarios;
 pub mod spec;
 
+pub use faults::{collect_fault_report, random_plan, FaultKind, FaultReport, FaultSpec};
 pub use report::{improvement_pct, reduction_pct, Row, Table};
-pub use scenarios::{Locality, PathKind, Testbed, TestbedOpts};
-pub use spec::{ScenarioReport, ScenarioSpec, SpecError};
+pub use scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
+pub use spec::{ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError, WorkloadSpec};

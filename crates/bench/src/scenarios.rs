@@ -18,7 +18,7 @@ use vread_sim::prelude::*;
 
 /// Which data path the HDFS client uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PathKind {
+pub enum ReadPath {
     /// Unmodified HDFS (Figure 1 flow).
     Vanilla,
     /// vRead with RDMA remote reads.
@@ -27,13 +27,36 @@ pub enum PathKind {
     VreadTcp,
 }
 
-impl PathKind {
+impl ReadPath {
+    /// Every path, in figure-legend order.
+    pub const ALL: [ReadPath; 3] = [ReadPath::Vanilla, ReadPath::VreadRdma, ReadPath::VreadTcp];
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {
-            PathKind::Vanilla => "vanilla",
-            PathKind::VreadRdma => "vRead",
-            PathKind::VreadTcp => "vRead-tcp",
+            ReadPath::Vanilla => "vanilla",
+            ReadPath::VreadRdma => "vRead",
+            ReadPath::VreadTcp => "vRead-tcp",
+        }
+    }
+
+    /// The scenario-JSON spelling (`"vanilla"` / `"vread-rdma"` /
+    /// `"vread-tcp"`), inverse of [`ReadPath::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadPath::Vanilla => "vanilla",
+            ReadPath::VreadRdma => "vread-rdma",
+            ReadPath::VreadTcp => "vread-tcp",
+        }
+    }
+
+    /// Parses the scenario-JSON spelling.
+    pub fn parse(s: &str) -> Option<ReadPath> {
+        match s {
+            "vanilla" => Some(ReadPath::Vanilla),
+            "vread-rdma" => Some(ReadPath::VreadRdma),
+            "vread-tcp" => Some(ReadPath::VreadTcp),
+            _ => None,
         }
     }
 }
@@ -69,7 +92,7 @@ pub struct TestbedOpts {
     /// 85% lookbusy background VMs); `false` = "2 VMs".
     pub four_vms: bool,
     /// Data path under test.
-    pub path: PathKind,
+    pub path: ReadPath,
     /// RNG seed.
     pub seed: u64,
     /// Cost-model override (ablations tweak e.g. the ring slot size).
@@ -81,10 +104,47 @@ impl Default for TestbedOpts {
         TestbedOpts {
             ghz: 2.0,
             four_vms: false,
-            path: PathKind::Vanilla,
+            path: ReadPath::Vanilla,
             seed: 42,
             costs: Costs::default(),
         }
+    }
+}
+
+impl TestbedOpts {
+    /// The defaults (2.0 GHz, "2 VMs", vanilla path, seed 42).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the host clock frequency.
+    pub fn ghz(mut self, ghz: f64) -> Self {
+        self.ghz = ghz;
+        self
+    }
+
+    /// Selects the "4 VMs" (true) or "2 VMs" (false) configuration.
+    pub fn four_vms(mut self, four_vms: bool) -> Self {
+        self.four_vms = four_vms;
+        self
+    }
+
+    /// Sets the data path under test.
+    pub fn path(mut self, path: ReadPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn costs(mut self, costs: Costs) -> Self {
+        self.costs = costs;
+        self
     }
 }
 
@@ -177,12 +237,12 @@ impl Testbed {
     /// the initial mounts see the data.
     pub fn make_client(&mut self) -> ActorId {
         let path: Box<dyn BlockReadPath> = match self.opts.path {
-            PathKind::Vanilla => Box::new(VanillaPath::new()),
-            PathKind::VreadRdma => {
+            ReadPath::Vanilla => Box::new(VanillaPath::new()),
+            ReadPath::VreadRdma => {
                 deploy_vread(&mut self.w, RemoteTransport::Rdma);
                 Box::new(VreadPath::new())
             }
-            PathKind::VreadTcp => {
+            ReadPath::VreadTcp => {
                 deploy_vread(&mut self.w, RemoteTransport::Tcp);
                 Box::new(VreadPath::new())
             }
@@ -250,21 +310,15 @@ mod tests {
         let tb = Testbed::build(TestbedOpts::default());
         let cl = tb.w.ext.get::<Cluster>().unwrap();
         assert_eq!(cl.vms.len(), 3);
-        let tb4 = Testbed::build(TestbedOpts {
-            four_vms: true,
-            ..Default::default()
-        });
+        let tb4 = Testbed::build(TestbedOpts::new().four_vms(true));
         let cl4 = tb4.w.ext.get::<Cluster>().unwrap();
         assert_eq!(cl4.vms.len(), 8, "hosts filled to 4 VMs each");
     }
 
     #[test]
     fn populate_and_clients_work_for_all_paths() {
-        for path in [PathKind::Vanilla, PathKind::VreadRdma, PathKind::VreadTcp] {
-            let mut tb = Testbed::build(TestbedOpts {
-                path,
-                ..Default::default()
-            });
+        for path in [ReadPath::Vanilla, ReadPath::VreadRdma, ReadPath::VreadTcp] {
+            let mut tb = Testbed::build(TestbedOpts::new().path(path));
             tb.populate("/d", 4 << 20, Locality::Hybrid);
             let _client = tb.make_client();
             assert!(tb.w.ext.get::<HdfsMeta>().unwrap().file("/d").is_some());

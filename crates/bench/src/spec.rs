@@ -23,7 +23,12 @@
 //! Run with `repro scenario <file.json>`; the report (throughput, CPU,
 //! per-thread busy time) is printed and returned as JSON.
 
+use crate::faults::{
+    build_fault_actions, collect_fault_report, plan_window, FaultKind, FaultReport, FaultSpec,
+    FaultTargets,
+};
 use crate::json::{n, obj, s, Json};
+use crate::scenarios::ReadPath;
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_apps::driver::run_until_counter;
@@ -37,6 +42,7 @@ use vread_hdfs::populate::{populate_file, Placement};
 use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
 use vread_host::cluster::{Cluster, VmId};
 use vread_host::costs::Costs;
+use vread_sim::fault::{schedule_faults, FaultTrace};
 use vread_sim::prelude::*;
 
 /// A physical host.
@@ -83,6 +89,10 @@ pub struct FileSpec {
     pub mb: u64,
     /// Datanode names blocks round-robin over.
     pub placement: Vec<String>,
+    /// `true` puts every block on *all* placement datanodes (rotating
+    /// primaries) instead of round-robining — the 3-way-replication
+    /// layout fault scenarios fail over inside.
+    pub replicate: bool,
 }
 
 /// The measured workload.
@@ -141,8 +151,8 @@ pub enum WorkloadSpec {
 pub struct ScenarioSpec {
     /// RNG seed (default 42).
     pub seed: u64,
-    /// Read path: `"vanilla"`, `"vread-rdma"` or `"vread-tcp"`.
-    pub path: String,
+    /// Read path under test.
+    pub path: ReadPath,
     /// Hosts.
     pub hosts: Vec<HostSpec>,
     /// VMs.
@@ -151,6 +161,8 @@ pub struct ScenarioSpec {
     pub files: Vec<FileSpec>,
     /// The workload to run.
     pub workload: WorkloadSpec,
+    /// Planned faults (default none; see [`FaultSpec`]).
+    pub faults: Vec<FaultSpec>,
 }
 
 /// Scenario results.
@@ -167,6 +179,9 @@ pub struct ScenarioReport {
     /// CPU milliseconds by the paper's figure-legend buckets (whole
     /// deployment, lookbusy excluded).
     pub cpu_by_category_ms: Vec<(String, f64)>,
+    /// Degradation summary — present only when the scenario planned
+    /// faults, so fault-free reports serialize exactly as before.
+    pub faults: Option<FaultReport>,
 }
 
 /// Errors building/running a scenario.
@@ -202,36 +217,39 @@ impl ScenarioReport {
                     .collect(),
             )
         };
-        obj(vec![
+        let mut fields = vec![
             ("elapsed_s", n(self.elapsed_s)),
             ("bytes", n(self.bytes as f64)),
             ("rate", n(self.rate)),
             ("thread_busy_ms", pairs(&self.thread_busy_ms)),
             ("cpu_by_category_ms", pairs(&self.cpu_by_category_ms)),
-        ])
-        .pretty()
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json()));
+        }
+        obj(fields).pretty()
     }
 }
 
 // -- manual JSON decoding (replaces serde derive) ---------------------------
 
-fn parse_err(msg: impl Into<String>) -> SpecError {
+pub(crate) fn parse_err(msg: impl Into<String>) -> SpecError {
     SpecError::Parse(msg.into())
 }
 
-fn req<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
+pub(crate) fn req<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
     j.get(key)
         .ok_or_else(|| parse_err(format!("{ctx}: missing field {key:?}")))
 }
 
-fn req_str(j: &Json, key: &str, ctx: &str) -> Result<String, SpecError> {
+pub(crate) fn req_str(j: &Json, key: &str, ctx: &str) -> Result<String, SpecError> {
     req(j, key, ctx)?
         .as_str()
         .map(str::to_owned)
         .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be a string")))
 }
 
-fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
+pub(crate) fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
     req(j, key, ctx)?.as_u64().ok_or_else(|| {
         parse_err(format!(
             "{ctx}: field {key:?} must be a non-negative integer"
@@ -239,7 +257,7 @@ fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
     })
 }
 
-fn opt_u64(j: &Json, key: &str, default: u64, ctx: &str) -> Result<u64, SpecError> {
+pub(crate) fn opt_u64(j: &Json, key: &str, default: u64, ctx: &str) -> Result<u64, SpecError> {
     match j.get(key) {
         None | Some(Json::Null) => Ok(default),
         Some(v) => v.as_u64().ok_or_else(|| {
@@ -250,13 +268,13 @@ fn opt_u64(j: &Json, key: &str, default: u64, ctx: &str) -> Result<u64, SpecErro
     }
 }
 
-fn req_arr<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], SpecError> {
+pub(crate) fn req_arr<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], SpecError> {
     req(j, key, ctx)?
         .as_array()
         .ok_or_else(|| parse_err(format!("{ctx}: field {key:?} must be an array")))
 }
 
-fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, SpecError> {
+pub(crate) fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, SpecError> {
     req_arr(j, key, ctx)?
         .iter()
         .map(|e| {
@@ -328,8 +346,24 @@ impl ScenarioSpec {
                         path: req_str(f, "path", "file")?,
                         mb: req_u64(f, "mb", "file")?,
                         placement: str_list(f, "placement", "file")?,
+                        replicate: match f.get("replicate") {
+                            None | Some(Json::Null) => false,
+                            Some(b) => b.as_bool().ok_or_else(|| {
+                                parse_err("file: field \"replicate\" must be a boolean")
+                            })?,
+                        },
                     })
                 })
+                .collect::<Result<Vec<_>, SpecError>>()?,
+        };
+
+        let faults = match j.get("faults") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(f) => f
+                .as_array()
+                .ok_or_else(|| parse_err("scenario: field \"faults\" must be an array"))?
+                .iter()
+                .map(FaultSpec::from_json)
                 .collect::<Result<Vec<_>, SpecError>>()?,
         };
 
@@ -354,14 +388,25 @@ impl ScenarioSpec {
             other => return Err(parse_err(format!("workload: unknown kind {other:?}"))),
         };
 
+        let path_s = req_str(&j, "path", "scenario")?;
+        let path = ReadPath::parse(&path_s)
+            .ok_or_else(|| parse_err(format!("scenario: unknown path {path_s:?}")))?;
+
         Ok(ScenarioSpec {
             seed: opt_u64(&j, "seed", 42, "scenario")?,
-            path: req_str(&j, "path", "scenario")?,
+            path,
             hosts,
             vms,
             files,
             workload,
+            faults,
         })
+    }
+
+    /// Starts a [`ScenarioBuilder`] with the defaults (seed 42, vanilla
+    /// path, nothing else).
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
     }
 
     /// Builds and runs the scenario, returning the report.
@@ -443,21 +488,25 @@ impl ScenarioSpec {
                     f.path
                 )));
             }
-            populate_file(&mut w, &f.path, f.mb << 20, &Placement::RoundRobin(dns));
+            let placement = if f.replicate {
+                Placement::Replicated(dns)
+            } else {
+                Placement::RoundRobin(dns)
+            };
+            populate_file(&mut w, &f.path, f.mb << 20, &placement);
         }
 
         // read path
-        let path: Box<dyn BlockReadPath> = match self.path.as_str() {
-            "vanilla" => Box::new(VanillaPath::new()),
-            "vread-rdma" => {
+        let path: Box<dyn BlockReadPath> = match self.path {
+            ReadPath::Vanilla => Box::new(VanillaPath::new()),
+            ReadPath::VreadRdma => {
                 deploy_vread(&mut w, RemoteTransport::Rdma);
                 Box::new(VreadPath::new())
             }
-            "vread-tcp" => {
+            ReadPath::VreadTcp => {
                 deploy_vread(&mut w, RemoteTransport::Tcp);
                 Box::new(VreadPath::new())
             }
-            other => return Err(SpecError::Invalid(format!("unknown path {other:?}"))),
         };
         let client = add_client(&mut w, client_vm, path);
 
@@ -466,6 +515,27 @@ impl ScenarioSpec {
             let lb = Lookbusy::new(thread, busy, SimDuration::from_millis(10));
             let a = w.add_actor("lookbusy", lb);
             w.send_now(a, Start);
+        }
+
+        // fault plan — armed before the workload starts so every fault
+        // fires at its absolute scenario time
+        if !self.faults.is_empty() {
+            let datanode_set: std::collections::HashSet<VmId> =
+                datanode_vms.iter().map(|(_, v)| *v).collect();
+            let targets = FaultTargets {
+                hosts: &host_ix,
+                vms: &vm_ids,
+                datanodes: &datanode_set,
+            };
+            let plan = build_fault_actions(&self.faults, &w, &targets)?;
+            schedule_faults(&mut w, plan);
+            // widen the trace window past the restores so
+            // throughput-during-fault integrates over the whole outage
+            let (window_start, window_end) = plan_window(&self.faults);
+            w.ext.insert(FaultTrace {
+                window_start,
+                window_end,
+            });
         }
 
         // workload
@@ -616,6 +686,244 @@ impl ScenarioSpec {
             rate,
             thread_busy_ms,
             cpu_by_category_ms,
+            faults: if self.faults.is_empty() {
+                None
+            } else {
+                Some(collect_fault_report(&w))
+            },
+        })
+    }
+}
+
+/// Fluent construction of a [`ScenarioSpec`] — the programmatic
+/// equivalent of the scenario JSON, with the same validation surface:
+///
+/// ```rust
+/// use vread_bench::{ReadPath, ScenarioSpec};
+/// use vread_bench::spec::WorkloadSpec;
+///
+/// let spec = ScenarioSpec::builder()
+///     .path(ReadPath::VreadRdma)
+///     .host("h1", 4, 2.0)
+///     .host("h2", 4, 2.0)
+///     .client("client", "h1")
+///     .datanode("dn1", "h1")
+///     .datanode("dn2", "h2")
+///     .replicated_file("/d", 16, &["dn1", "dn2"])
+///     .workload(WorkloadSpec::Reader {
+///         path: "/d".to_owned(),
+///         request_kb: 1024,
+///     })
+///     .build()?;
+/// assert_eq!(spec.files[0].placement.len(), 2);
+/// # Ok::<(), vread_bench::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    path: ReadPath,
+    hosts: Vec<HostSpec>,
+    vms: Vec<VmSpec>,
+    files: Vec<FileSpec>,
+    workload: Option<WorkloadSpec>,
+    faults: Vec<FaultSpec>,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            seed: 42,
+            path: ReadPath::Vanilla,
+            hosts: Vec::new(),
+            vms: Vec::new(),
+            files: Vec::new(),
+            workload: None,
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets the RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the read path under test (default vanilla).
+    pub fn path(mut self, path: ReadPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Adds a host.
+    pub fn host(mut self, name: &str, cores: usize, ghz: f64) -> Self {
+        self.hosts.push(HostSpec {
+            name: name.to_owned(),
+            cores,
+            ghz,
+        });
+        self
+    }
+
+    /// Adds a client VM on `host`.
+    pub fn client(self, name: &str, host: &str) -> Self {
+        self.vm(name, host, VmRole::Client, None)
+    }
+
+    /// Adds a datanode VM on `host`.
+    pub fn datanode(self, name: &str, host: &str) -> Self {
+        self.vm(name, host, VmRole::Datanode, None)
+    }
+
+    /// Adds a lookbusy background VM on `host` with duty cycle `busy`.
+    pub fn lookbusy(self, name: &str, host: &str, busy: f64) -> Self {
+        self.vm(name, host, VmRole::Lookbusy, Some(busy))
+    }
+
+    /// Adds a VM with an explicit role.
+    pub fn vm(mut self, name: &str, host: &str, role: VmRole, busy: Option<f64>) -> Self {
+        self.vms.push(VmSpec {
+            name: name.to_owned(),
+            host: host.to_owned(),
+            role,
+            busy,
+        });
+        self
+    }
+
+    /// Adds a pre-populated file, blocks round-robined over `placement`.
+    pub fn file(mut self, path: &str, mb: u64, placement: &[&str]) -> Self {
+        self.files.push(FileSpec {
+            path: path.to_owned(),
+            mb,
+            placement: placement.iter().map(|s| (*s).to_owned()).collect(),
+            replicate: false,
+        });
+        self
+    }
+
+    /// Adds a pre-populated file with every block replicated on all
+    /// `placement` datanodes.
+    pub fn replicated_file(mut self, path: &str, mb: u64, placement: &[&str]) -> Self {
+        self.files.push(FileSpec {
+            path: path.to_owned(),
+            mb,
+            placement: placement.iter().map(|s| (*s).to_owned()).collect(),
+            replicate: true,
+        });
+        self
+    }
+
+    /// Sets the workload (required).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Plans a fault at `at_ms` simulated milliseconds.
+    pub fn fault(mut self, at_ms: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec { at_ms, kind });
+        self
+    }
+
+    /// Validates the assembled scenario and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] when the shape is wrong (no workload, no
+    /// client/datanode VM, vm-crash against a non-datanode);
+    /// [`SpecError::Unresolved`] when a host, datanode, file or fault
+    /// target name doesn't refer to anything added before `build`.
+    pub fn build(self) -> Result<ScenarioSpec, SpecError> {
+        let workload = self
+            .workload
+            .ok_or_else(|| SpecError::Invalid("no workload".to_owned()))?;
+        let host_names: std::collections::HashSet<&str> =
+            self.hosts.iter().map(|h| h.name.as_str()).collect();
+        let mut datanodes = std::collections::HashSet::new();
+        let mut has_client = false;
+        for v in &self.vms {
+            if !host_names.contains(v.host.as_str()) {
+                return Err(SpecError::Unresolved(format!("host {}", v.host)));
+            }
+            match v.role {
+                VmRole::Client => has_client = true,
+                VmRole::Datanode => {
+                    datanodes.insert(v.name.as_str());
+                }
+                VmRole::Lookbusy => {}
+            }
+        }
+        if !has_client {
+            return Err(SpecError::Invalid("no client VM".to_owned()));
+        }
+        if datanodes.is_empty() {
+            return Err(SpecError::Invalid("no datanode VM".to_owned()));
+        }
+        for f in &self.files {
+            if f.placement.is_empty() {
+                return Err(SpecError::Invalid(format!(
+                    "file {} has no placement",
+                    f.path
+                )));
+            }
+            for dn in &f.placement {
+                if !datanodes.contains(dn.as_str()) {
+                    return Err(SpecError::Unresolved(format!("datanode {dn}")));
+                }
+            }
+        }
+        let file_names: std::collections::HashSet<&str> =
+            self.files.iter().map(|f| f.path.as_str()).collect();
+        let read_targets: Vec<&str> = match &workload {
+            WorkloadSpec::DfsioRead { files, .. } => files.iter().map(String::as_str).collect(),
+            WorkloadSpec::Reader { path, .. } => vec![path.as_str()],
+            _ => Vec::new(),
+        };
+        for f in read_targets {
+            if !file_names.contains(f) {
+                return Err(SpecError::Unresolved(format!("file {f}")));
+            }
+        }
+        let vm_names: std::collections::HashSet<&str> =
+            self.vms.iter().map(|v| v.name.as_str()).collect();
+        for f in &self.faults {
+            match &f.kind {
+                FaultKind::DaemonCrash { host }
+                | FaultKind::DaemonRestart { host }
+                | FaultKind::LinkFlap { host, .. }
+                | FaultKind::DiskSlow { host, .. }
+                | FaultKind::CacheDrop { host } => {
+                    if !host_names.contains(host.as_str()) {
+                        return Err(SpecError::Unresolved(format!("fault host {host}")));
+                    }
+                }
+                FaultKind::VhostStall { vm, .. } => {
+                    if !vm_names.contains(vm.as_str()) {
+                        return Err(SpecError::Unresolved(format!("fault vm {vm}")));
+                    }
+                }
+                FaultKind::VmCrash { vm } => {
+                    if !vm_names.contains(vm.as_str()) {
+                        return Err(SpecError::Unresolved(format!("fault vm {vm}")));
+                    }
+                    if !datanodes.contains(vm.as_str()) {
+                        return Err(SpecError::Invalid(format!(
+                            "vm-crash target {vm} is not a datanode VM"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(ScenarioSpec {
+            seed: self.seed,
+            path: self.path,
+            hosts: self.hosts,
+            vms: self.vms,
+            files: self.files,
+            workload,
+            faults: self.faults,
         })
     }
 }
@@ -669,9 +977,141 @@ mod tests {
 
     #[test]
     fn unknown_path_errors() {
+        // with the typed ReadPath a bad spelling can't even construct a
+        // spec — it dies at parse time rather than inside run()
         let bad = SPEC.replace("vread-rdma", "warp-drive");
-        let spec = ScenarioSpec::from_json(&bad).unwrap();
-        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+        assert!(matches!(
+            ScenarioSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn builder_matches_json_parse() {
+        let from_json = ScenarioSpec::from_json(SPEC).unwrap();
+        let built = ScenarioSpec::builder()
+            .path(ReadPath::VreadRdma)
+            .host("h1", 4, 3.2)
+            .host("h2", 4, 2.0)
+            .client("client", "h1")
+            .datanode("dn1", "h1")
+            .datanode("dn2", "h2")
+            .lookbusy("bg", "h1", 0.5)
+            .file("/d", 64, &["dn1", "dn2"])
+            .workload(WorkloadSpec::DfsioRead {
+                files: vec!["/d".to_owned()],
+                buffer_kb: 1024,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            built.run().unwrap().to_json(),
+            from_json.run().unwrap().to_json(),
+            "builder and JSON describe the same deployment"
+        );
+    }
+
+    #[test]
+    fn builder_validates_shape_and_references() {
+        let base = || {
+            ScenarioSpec::builder()
+                .host("h1", 4, 2.0)
+                .client("client", "h1")
+                .datanode("dn1", "h1")
+        };
+        assert!(
+            matches!(base().build(), Err(SpecError::Invalid(_))),
+            "missing workload"
+        );
+        let wl = WorkloadSpec::Reader {
+            path: "/d".to_owned(),
+            request_kb: 1024,
+        };
+        assert!(
+            matches!(
+                base().workload(wl.clone()).build(),
+                Err(SpecError::Unresolved(_))
+            ),
+            "reader file must be populated"
+        );
+        assert!(matches!(
+            base()
+                .file("/d", 8, &["ghost-dn"])
+                .workload(wl.clone())
+                .build(),
+            Err(SpecError::Unresolved(_))
+        ));
+        assert!(matches!(
+            base()
+                .file("/d", 8, &["dn1"])
+                .workload(wl.clone())
+                .fault(
+                    100,
+                    FaultKind::VmCrash {
+                        vm: "client".to_owned()
+                    }
+                )
+                .build(),
+            Err(SpecError::Invalid(_)),
+        ));
+        let ok = base().file("/d", 8, &["dn1"]).workload(wl).build().unwrap();
+        assert_eq!(ok.path, ReadPath::Vanilla);
+        assert!(ok.run().is_ok());
+    }
+
+    #[test]
+    fn daemon_crash_falls_back_and_recovers() {
+        let build = |faults: bool| {
+            let mut b = ScenarioSpec::builder()
+                .path(ReadPath::VreadRdma)
+                .host("h1", 4, 2.0)
+                .host("h2", 4, 2.0)
+                .client("client", "h1")
+                .datanode("dn1", "h1")
+                .datanode("dn2", "h2")
+                .replicated_file("/d", 256, &["dn1", "dn2"])
+                .workload(WorkloadSpec::Reader {
+                    path: "/d".to_owned(),
+                    request_kb: 1024,
+                });
+            if faults {
+                // crash mid-first-block, restart while the stalled read
+                // is still waiting out its client timeout
+                b = b
+                    .fault(
+                        100,
+                        FaultKind::DaemonCrash {
+                            host: "h1".to_owned(),
+                        },
+                    )
+                    .fault(
+                        600,
+                        FaultKind::DaemonRestart {
+                            host: "h1".to_owned(),
+                        },
+                    );
+            }
+            b.build().unwrap()
+        };
+        let clean = build(false).run().unwrap();
+        let faulted = build(true).run().unwrap();
+        assert!(clean.faults.is_none());
+        let fr = faulted.faults.clone().expect("fault report");
+        assert_eq!(faulted.bytes, clean.bytes, "no data loss");
+        assert!(fr.fallback_reads > 0, "outage served via fallback: {fr:?}");
+        assert_eq!(fr.daemon_restarts, 1);
+        assert!(
+            faulted.elapsed_s > clean.elapsed_s,
+            "the outage costs time ({} vs {})",
+            faulted.elapsed_s,
+            clean.elapsed_s
+        );
+        // deterministic: the same plan reproduces the same report
+        assert_eq!(
+            build(true).run().unwrap().to_json(),
+            faulted.to_json(),
+            "fault runs are deterministic"
+        );
     }
 
     #[test]

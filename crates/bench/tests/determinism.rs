@@ -8,7 +8,7 @@
 use vread_apps::driver::run_until_counter;
 use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_bench::experiments;
-use vread_bench::{Locality, PathKind, Testbed, TestbedOpts};
+use vread_bench::{Locality, Testbed, TestbedOpts};
 use vread_sim::prelude::*;
 
 /// Full observable state of one finished fig2-style reader pass.
@@ -20,12 +20,7 @@ struct Fingerprint {
 }
 
 fn fig2_pass(seed: u64) -> Fingerprint {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        path: PathKind::Vanilla,
-        seed,
-        ..Default::default()
-    });
+    let mut tb = Testbed::build(TestbedOpts::new().seed(seed));
     let file = 32 << 20;
     tb.populate("/f", file, Locality::CoLocated);
     let client = tb.make_client();

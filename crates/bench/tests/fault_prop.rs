@@ -1,0 +1,51 @@
+//! Property tests of the fault-injection subsystem: any random
+//! `FaultPlan` — whatever it crashes, stalls, or slows — must leave a
+//! scenario that (a) terminates, (b) conserves every payload byte, and
+//! (c) is bit-for-bit deterministic when replayed.
+
+use proptest::prelude::*;
+use vread_bench::{random_plan, ReadPath, ScenarioSpec, WorkloadSpec};
+
+const FILE_MB: u64 = 64;
+
+/// Builds the canonical two-host faulted scenario for one plan seed.
+fn faulted_spec(plan_seed: u64, path: ReadPath) -> ScenarioSpec {
+    let plan = random_plan(plan_seed, &["h1", "h2"], &["dn1", "dn2"], 4);
+    let mut b = ScenarioSpec::builder()
+        .seed(7)
+        .path(path)
+        .host("h1", 4, 2.0)
+        .host("h2", 4, 2.0)
+        .client("client", "h1")
+        .datanode("dn1", "h1")
+        .datanode("dn2", "h2")
+        .replicated_file("/d", FILE_MB, &["dn1", "dn2"])
+        .workload(WorkloadSpec::Reader {
+            path: "/d".into(),
+            request_kb: 1024,
+        });
+    for f in plan {
+        b = b.fault(f.at_ms, f.kind);
+    }
+    b.build().expect("random plans always build a valid spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every random fault plan terminates with all bytes delivered and a
+    /// deterministic fingerprint (same plan → byte-identical report).
+    #[test]
+    fn random_fault_plans_terminate_conserve_bytes_and_replay(
+        plan_seed in 0u64..1_000_000,
+        path_ix in 0usize..3,
+    ) {
+        let path = ReadPath::ALL[path_ix];
+        let spec = faulted_spec(plan_seed, path);
+        let a = spec.run().expect("faulted scenario terminates");
+        let b = spec.run().expect("replay terminates");
+        prop_assert_eq!(a.bytes, FILE_MB << 20, "no byte lost to faults");
+        prop_assert_eq!(b.bytes, FILE_MB << 20);
+        prop_assert_eq!(a.to_json(), b.to_json(), "replay is bit-identical");
+    }
+}

@@ -17,7 +17,7 @@
 //!   **RDMA (RoCE)** — or the user-space **TCP fallback** the paper
 //!   measures in Figure 8 — and forwards the returned data into the ring.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vread_hdfs::meta::{BlockId, DatanodeIx, HdfsMeta};
 use vread_hdfs::namenode::BlockAdded;
@@ -116,10 +116,43 @@ pub struct VreadClose {
     pub vfd: u64,
 }
 
-/// Test/maintenance hook: re-snapshot every mounted image on this daemon
-/// (e.g. after a scenario mutates filesystems behind the daemon's back).
+/// Rebuild this daemon's full mount table from the current topology:
+/// discover every datanode VM on the host and re-snapshot its image.
+/// Used as a test/maintenance hook (a scenario mutated filesystems
+/// behind the daemon's back) and as the recovery step after a daemon
+/// restart, which comes back with an empty table (paper §3.5).
 #[derive(Debug, Clone, Copy)]
 pub struct RemountAll;
+
+/// Test/diagnostic probe: ask a daemon how many descriptors and mounts
+/// it currently holds. It replies with a [`VfdAuditReport`] — the guard
+/// tests use this to assert descriptor tables drain back to empty after
+/// closes and migrations.
+#[derive(Debug, Clone, Copy)]
+pub struct VfdAudit {
+    /// Where to send the report.
+    pub reply_to: ActorId,
+}
+
+/// Reply to [`VfdAudit`].
+#[derive(Debug, Clone, Copy)]
+pub struct VfdAuditReport {
+    /// Host index of the audited daemon.
+    pub host: usize,
+    /// Open descriptors in the daemon's table.
+    pub vfds: usize,
+    /// Mounted datanode images.
+    pub mounts: usize,
+}
+
+/// Notification that the daemon on `host` was restarted under a new
+/// actor id: peers drop their cached connections to the old incarnation
+/// (a fresh one is dialled on the next remote request).
+#[derive(Debug, Clone, Copy)]
+pub struct PeerDaemonRestarted {
+    /// Host index of the restarted daemon.
+    pub host: usize,
+}
 
 /// Toggles the §6 "direct read bypassing the host file system" variant
 /// (raw device reads with manual address translation, no host page
@@ -202,10 +235,22 @@ pub enum RemoteTransport {
 /// World-extension registry of deployed daemons.
 #[derive(Debug, Default)]
 pub struct VreadRegistry {
-    /// `host index → (daemon actor, daemon thread)`.
+    /// `host index → (daemon actor, daemon thread)`. Entries persist
+    /// across a crash (the thread is reused on restart); liveness is
+    /// tracked separately in `down`.
     pub daemons: HashMap<usize, (ActorId, ThreadId)>,
     /// Inter-host transport.
     pub transport: RemoteTransport,
+    /// Hosts whose daemon is currently crashed. Clients consult this to
+    /// fall back to the vanilla path instead of sending into the void.
+    pub down: HashSet<usize>,
+}
+
+impl VreadRegistry {
+    /// Whether the daemon on `host_ix` is deployed and alive.
+    pub fn is_up(&self, host_ix: usize) -> bool {
+        self.daemons.contains_key(&host_ix) && !self.down.contains(&host_ix)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -958,15 +1003,40 @@ impl Actor for VreadDaemon {
             }
             Err(m) => m,
         };
-        if msg.is::<RemountAll>() {
-            let vms: Vec<usize> = self.mounts.keys().copied().collect();
-            for vm_ix in vms {
-                let snap = {
-                    let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
-                    cl.vms[vm_ix].fs.snapshot()
-                };
-                self.mounts.insert(vm_ix, snap);
+        let msg = match downcast::<VfdAudit>(msg) {
+            Ok(a) => {
+                ctx.send(
+                    a.reply_to,
+                    VfdAuditReport {
+                        host: self.host.0,
+                        vfds: self.vfds.len(),
+                        mounts: self.mounts.len(),
+                    },
+                );
+                return;
             }
+            Err(m) => m,
+        };
+        let msg = match downcast::<PeerDaemonRestarted>(msg) {
+            Ok(p) => {
+                // Any cached conn targets the dead incarnation's actor;
+                // the next remote request dials the new one.
+                self.peer_conns.remove(&p.host);
+                return;
+            }
+            Err(m) => m,
+        };
+        if msg.is::<RemountAll>() {
+            let snaps: Vec<(usize, FsSnapshot)> = {
+                let meta = ctx.world.ext.get::<HdfsMeta>().expect("meta");
+                let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
+                meta.datanodes
+                    .iter()
+                    .filter(|dn| cl.vm(dn.vm).host == self.host)
+                    .map(|dn| (dn.vm.0, cl.vm(dn.vm).fs.snapshot()))
+                    .collect()
+            };
+            self.mounts = snaps.into_iter().collect();
         }
     }
 }
@@ -985,6 +1055,92 @@ pub fn migrate_vm_with_vread(w: &mut World, vm: VmId, to: vread_host::cluster::H
     for d in daemons {
         w.send_now(d, VmMigrated { vm });
     }
+}
+
+/// Crashes the vRead daemon on `host`: the actor is removed (queued and
+/// future messages to it are dropped, like packets to a killed process)
+/// and the registry marks the host down, so clients consulting
+/// [`VreadRegistry::is_up`] fall back to the vanilla path instead of
+/// sending into the void. The registry entry itself persists — the
+/// daemon thread is reused on restart. Returns `false` when no daemon is
+/// deployed there (e.g. a vanilla-path scenario), making daemon faults a
+/// harmless no-op in such runs.
+pub fn crash_daemon(w: &mut World, host: vread_host::cluster::HostIx) -> bool {
+    let Some((actor, _)) = w
+        .ext
+        .get::<VreadRegistry>()
+        .and_then(|r| r.daemons.get(&host.0).copied())
+    else {
+        return false;
+    };
+    if !w
+        .ext
+        .get_mut::<VreadRegistry>()
+        .unwrap()
+        .down
+        .insert(host.0)
+    {
+        return false; // already down
+    }
+    w.remove_actor(actor);
+    if let Some(meta) = w.ext.get_mut::<HdfsMeta>() {
+        meta.observers.retain(|&o| o != actor);
+    }
+    w.metrics.incr("fault_daemon_crashes");
+    true
+}
+
+/// Restarts a crashed daemon on `host` — the paper's §3.5 recovery
+/// protocol: a fresh daemon process re-registers on the same host
+/// thread, rejoins the namenode observer list, rebuilds its mount table
+/// via [`RemountAll`], and peers drop stale connections to the old
+/// incarnation. Descriptors handed out before the crash are gone;
+/// clients discover that via timeout/`VreadReadFailed` and reopen.
+/// Returns the new actor, or `None` when no daemon is deployed there or
+/// it is not down.
+pub fn restart_daemon(w: &mut World, host: vread_host::cluster::HostIx) -> Option<ActorId> {
+    let reg = w.ext.get::<VreadRegistry>()?;
+    if !reg.down.contains(&host.0) {
+        return None;
+    }
+    let (_, thread) = reg.daemons.get(&host.0).copied()?;
+    let daemon = VreadDaemon {
+        host,
+        thread,
+        mounts: HashMap::new(),
+        vfds: HashMap::new(),
+        next_id: 0,
+        local_reads: HashMap::new(),
+        remote_reads: HashMap::new(),
+        data_waits: HashMap::new(),
+        serves: HashMap::new(),
+        open_waits: HashMap::new(),
+        peer_conns: HashMap::new(),
+        bypass_host_fs: false,
+    };
+    let actor = w.add_actor(&format!("vreadd{}", host.0), daemon);
+    w.ext
+        .get_mut::<HdfsMeta>()
+        .expect("meta")
+        .observers
+        .push(actor);
+    let reg = w.ext.get_mut::<VreadRegistry>().unwrap();
+    reg.daemons.insert(host.0, (actor, thread));
+    reg.down.remove(&host.0);
+    let peers: Vec<ActorId> = reg
+        .daemons
+        .iter()
+        .filter(|(&h, _)| h != host.0)
+        .map(|(_, &(a, _))| a)
+        .collect();
+    for p in peers {
+        w.send_now(p, PeerDaemonRestarted { host: host.0 });
+    }
+    w.send_now(actor, RemountAll);
+    w.metrics.incr("fault_daemon_restarts");
+    let now = w.now().as_secs_f64();
+    w.metrics.sample("daemon_restart_at_s", now);
+    Some(actor)
 }
 
 /// Deploys one vRead daemon per host: creates the daemon threads and

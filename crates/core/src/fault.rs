@@ -1,0 +1,81 @@
+//! vRead-layer fault actions: daemon crash/restart and datanode VM
+//! crash.
+//!
+//! These are thin [`FaultAction`] adapters over the recovery machinery
+//! in [`crate::daemon`] so that a scenario's `FaultPlan` can exercise the
+//! paper's §3.5 reliability story: kill the daemon mid-read (clients
+//! fall back to the vanilla path), restart it (re-registration +
+//! `RemountAll`), or kill a datanode VM outright (vRead keeps serving
+//! its blocks through the host-side mounts, while vanilla readers fail
+//! over to surviving replicas).
+
+use vread_hdfs::meta::HdfsMeta;
+use vread_host::cluster::{HostIx, VmId};
+use vread_sim::fault::FaultAction;
+use vread_sim::prelude::*;
+
+use crate::daemon::{crash_daemon, restart_daemon};
+
+/// Kills the vRead daemon on `host`. No-op in scenarios without a
+/// deployed daemon (vanilla path).
+pub struct CrashDaemon {
+    /// Host whose daemon dies.
+    pub host: HostIx,
+}
+
+impl FaultAction for CrashDaemon {
+    fn label(&self) -> &'static str {
+        "fault_daemon_crash"
+    }
+
+    fn apply(self: Box<Self>, ctx: &mut Ctx<'_>) -> Option<(SimDuration, Box<dyn FaultAction>)> {
+        crash_daemon(ctx.world, self.host);
+        None
+    }
+}
+
+/// Restarts a previously crashed daemon on `host` (no-op otherwise).
+pub struct RestartDaemon {
+    /// Host whose daemon comes back.
+    pub host: HostIx,
+}
+
+impl FaultAction for RestartDaemon {
+    fn label(&self) -> &'static str {
+        "fault_daemon_restart"
+    }
+
+    fn apply(self: Box<Self>, ctx: &mut Ctx<'_>) -> Option<(SimDuration, Box<dyn FaultAction>)> {
+        restart_daemon(ctx.world, self.host);
+        None
+    }
+}
+
+/// Kills the datanode server process in `vm`: its actor is removed, so
+/// vanilla-path fetches against it stall until the client's timeout
+/// fails them over to a surviving replica. The VM's disk image stays
+/// behind — the paper's point is precisely that host-side daemons can
+/// still read it through the mounts.
+pub struct CrashDatanodeVm {
+    /// VM whose datanode dies.
+    pub vm: VmId,
+}
+
+impl FaultAction for CrashDatanodeVm {
+    fn label(&self) -> &'static str {
+        "fault_vm_crash"
+    }
+
+    fn apply(self: Box<Self>, ctx: &mut Ctx<'_>) -> Option<(SimDuration, Box<dyn FaultAction>)> {
+        let actor = ctx
+            .world
+            .ext
+            .get::<HdfsMeta>()
+            .and_then(|m| m.datanodes.iter().find(|d| d.vm == self.vm))
+            .map(|d| d.actor);
+        if let Some(a) = actor {
+            ctx.world.remove_actor(a);
+        }
+        None
+    }
+}

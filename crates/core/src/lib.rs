@@ -27,13 +27,15 @@
 
 pub mod api;
 pub mod daemon;
+pub mod fault;
 pub mod path;
 pub mod ring;
 
 pub use api::{Vfd, VfdTable};
 pub use daemon::{
-    deploy_vread, RemoteTransport, VreadChunk, VreadClose, VreadDaemon, VreadOpenReq,
-    VreadOpenResp, VreadReadDone, VreadReadReq, VreadRegistry,
+    crash_daemon, deploy_vread, restart_daemon, RemoteTransport, VreadChunk, VreadClose,
+    VreadDaemon, VreadOpenReq, VreadOpenResp, VreadReadDone, VreadReadReq, VreadRegistry,
 };
+pub use fault::{CrashDaemon, CrashDatanodeVm, RestartDaemon};
 pub use path::VreadPath;
 pub use ring::RingSpec;

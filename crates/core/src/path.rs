@@ -10,8 +10,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use vread_hdfs::client::{BlockReadPath, BlockReq, ClientShared, PathEvent, VanillaPath};
+use vread_hdfs::client::{
+    BlockReadPath, BlockReq, ClientShared, PathEvent, TimeoutAdvice, VanillaPath,
+};
+use vread_hdfs::meta::{DatanodeIx, HdfsMeta};
 use vread_host::cluster::Cluster;
+use vread_sim::fault::FaultTrace;
 use vread_sim::prelude::*;
 
 use crate::api::VfdTable;
@@ -38,6 +42,10 @@ pub struct VreadPath {
     /// Failure counts per fetch token (a stale descriptor is retried once
     /// through a fresh open before falling back to vanilla).
     attempts: HashMap<u64, u8>,
+    /// Blocks whose vread leg stalled out (daemon crash mid-stream): the
+    /// next fetch of such a block goes straight to the vanilla fallback
+    /// instead of probing vread again. One-shot — later blocks re-probe.
+    degraded_blocks: HashSet<vread_hdfs::meta::BlockId>,
     m_vfd_hits: LazyCounter,
     m_opens: LazyCounter,
 }
@@ -58,6 +66,7 @@ impl VreadPath {
             active: HashMap::new(),
             fallback_tokens: HashSet::new(),
             attempts: HashMap::new(),
+            degraded_blocks: HashSet::new(),
             m_vfd_hits: LazyCounter::new("vread_vfd_hits"),
             m_opens: LazyCounter::new("vread_opens"),
         }
@@ -77,6 +86,38 @@ impl VreadPath {
             .get::<VreadRegistry>()
             .expect("vRead not deployed (VreadRegistry missing)");
         reg.daemons[&host.0]
+    }
+
+    /// Whether both daemons a fetch for `dn` relies on are alive: the
+    /// local one (our ring endpoint) and the one on the datanode's host
+    /// (which serves the mounted image).
+    fn daemons_up(ctx: &Ctx<'_>, shared: &ClientShared, dn: DatanodeIx) -> bool {
+        let Some(reg) = ctx.world.ext.get::<VreadRegistry>() else {
+            return false;
+        };
+        let cl = ctx.world.ext.get::<Cluster>().expect("Cluster missing");
+        let meta = ctx.world.ext.get::<HdfsMeta>().expect("HdfsMeta missing");
+        let my_host = cl.vm(shared.vm).host.0;
+        let dn_host = cl.vm(meta.datanodes[dn.0].vm).host.0;
+        reg.is_up(my_host) && reg.is_up(dn_host)
+    }
+
+    /// Routes `req` to the vanilla fallback, recording the degradation
+    /// (Algorithm 1 line 22 / the paper's §3.5 fail-soft behaviour).
+    fn fall_back(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        shared: &ClientShared,
+        req: BlockReq,
+        out: &mut Vec<PathEvent>,
+    ) {
+        ctx.metrics().incr("vread_fallbacks");
+        if ctx.world.ext.get::<FaultTrace>().is_some() {
+            let now = ctx.now().as_secs_f64();
+            ctx.metrics().sample("vread_fallback_at_s", now);
+        }
+        self.fallback_tokens.insert(req.token);
+        self.fallback.start(ctx, shared, req, out);
     }
 
     fn request_stages(ctx: &Ctx<'_>, shared: &ClientShared) -> Vec<Stage> {
@@ -142,8 +183,29 @@ impl BlockReadPath for VreadPath {
         ctx: &mut Ctx<'_>,
         shared: &ClientShared,
         req: BlockReq,
-        _out: &mut Vec<PathEvent>,
+        out: &mut Vec<PathEvent>,
     ) {
+        if self.degraded_blocks.remove(&req.block) || !Self::daemons_up(ctx, shared, req.dn) {
+            // Daemon outage (or a stall that already burned this block):
+            // drop the now-suspect descriptor — releasing the server
+            // side if our local daemon survived — and go vanilla.
+            if let Some(vfd) = self.vfds.close(req.block) {
+                let local_up = {
+                    let cl = ctx.world.ext.get::<Cluster>().expect("Cluster missing");
+                    let host = cl.vm(shared.vm).host.0;
+                    ctx.world
+                        .ext
+                        .get::<VreadRegistry>()
+                        .is_some_and(|r| r.is_up(host))
+                };
+                if local_up {
+                    let (daemon, _) = Self::daemon_of(ctx, shared);
+                    ctx.send(daemon, VreadClose { vfd: vfd.id });
+                }
+            }
+            self.fall_back(ctx, shared, req, out);
+            return;
+        }
         if self.vfds.get(req.block).is_some() {
             // Algorithm 1 line 15: descriptor reuse from vfd_hash.
             self.m_vfd_hits.incr(ctx.metrics());
@@ -187,9 +249,7 @@ impl BlockReadPath for VreadPath {
                     None => {
                         // Algorithm 1 line 22: fall back to the original
                         // HDFS read path.
-                        ctx.metrics().incr("vread_fallbacks");
-                        self.fallback_tokens.insert(req.token);
-                        self.fallback.start(ctx, shared, req, out);
+                        self.fall_back(ctx, shared, req, out);
                     }
                 }
                 return Ok(());
@@ -214,7 +274,15 @@ impl BlockReadPath for VreadPath {
                 // and retry once through a fresh open; then fall back.
                 if let Some(ar) = self.active.remove(&f.token) {
                     ctx.metrics().incr("vread_read_retries");
-                    self.vfds.close(ar.block);
+                    if let Some(vfd) = self.vfds.close(ar.block) {
+                        // The read failed but the daemon may still hold
+                        // its side of the descriptor (e.g. a stale
+                        // remote mapping after migration): release it so
+                        // the table doesn't leak. Dropped harmlessly if
+                        // the daemon is gone.
+                        let (daemon, _) = Self::daemon_of(ctx, shared);
+                        ctx.send(daemon, VreadClose { vfd: vfd.id });
+                    }
                     let tries = self.attempts.entry(f.token).or_insert(0);
                     *tries += 1;
                     let req = ar.req;
@@ -234,9 +302,7 @@ impl BlockReadPath for VreadPath {
                             },
                         );
                     } else {
-                        ctx.metrics().incr("vread_fallbacks");
-                        self.fallback_tokens.insert(f.token);
-                        self.fallback.start(ctx, shared, req, out);
+                        self.fall_back(ctx, shared, req, out);
                     }
                 }
                 return Ok(());
@@ -247,6 +313,12 @@ impl BlockReadPath for VreadPath {
             Ok(d) => {
                 self.attempts.remove(&d.token);
                 if let Some(ar) = self.active.remove(&d.token) {
+                    if ctx.world.ext.get::<FaultTrace>().is_some() {
+                        // fault runs track when the fast path serves, so
+                        // reports can measure recovery latency
+                        let now = ctx.now().as_secs_f64();
+                        ctx.metrics().sample("vread_ok_at_s", now);
+                    }
                     if ar.close_after {
                         // Algorithm 1 line 27: vRead_close at block end.
                         if let Some(vfd) = self.vfds.close(ar.block) {
@@ -262,8 +334,44 @@ impl BlockReadPath for VreadPath {
         };
         // Everything else may belong to the fallback vanilla path.
         match self.fallback.on_msg(ctx, shared, msg, out) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Reclaim bookkeeping for fallback fetches that finished
+                // (without this, fallback_tokens grows for the lifetime
+                // of the client).
+                for ev in out.iter() {
+                    if let PathEvent::Done { token } = ev {
+                        self.fallback_tokens.remove(token);
+                        self.attempts.remove(token);
+                    }
+                }
+                Ok(())
+            }
             Err(m) => Err(m),
         }
+    }
+
+    fn on_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        shared: &ClientShared,
+        token: u64,
+    ) -> TimeoutAdvice {
+        if self.fallback_tokens.contains(&token) {
+            return self.fallback.on_timeout(ctx, shared, token);
+        }
+        // A stall on the vread leg. The replica's data is intact — the
+        // daemon reads it through host-side mounts — so blame the path,
+        // not the replica: route this block's next attempt straight to
+        // the vanilla fallback (start() drops the suspect descriptor).
+        if let Some(block) = self
+            .pending_open
+            .get(&token)
+            .map(|r| r.block)
+            .or_else(|| self.active.get(&token).map(|a| a.block))
+        {
+            self.degraded_blocks.insert(block);
+        }
+        let _ = (ctx, shared);
+        TimeoutAdvice::PathDegraded
     }
 }

@@ -10,7 +10,7 @@
 //! that replaces `read_buffer`/`fetchBlocks` with `vRead_read` and falls
 //! back to vanilla when no descriptor can be opened.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vread_host::cluster::{with_cluster, Cluster, VmId};
 use vread_net::conn::{add_conn, ConnRecv, ConnSend, ConnSpec, Endpoint, Flavor, Side};
@@ -126,6 +126,20 @@ pub enum PathEvent {
     },
 }
 
+/// What the client should do about a stalled fetch, as diagnosed by the
+/// active [`BlockReadPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAdvice {
+    /// The replica itself is suspect: mark it and fail over to another
+    /// replica (vanilla HDFS semantics).
+    TryReplica,
+    /// The transfer path — not the replica — is degraded (e.g. the vRead
+    /// daemon died mid-stream): retry the *same* replica and let the
+    /// path fall back internally. Crucially this never abandons a block
+    /// whose only replica is healthy.
+    PathDegraded,
+}
+
 /// Strategy for fetching one block part. Implemented by [`VanillaPath`]
 /// (datanode TCP streaming) and by `vread-core`'s vRead path.
 pub trait BlockReadPath: 'static {
@@ -166,6 +180,20 @@ pub trait BlockReadPath: 'static {
     /// the token must be dropped, not reported.
     fn cancel(&mut self, token: u64) {
         let _ = token;
+    }
+
+    /// Diagnoses a stalled fetch before the client reacts. The default
+    /// blames the replica; paths with their own transfer machinery
+    /// (vRead) override this to blame the path when the replica's data
+    /// is still reachable.
+    fn on_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        shared: &ClientShared,
+        token: u64,
+    ) -> TimeoutAdvice {
+        let _ = (ctx, shared, token);
+        TimeoutAdvice::TryReplica
     }
 }
 
@@ -339,11 +367,17 @@ struct ReadReq {
     path: String,
     /// Active fetch (for timeout tracking).
     cur_token: Option<u64>,
+    /// The replica the active fetch targets (so a timeout knows exactly
+    /// whom to blame instead of re-deriving the choice).
+    cur_dn: Option<DatanodeIx>,
     /// Replicas already tried for the current block.
     tried: Vec<DatanodeIx>,
     /// Bytes of the *current block part* already delivered (failover
     /// retries resume after them instead of re-reading the part).
     part_received: u64,
+    /// Consecutive timeouts without a completed part (drives the
+    /// exponential retry backoff; reset when a part completes).
+    timeouts: u32,
 }
 
 /// Internal watchdog for a block fetch.
@@ -351,6 +385,11 @@ struct FetchTimeout {
     rid: u64,
     token: u64,
     progress_mark: u64,
+}
+
+/// Internal timer: retry a stalled read after its backoff expires.
+struct RetryFetch {
+    rid: u64,
 }
 
 struct CurBlock {
@@ -402,6 +441,10 @@ pub struct DfsClient {
     writes: HashMap<u64, WriteReq>,
     write_tags: HashMap<u64, u64>,
     write_conns: HashMap<usize, ActorId>,
+    /// Datanodes that timed out on us (crashed or unreachable). Replica
+    /// selection avoids them while any alternative exists, but still
+    /// retries them as a last resort — never silently dropping data.
+    dead_nodes: HashSet<usize>,
     m_bytes_read: LazyCounter,
 }
 
@@ -420,6 +463,7 @@ pub fn add_client(w: &mut World, vm: VmId, path_impl: Box<dyn BlockReadPath>) ->
             writes: HashMap::new(),
             write_tags: HashMap::new(),
             write_conns: HashMap::new(),
+            dead_nodes: HashSet::new(),
             m_bytes_read: LazyCounter::new("hdfs_bytes_read"),
         },
     )
@@ -492,21 +536,24 @@ impl DfsClient {
                 let r = self.reads.get_mut(&rid).expect("read vanished");
                 let lb = &r.blocks[r.cur_block];
                 // pick a replica not yet tried for this block (co-located
-                // preferred); if every replica timed out, give the part up.
+                // preferred, known-dead nodes last); if every replica
+                // timed out, give the part up.
                 let dn = {
                     let meta = ctx.world.ext.get::<HdfsMeta>().expect("meta");
                     let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
                     let my_host = cl.vm(self.vm).host;
                     let tried = &r.tried;
+                    let dead = &self.dead_nodes;
                     let mut candidates: Vec<DatanodeIx> = lb
                         .replicas
                         .iter()
                         .copied()
                         .filter(|d| !tried.contains(d))
                         .collect();
-                    if meta.topology_aware {
-                        candidates.sort_by_key(|&d| cl.vm(meta.datanodes[d.0].vm).host != my_host);
-                    }
+                    candidates.sort_by_key(|&d| {
+                        let remote = cl.vm(meta.datanodes[d.0].vm).host != my_host;
+                        (dead.contains(&d.0), meta.topology_aware && remote)
+                    });
                     candidates.first().copied()
                 };
                 let Some(dn) = dn else {
@@ -528,6 +575,7 @@ impl DfsClient {
                 self.tokens.insert(token, rid);
                 let pread = r.pread;
                 r.cur_token = Some(token);
+                r.cur_dn = Some(dn);
                 let mark = r.bytes_done;
                 let timeout_ms = {
                     let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
@@ -589,8 +637,10 @@ impl DfsClient {
                     let advance = {
                         let r = self.reads.get_mut(&rid).expect("read vanished");
                         r.cur_token = None;
+                        r.cur_dn = None;
                         r.tried.clear();
                         r.part_received = 0;
+                        r.timeouts = 0;
                         r.cur_block += 1;
                         r.cur_block < r.blocks.len()
                     };
@@ -809,8 +859,10 @@ impl Actor for DfsClient {
                         all_sent: false,
                         path: rd.path.clone(),
                         cur_token: None,
+                        cur_dn: None,
                         tried: Vec::new(),
                         part_received: 0,
+                        timeouts: 0,
                     },
                 );
                 if self.loc_cache.contains_key(&rd.path) {
@@ -911,6 +963,19 @@ impl Actor for DfsClient {
                         }
                     }
                 }
+                if live
+                    && ctx
+                        .world
+                        .ext
+                        .get::<vread_sim::fault::FaultTrace>()
+                        .is_some()
+                {
+                    // fault runs record a per-chunk delivery trace so the
+                    // report can compute throughput during the outage
+                    let now = ctx.now().as_secs_f64();
+                    ctx.metrics().sample("read_chunk_at_s", now);
+                    ctx.metrics().sample("read_chunk_bytes", cc.bytes as f64);
+                }
                 self.maybe_finish_read(ctx, cc.rid);
                 return;
             }
@@ -976,34 +1041,65 @@ impl Actor for DfsClient {
                     );
                     return;
                 }
-                // stalled: abandon this replica and fail over
-                ctx.metrics().incr("dfs_read_failovers");
-                let lb = r.blocks[r.cur_block].clone();
-                let tried_dn = {
-                    // the replica we used is the one chosen by the last
-                    // start_block; recover it from the path order
-                    let meta = ctx.world.ext.get::<HdfsMeta>().expect("meta");
-                    let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
-                    let my_host = cl.vm(self.vm).host;
-                    let tried = &r.tried;
-                    let mut candidates: Vec<DatanodeIx> = lb
-                        .replicas
-                        .iter()
-                        .copied()
-                        .filter(|d| !tried.contains(d))
-                        .collect();
-                    if meta.topology_aware {
-                        candidates.sort_by_key(|&d| cl.vm(meta.datanodes[d.0].vm).host != my_host);
-                    }
-                    candidates.first().copied()
+                // stalled: let the path diagnose before reacting
+                let shared = self.shared(ctx);
+                let advice = self.path_impl.on_timeout(ctx, &shared, t.token);
+                let (dn, timeouts) = {
+                    let r = self.reads.get_mut(&t.rid).expect("read vanished");
+                    r.timeouts += 1;
+                    r.cur_token = None;
+                    let dn = r.cur_dn.take();
+                    (dn, r.timeouts)
                 };
-                if let Some(dn) = tried_dn {
-                    r.tried.push(dn);
+                match advice {
+                    TimeoutAdvice::TryReplica => {
+                        // abandon this replica and fail over
+                        ctx.metrics().incr("dfs_read_failovers");
+                        if let Some(dn) = dn {
+                            self.dead_nodes.insert(dn.0);
+                            self.reads
+                                .get_mut(&t.rid)
+                                .expect("read vanished")
+                                .tried
+                                .push(dn);
+                        }
+                    }
+                    TimeoutAdvice::PathDegraded => {
+                        // the replica is fine; retry it (the path falls
+                        // back internally on the next start)
+                        ctx.metrics().incr("dfs_read_path_retries");
+                    }
                 }
-                r.cur_token = None;
                 self.tokens.remove(&t.token);
                 self.path_impl.cancel(t.token);
-                self.start_block(ctx, t.rid);
+                let backoff_ms = {
+                    let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
+                    cl.costs.client_retry_backoff_ms
+                };
+                if backoff_ms == 0 {
+                    self.start_block(ctx, t.rid);
+                } else {
+                    let delay = backoff_ms << (timeouts as u64 - 1).min(5);
+                    ctx.timer(
+                        RetryFetch { rid: t.rid },
+                        vread_sim::SimDuration::from_millis(delay),
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match downcast::<RetryFetch>(msg) {
+            Ok(rf) => {
+                // Only live if the read still exists and nothing else
+                // (completion, another retry) superseded the wait.
+                let waiting = self
+                    .reads
+                    .get(&rf.rid)
+                    .is_some_and(|r| r.cur_token.is_none() && !r.all_sent);
+                if waiting {
+                    self.start_block(ctx, rf.rid);
+                }
                 return;
             }
             Err(m) => m,

@@ -136,6 +136,11 @@ pub struct Costs {
     /// that makes no progress for this long fails over to another
     /// replica.
     pub client_read_timeout_ms: u64,
+    /// Base for the client's exponential retry backoff (simulated
+    /// milliseconds): after the n-th consecutive timeout on one request
+    /// the next fetch attempt is delayed `base << min(n-1, 5)` ms, so
+    /// repeated failures against a struggling path do not hot-loop.
+    pub client_retry_backoff_ms: u64,
 
     // -- memory sizes ---------------------------------------------------------
     /// Guest page-cache capacity (bytes). VMs have 2 GB of RAM; roughly
@@ -200,6 +205,7 @@ impl Default for Costs {
             lan_latency_ns: 30_000,
             sriov_nics: false,
             client_read_timeout_ms: 2_000,
+            client_retry_backoff_ms: 50,
             guest_cache_bytes: 1 << 30,       // 1 GiB
             host_cache_bytes: 12 * (1 << 30), // 12 GiB
             cache_chunk_bytes: 64 * 1024,

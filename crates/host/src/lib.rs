@@ -25,10 +25,12 @@
 pub mod cache;
 pub mod cluster;
 pub mod costs;
+pub mod fault;
 pub mod fs;
 pub mod virtio;
 
 pub use cache::PageCache;
 pub use cluster::{with_cluster, Cluster, HostIx, Vm, VmId};
 pub use costs::Costs;
+pub use fault::DropHostCache;
 pub use fs::{FileId, FsError, FsSnapshot, GuestFs, ObjectId};

@@ -21,5 +21,7 @@
 //! degrade under CPU contention exactly as in the paper's Figure 3.
 
 pub mod conn;
+pub mod fault;
 
 pub use conn::{add_conn, Conn, ConnRecv, ConnSend, ConnSent, ConnSpec, Endpoint, Flavor, Side};
+pub use fault::DegradeLink;

@@ -270,9 +270,21 @@ impl World {
         &self.links[id.index()]
     }
 
+    /// Mutable access to a registered link (fault injection: degrade or
+    /// restore bandwidth/latency mid-run).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
     /// Shared access to a registered block device.
     pub fn blockdev(&self, id: BlockDevId) -> &BlockDev {
         &self.devs[id.index()]
+    }
+
+    /// Mutable access to a registered block device (fault injection:
+    /// slow a disk mid-run).
+    pub fn blockdev_mut(&mut self, id: BlockDevId) -> &mut BlockDev {
+        &mut self.devs[id.index()]
     }
 
     // -- messaging ----------------------------------------------------------

@@ -51,6 +51,7 @@ pub mod chain;
 pub mod cpu;
 pub mod engine;
 pub mod ext;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod msg;
@@ -64,6 +65,7 @@ pub mod trace;
 pub use chain::{Stage, StageList};
 pub use cpu::{CpuAccounting, CpuCategory};
 pub use engine::{Actor, Ctx, World};
+pub use fault::{schedule_faults, FaultAction, FaultScheduler, FaultTrace, SlowDisk, StallThread};
 pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
 pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Samples};
 pub use msg::{downcast, BoxMsg, Start};
@@ -77,6 +79,7 @@ pub mod prelude {
     pub use crate::chain::{Stage, StageList};
     pub use crate::cpu::{CpuAccounting, CpuCategory};
     pub use crate::engine::{Actor, Ctx, World};
+    pub use crate::fault::{schedule_faults, FaultAction, FaultTrace};
     pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
     pub use crate::metrics::{CounterId, LazyCounter, LazySamples, SampleId};
     pub use crate::msg::{downcast, BoxMsg, Start};

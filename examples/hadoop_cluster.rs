@@ -9,7 +9,7 @@
 
 use vread::apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread::apps::driver::run_until_counter;
-use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::sim::prelude::*;
 
 const FILES: usize = 4;
@@ -51,13 +51,8 @@ fn main() {
         "{:10} {:>12} {:>14} {:>12} {:>14}",
         "path", "read MB/s", "read CPU ms", "reread MB/s", "reread CPU ms"
     );
-    for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            four_vms: true,
-            path,
-            ..Default::default()
-        });
+    for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+        let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
         let files: Vec<String> = (0..FILES).map(|i| format!("/io/{i}")).collect();
         for f in &files {
             tb.populate(f, FILE_BYTES, Locality::Hybrid);

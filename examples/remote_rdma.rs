@@ -7,7 +7,7 @@
 
 use vread::apps::driver::run_until_counter;
 use vread::apps::java_reader::{JavaReader, ReaderMode};
-use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::core::VreadRegistry;
 use vread::sim::prelude::*;
 
@@ -19,12 +19,8 @@ fn main() {
         "{:12} {:>10} {:>16} {:>18}",
         "transport", "MB/s", "daemon cyc/B", "daemon categories"
     );
-    for path in [PathKind::VreadRdma, PathKind::VreadTcp] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path,
-            ..Default::default()
-        });
+    for path in [ReadPath::VreadRdma, ReadPath::VreadTcp] {
+        let mut tb = Testbed::build(TestbedOpts::new().path(path));
         tb.populate("/remote", FILE, Locality::Remote);
         let client = tb.make_client();
         let reader = JavaReader::new(

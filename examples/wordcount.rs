@@ -7,7 +7,7 @@
 
 use vread::apps::driver::run_until_counter;
 use vread::apps::wordcount::{WordCount, WordCountConfig};
-use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::sim::prelude::*;
 
 const INPUT: u64 = 256 << 20;
@@ -18,13 +18,8 @@ fn main() {
         "{:10} {:>12} {:>12} {:>12}",
         "path", "job secs", "map secs", "MB/s in"
     );
-    for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            four_vms: true,
-            path,
-            ..Default::default()
-        });
+    for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+        let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
         tb.populate("/corpus", INPUT, Locality::Hybrid);
         let client = tb.make_client();
         let job = WordCount::new(

@@ -8,7 +8,7 @@
 //! cargo run --release --example write_visibility
 //! ```
 
-use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::hdfs::client::{DfsRead, DfsReadDone, DfsWrite, DfsWriteDone};
 use vread::hdfs::populate::populate_file;
 use vread::sim::prelude::*;
@@ -82,11 +82,7 @@ impl Actor for Script {
 }
 
 fn main() {
-    let mut tb = Testbed::build(TestbedOpts {
-        ghz: 2.0,
-        path: PathKind::VreadRdma,
-        ..Default::default()
-    });
+    let mut tb = Testbed::build(TestbedOpts::new().path(ReadPath::VreadRdma));
     let client = tb.make_client();
     // Lay a file out *after* the daemons mounted the images, without
     // namenode notifications: invisible through the stale mounts.

@@ -4,7 +4,7 @@
 use vread::apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread::apps::driver::run_until_counter;
 use vread::apps::java_reader::{JavaReader, ReaderMode};
-use vread::bench::scenarios::{Locality, PathKind, Testbed, TestbedOpts};
+use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::hdfs::client::{DfsRead, DfsReadDone};
 use vread::host::Cluster;
 use vread::sim::prelude::*;
@@ -42,13 +42,8 @@ fn reader_done(tb: &mut Testbed, client: ActorId, path: &str, req: u64, total: u
 fn headline_speedups_hold_in_all_vm_configs() {
     for four_vms in [false, true] {
         let mut res = Vec::new();
-        for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-            let mut tb = Testbed::build(TestbedOpts {
-                ghz: 2.0,
-                four_vms,
-                path,
-                ..Default::default()
-            });
+        for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+            let mut tb = Testbed::build(TestbedOpts::new().four_vms(four_vms).path(path));
             tb.populate("/f", 128 << 20, Locality::CoLocated);
             let client = tb.make_client();
             let cold = reader_done(&mut tb, client, "/f", 1 << 20, 128 << 20);
@@ -89,12 +84,8 @@ fn read_plans_agree_across_paths() {
     ];
     for locality in [Locality::CoLocated, Locality::Remote, Locality::Hybrid] {
         let mut results: Vec<Vec<u64>> = Vec::new();
-        for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-            let mut tb = Testbed::build(TestbedOpts {
-                ghz: 3.2,
-                path,
-                ..Default::default()
-            });
+        for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+            let mut tb = Testbed::build(TestbedOpts::new().ghz(3.2).path(path));
             tb.w.ext
                 .get_mut::<vread::hdfs::HdfsMeta>()
                 .unwrap()
@@ -169,12 +160,8 @@ fn read_plans_agree_across_paths() {
 #[test]
 fn accounting_is_conserved_and_vread_cheaper() {
     let mut totals = Vec::new();
-    for path in [PathKind::Vanilla, PathKind::VreadRdma] {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            path,
-            ..Default::default()
-        });
+    for path in [ReadPath::Vanilla, ReadPath::VreadRdma] {
+        let mut tb = Testbed::build(TestbedOpts::new().path(path));
         let files = vec!["/a".to_string(), "/b".to_string()];
         for f in &files {
             tb.populate(f, 64 << 20, Locality::Hybrid);
@@ -233,12 +220,7 @@ fn accounting_is_conserved_and_vread_cheaper() {
 #[test]
 fn scenarios_are_deterministic() {
     let run = || {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz: 2.0,
-            four_vms: true,
-            path: PathKind::VreadRdma,
-            ..Default::default()
-        });
+        let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(ReadPath::VreadRdma));
         tb.populate("/f", 32 << 20, Locality::Hybrid);
         let client = tb.make_client();
         let secs = reader_done(&mut tb, client, "/f", 1 << 20, 32 << 20);
@@ -251,12 +233,8 @@ fn scenarios_are_deterministic() {
 /// clocks hurt vanilla more than vRead.
 #[test]
 fn frequency_scaling_widens_the_gap() {
-    let tput = |ghz: f64, path: PathKind| {
-        let mut tb = Testbed::build(TestbedOpts {
-            ghz,
-            path,
-            ..Default::default()
-        });
+    let tput = |ghz: f64, path: ReadPath| {
+        let mut tb = Testbed::build(TestbedOpts::new().ghz(ghz).path(path));
         tb.populate("/f", 96 << 20, Locality::CoLocated);
         let client = tb.make_client();
         // measure re-read (CPU-bound regime)
@@ -264,7 +242,7 @@ fn frequency_scaling_widens_the_gap() {
         let secs = reader_done(&mut tb, client, "/f", 1 << 20, 96 << 20);
         (96 << 20) as f64 / secs
     };
-    let slow_gain = tput(1.6, PathKind::VreadRdma) / tput(1.6, PathKind::Vanilla);
-    let fast_gain = tput(3.2, PathKind::VreadRdma) / tput(3.2, PathKind::Vanilla);
+    let slow_gain = tput(1.6, ReadPath::VreadRdma) / tput(1.6, ReadPath::Vanilla);
+    let fast_gain = tput(3.2, ReadPath::VreadRdma) / tput(3.2, ReadPath::Vanilla);
     assert!(slow_gain > 1.2 && fast_gain > 1.2);
 }
