@@ -218,7 +218,9 @@ mod tests {
             w.run();
         }
         let s = w.metrics.samples("reader_delay_ms").unwrap();
+        // vread-lint: allow(float-accum, "samples slice is in fixed insertion order")
         let cold: f64 = s.values()[..4].iter().sum::<f64>() / 4.0;
+        // vread-lint: allow(float-accum, "samples slice is in fixed insertion order")
         let warm: f64 = s.values()[4..].iter().sum::<f64>() / 4.0;
         assert!(warm < cold * 0.5, "warm {warm}ms vs cold {cold}ms");
     }

@@ -18,6 +18,8 @@
 //! * [`driver`] — helpers for running open-ended scenarios to a
 //!   completion counter.
 
+#![forbid(unsafe_code)]
+
 pub mod dfsio;
 pub mod driver;
 pub mod hbase;

@@ -6,6 +6,7 @@
 //! repro scenario <file.json>
 //! repro fault-matrix [--jobs N]
 //! repro bench-engine [--out FILE]
+//! repro lint [--format human|json]
 //! ```
 //!
 //! Experiments run in parallel across `--jobs` worker threads (default:
@@ -58,6 +59,27 @@ fn main() {
                 println!("scenario <file.json>");
                 println!("fault-matrix [--jobs N]");
                 println!("bench-engine [--out FILE]");
+                println!("lint [--format human|json]");
+                return;
+            }
+            "lint" => {
+                let mut format = "human".to_owned();
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--format" => match it.next().as_deref() {
+                            Some(f @ ("human" | "json")) => format = f.to_owned(),
+                            other => {
+                                eprintln!("--format needs `human` or `json`, got {other:?}");
+                                std::process::exit(2);
+                            }
+                        },
+                        other => {
+                            eprintln!("lint: unknown argument {other:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                run_lint(&format);
                 return;
             }
             "scenario" => {
@@ -186,6 +208,7 @@ fn run_parallel(
                 if i >= n {
                     break;
                 }
+                // vread-lint: allow(wall-clock, "host elapsed-time progress reporting on stderr; never enters sim state or JSON output")
                 let started = std::time::Instant::now();
                 let tables = catch_unwind(AssertUnwindSafe(runners[i].1)).ok();
                 let secs = started.elapsed().as_secs_f64();
@@ -229,6 +252,33 @@ fn run_parallel(
         }
     });
     failed
+}
+
+// ---------------------------------------------------------------------------
+// lint: the determinism gate. Runs vread-lint over the workspace's own
+// sources; any violation (or stale allow annotation) fails the run.
+// ---------------------------------------------------------------------------
+
+fn run_lint(format: &str) {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let Some(root) = vread_lint::find_workspace_root(&cwd) else {
+        eprintln!("lint: no workspace root found above {}", cwd.display());
+        std::process::exit(2);
+    };
+    let report = match vread_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    match format {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_human()),
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -435,6 +485,7 @@ fn measure(reps: usize, build: impl Fn() -> World) -> (u64, f64) {
     let mut events = 0u64;
     for _ in 0..reps {
         let mut w = build();
+        // vread-lint: allow(wall-clock, "bench-engine measures real host wall time of the run; the sim itself stays virtual-time only")
         let t0 = std::time::Instant::now();
         w.run();
         let dt = t0.elapsed().as_nanos() as f64;

@@ -12,6 +12,8 @@
 //! Criterion micro-benchmarks of the hot paths (`cargo bench`) live in
 //! `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod faults;
 pub mod json;

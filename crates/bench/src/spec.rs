@@ -431,7 +431,7 @@ impl ScenarioSpec {
         let mut client_vm: Option<VmId> = None;
         let mut datanode_vms: Vec<(String, VmId)> = Vec::new();
         let mut lookbusy: Vec<(ThreadId, f64)> = Vec::new();
-        let mut busy_per_host: std::collections::HashMap<String, usize> = Default::default();
+        let mut busy_per_host: std::collections::BTreeMap<String, usize> = Default::default();
         for v in &self.vms {
             let hix = *host_ix
                 .get(&v.host)

@@ -17,7 +17,7 @@
 //!   **RDMA (RoCE)** — or the user-space **TCP fallback** the paper
 //!   measures in Figure 8 — and forwards the returned data into the ring.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vread_hdfs::meta::{BlockId, DatanodeIx, HdfsMeta};
 use vread_hdfs::namenode::BlockAdded;
@@ -238,12 +238,12 @@ pub struct VreadRegistry {
     /// `host index → (daemon actor, daemon thread)`. Entries persist
     /// across a crash (the thread is reused on restart); liveness is
     /// tracked separately in `down`.
-    pub daemons: HashMap<usize, (ActorId, ThreadId)>,
+    pub daemons: BTreeMap<usize, (ActorId, ThreadId)>,
     /// Inter-host transport.
     pub transport: RemoteTransport,
     /// Hosts whose daemon is currently crashed. Clients consult this to
     /// fall back to the vanilla path instead of sending into the void.
-    pub down: HashSet<usize>,
+    pub down: BTreeSet<usize>,
 }
 
 impl VreadRegistry {
@@ -318,18 +318,18 @@ pub struct VreadDaemon {
     host: HostIx,
     thread: ThreadId,
     /// Read-only mounted views of local datanode VM images, by VM index.
-    mounts: HashMap<usize, FsSnapshot>,
-    vfds: HashMap<u64, VfdState>,
+    mounts: BTreeMap<usize, FsSnapshot>,
+    vfds: BTreeMap<u64, VfdState>,
     next_id: u64,
-    local_reads: HashMap<u64, LocalRead>,
-    remote_reads: HashMap<u64, RemoteRead>,
+    local_reads: BTreeMap<u64, LocalRead>,
+    remote_reads: BTreeMap<u64, RemoteRead>,
     /// Remote reads waiting for data on `(conn, tag)`.
-    data_waits: HashMap<(u32, u64), u64>,
+    data_waits: BTreeMap<(u32, u64), u64>,
     /// Streams this daemon serves for peers.
-    serves: HashMap<(u32, u64), Serve>,
+    serves: BTreeMap<(u32, u64), Serve>,
     /// Pending remote opens (by requester tag).
-    open_waits: HashMap<u64, (ActorId, u64, DatanodeIx)>,
-    peer_conns: HashMap<usize, ActorId>,
+    open_waits: BTreeMap<u64, (ActorId, u64, DatanodeIx)>,
+    peer_conns: BTreeMap<usize, ActorId>,
     /// §6 ablation: bypass the host filesystem (and its page cache),
     /// reading the raw device with manual address translation.
     pub bypass_host_fs: bool,
@@ -1107,15 +1107,15 @@ pub fn restart_daemon(w: &mut World, host: vread_host::cluster::HostIx) -> Optio
     let daemon = VreadDaemon {
         host,
         thread,
-        mounts: HashMap::new(),
-        vfds: HashMap::new(),
+        mounts: BTreeMap::new(),
+        vfds: BTreeMap::new(),
         next_id: 0,
-        local_reads: HashMap::new(),
-        remote_reads: HashMap::new(),
-        data_waits: HashMap::new(),
-        serves: HashMap::new(),
-        open_waits: HashMap::new(),
-        peer_conns: HashMap::new(),
+        local_reads: BTreeMap::new(),
+        remote_reads: BTreeMap::new(),
+        data_waits: BTreeMap::new(),
+        serves: BTreeMap::new(),
+        open_waits: BTreeMap::new(),
+        peer_conns: BTreeMap::new(),
         bypass_host_fs: false,
     };
     let actor = w.add_actor(&format!("vreadd{}", host.0), daemon);
@@ -1162,7 +1162,7 @@ pub fn deploy_vread(w: &mut World, transport: RemoteTransport) -> Vec<ActorId> {
         let host_id = w.ext.get::<Cluster>().expect("cluster").hosts[hix].host;
         let thread = w.add_thread(host_id, &format!("vreadd{hix}"));
         // Mount every datanode VM image on this host.
-        let mut mounts = HashMap::new();
+        let mut mounts = BTreeMap::new();
         {
             let meta = w.ext.get::<HdfsMeta>().expect("HdfsMeta missing");
             let cl = w.ext.get::<Cluster>().expect("cluster");
@@ -1176,14 +1176,14 @@ pub fn deploy_vread(w: &mut World, transport: RemoteTransport) -> Vec<ActorId> {
             host: HostIx(hix),
             thread,
             mounts,
-            vfds: HashMap::new(),
+            vfds: BTreeMap::new(),
             next_id: 0,
-            local_reads: HashMap::new(),
-            remote_reads: HashMap::new(),
-            data_waits: HashMap::new(),
-            serves: HashMap::new(),
-            open_waits: HashMap::new(),
-            peer_conns: HashMap::new(),
+            local_reads: BTreeMap::new(),
+            remote_reads: BTreeMap::new(),
+            data_waits: BTreeMap::new(),
+            serves: BTreeMap::new(),
+            open_waits: BTreeMap::new(),
+            peer_conns: BTreeMap::new(),
             bypass_host_fs: false,
         };
         let actor = w.add_actor(&format!("vreadd{hix}"), daemon);

@@ -25,6 +25,8 @@
 //! [`VreadPath`] instead of a `VanillaPath` — applications are unaware of
 //! the change, exactly as in the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod daemon;
 pub mod fault;

@@ -16,6 +16,8 @@
 //! `cargo bench -- <filter>`); flags (`--bench`, `--exact`, …) are
 //! accepted and ignored.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// How `iter_batched` amortizes setup. The shim always re-runs setup per
@@ -102,6 +104,7 @@ impl Criterion {
         } else {
             (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
         };
+        // vread-lint: allow(float-accum, "sorted samples slice; iteration order is fixed")
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         let rec = BenchRecord {
             name: name.to_owned(),
@@ -186,6 +189,7 @@ impl Bencher {
     /// sample spans at least ~1 ms.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // warm-up + calibration
+        // vread-lint: allow(wall-clock, "criterion shim: benchmarking measures real host time by definition")
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().as_nanos().max(1) as u64;
@@ -196,6 +200,7 @@ impl Bencher {
             }
         }
         for _ in 0..self.sample_size {
+            // vread-lint: allow(wall-clock, "criterion shim: benchmarking measures real host time by definition")
             let t = Instant::now();
             for _ in 0..iters {
                 black_box(f());
@@ -219,6 +224,7 @@ impl Bencher {
         }
         for _ in 0..self.sample_size {
             let input = setup();
+            // vread-lint: allow(wall-clock, "criterion shim: benchmarking measures real host time by definition")
             let t = Instant::now();
             black_box(routine(input));
             self.samples_ns.push(t.elapsed().as_nanos() as f64);

@@ -436,7 +436,7 @@ pub struct DfsClient {
     next_id: u64,
     loc_cache: HashMap<String, Vec<LocatedBlock>>,
     reads: HashMap<u64, ReadReq>,
-    tokens: HashMap<u64, u64>,
+    tokens: std::collections::BTreeMap<u64, u64>,
     nn_tokens: HashMap<u64, u64>,
     writes: HashMap<u64, WriteReq>,
     write_tags: HashMap<u64, u64>,
@@ -458,7 +458,7 @@ pub fn add_client(w: &mut World, vm: VmId, path_impl: Box<dyn BlockReadPath>) ->
             next_id: 0,
             loc_cache: HashMap::new(),
             reads: HashMap::new(),
-            tokens: HashMap::new(),
+            tokens: std::collections::BTreeMap::new(),
             nn_tokens: HashMap::new(),
             writes: HashMap::new(),
             write_tags: HashMap::new(),

@@ -24,6 +24,8 @@
 //! See `examples/hadoop_cluster.rs` at the workspace root, or the
 //! end-to-end tests in `tests/`.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod datanode;
 pub mod meta;

@@ -115,16 +115,19 @@ impl PageCache {
     }
 
     /// Drops every cached chunk of `obj` (e.g. `fadvise DONTNEED`).
+    ///
+    /// Walks the ordered LRU index rather than the hash map so the
+    /// drop order is deterministic (and lint-clean by construction).
     pub fn evict_object(&mut self, obj: ObjectId) {
-        let keys: Vec<ChunkKey> = self
-            .map
-            .keys()
-            .filter(|(o, _)| *o == obj.raw())
-            .copied()
+        let victims: Vec<(u64, ChunkKey)> = self
+            .order
+            .iter()
+            .filter(|(_, k)| k.0 == obj.raw())
+            .map(|(&tick, &k)| (tick, k))
             .collect();
-        for k in keys {
-            let tick = self.map.remove(&k).expect("key just listed");
+        for (tick, k) in victims {
             self.order.remove(&tick);
+            self.map.remove(&k).expect("order/map out of sync");
             self.used -= self.chunk;
         }
     }

@@ -138,7 +138,7 @@ impl GuestFs {
         if self.files.contains_key(path) {
             return Err(FsError::Exists(path.to_owned()));
         }
-        let id = FileId(self.inodes.len() as u32);
+        let id = FileId(self.inodes.len().try_into().expect("inode table fits u32"));
         self.inodes.push(Inode {
             size: 0,
             extents: Vec::new(),

@@ -22,6 +22,8 @@
 //! Everything is expressed in CPU cycles and device service times, so the
 //! paper's `cpufreq-set` experiments fall out of changing a host's clock.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cluster;
 pub mod costs;

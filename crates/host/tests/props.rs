@@ -1,7 +1,7 @@
 //! Property-based tests of the page cache and guest filesystem against
 //! simple reference models.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use vread_host::cache::PageCache;
@@ -42,7 +42,7 @@ proptest! {
         const CHUNK: u64 = 4096;
         const CAP: u64 = 64 * CHUNK;
         let mut cache = PageCache::new(CAP, CHUNK);
-        let mut reference: HashSet<(u64, u64)> = HashSet::new();
+        let mut reference: BTreeSet<(u64, u64)> = BTreeSet::new();
         let mut overflowed = false;
 
         let chunks = |off: u64, len: u64| {

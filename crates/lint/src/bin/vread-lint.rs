@@ -1,0 +1,104 @@
+//! `vread-lint` command-line entry point.
+//!
+//! ```text
+//! vread-lint [--format human|json] [--root DIR] [--list-rules] [FILE...]
+//! ```
+//!
+//! With no files, lints the whole workspace (found by walking up from
+//! `--root`/cwd to the first `Cargo.toml` declaring `[workspace]`).
+//! Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "human".to_owned();
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some(f @ ("human" | "json")) => format = f.to_owned(),
+                other => {
+                    eprintln!("--format needs `human` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in vread_lint::rules::RULES {
+                    println!("{:<16} {}", r.id, r.summary);
+                }
+                for id in vread_lint::rules::META_RULES {
+                    println!("{id:<16} (meta rule, not suppressible)");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: vread-lint [--format human|json] [--root DIR] [--list-rules] [FILE...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            vread_lint::find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+
+    let report = if files.is_empty() {
+        vread_lint::run_workspace(&root)
+    } else {
+        // Expand directory arguments; lint files as given.
+        let mut expanded = Vec::new();
+        for f in files {
+            if f.is_dir() {
+                match vread_lint::collect_rs_files(&f) {
+                    Ok(fs) => expanded.extend(fs),
+                    Err(e) => {
+                        eprintln!("cannot walk {}: {e}", f.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                expanded.push(f);
+            }
+        }
+        vread_lint::run_files(&root, &expanded)
+    };
+
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vread-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_human()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

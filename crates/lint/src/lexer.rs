@@ -1,0 +1,437 @@
+//! A small lossless Rust lexer.
+//!
+//! `vread-lint` needs just enough lexical structure to (a) never match
+//! rule patterns inside string literals or comments, and (b) read
+//! suppression annotations *out of* comments. A full parser would be
+//! overkill (and would drag in external crates, breaking the offline
+//! build); a token stream with correct handling of the tricky cases —
+//! nested block comments, raw strings with arbitrary `#` fences, byte
+//! strings, char literals vs. lifetimes — is exactly enough.
+//!
+//! Whitespace is skipped; everything else (including comments) is
+//! emitted with a 1-based line/column so diagnostics point at source.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`), without the trailing ident rules.
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes
+    /// and fences included in `text`.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A single punctuation byte (`.`, `:`, `<`, …).
+    Punct,
+    /// `// …` comment (leading slashes included, newline excluded).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Never panics: malformed input (unterminated
+/// strings or comments) produces a final token running to end-of-file,
+/// which is the right behavior for a linter (the compiler will report
+/// the real error).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances line/col over src[from..to].
+    let bump = |from: usize, to: usize, line: &mut u32, col: &mut u32| {
+        for &c in &b[from..to] {
+            if c == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        }
+    };
+
+    while i < b.len() {
+        let start = i;
+        let (sl, sc) = (line, col);
+        let c = b[i];
+
+        // -- whitespace ---------------------------------------------------
+        if c.is_ascii_whitespace() {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- comments -----------------------------------------------------
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text: &src[start..i],
+                line: sl,
+                col: sc,
+            });
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text: &src[start..i],
+                line: sl,
+                col: sc,
+            });
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- string-literal prefixes (r"", r#""#, b"", br#""#, b'') -------
+        if c == b'r' || c == b'b' {
+            // Candidate prefix run: `r`, `b`, `br`, `rb` (rb isn't real
+            // Rust but accepting it is harmless), followed by `#`* then
+            // a quote.
+            let mut j = i;
+            while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            let mut k = j;
+            while k < b.len() && b[k] == b'#' {
+                hashes += 1;
+                k += 1;
+            }
+            let raw = src[i..j].contains('r');
+            if k < b.len() && b[k] == b'"' && (raw || hashes == 0) {
+                i = if raw {
+                    scan_raw_string(b, k, hashes)
+                } else {
+                    scan_string(b, k)
+                };
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..i],
+                    line: sl,
+                    col: sc,
+                });
+                bump(start, i, &mut line, &mut col);
+                continue;
+            }
+            if j == i + 1 && c == b'b' && j < b.len() && b[j] == b'\'' {
+                i = scan_char(b, j);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: &src[start..i],
+                    line: sl,
+                    col: sc,
+                });
+                bump(start, i, &mut line, &mut col);
+                continue;
+            }
+            // `r#ident` raw identifier.
+            if c == b'r' && hashes == 1 && k < b.len() && is_ident_start(b[k]) {
+                i = k;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[start..i],
+                    line: sl,
+                    col: sc,
+                });
+                bump(start, i, &mut line, &mut col);
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // -- plain strings ------------------------------------------------
+        if c == b'"' {
+            i = scan_string(b, i);
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: &src[start..i],
+                line: sl,
+                col: sc,
+            });
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- char literal vs lifetime -------------------------------------
+        if c == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                i = scan_char(b, i);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: &src[start..i],
+                    line: sl,
+                    col: sc,
+                });
+            } else if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut k = i + 1;
+                while k < b.len() && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'\'' {
+                    // 'a' — char literal.
+                    i = k + 1;
+                    out.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i],
+                        line: sl,
+                        col: sc,
+                    });
+                } else {
+                    // 'a — lifetime.
+                    i = k;
+                    out.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: &src[start..i],
+                        line: sl,
+                        col: sc,
+                    });
+                }
+            } else {
+                // '%' style char literal (or stray quote at EOF).
+                i = scan_char(b, i);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: &src[start..i],
+                    line: sl,
+                    col: sc,
+                });
+            }
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- identifiers --------------------------------------------------
+        if is_ident_start(c) {
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: &src[start..i],
+                line: sl,
+                col: sc,
+            });
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- numbers ------------------------------------------------------
+        if c.is_ascii_digit() {
+            while i < b.len() && (is_ident_cont(b[i])) {
+                i += 1;
+            }
+            // Fractional part: `.` followed by a digit (so `0..n` range
+            // syntax and `0.method()` stay three tokens).
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Number,
+                text: &src[start..i],
+                line: sl,
+                col: sc,
+            });
+            bump(start, i, &mut line, &mut col);
+            continue;
+        }
+
+        // -- punctuation --------------------------------------------------
+        i += 1;
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: &src[start..i],
+            line: sl,
+            col: sc,
+        });
+        bump(start, i, &mut line, &mut col);
+    }
+    out
+}
+
+/// Scans a `"…"` body starting at the opening quote; returns the index
+/// one past the closing quote (or EOF).
+fn scan_string(b: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Scans a raw string whose opening quote is at `open` with `hashes`
+/// `#`-fence characters; returns the index one past the full closer.
+fn scan_raw_string(b: &[u8], open: usize, hashes: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Scans a `'…'` char/byte-char body starting at the opening quote.
+fn scan_char(b: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r##"let s = "Instant::now()"; // Instant::now()"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("Instant")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("Instant")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"a \" quote\"#; x";
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let s = ' '; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'y'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "' '"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.ends_with("still */"));
+        assert_eq!(toks[1].1, "ident");
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = kinds("fold(0.0, 1e3); 0..10; x.0");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t == "0.0"));
+        // Range syntax stays split.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "10"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,7 @@
+//! Docs may talk about RandomState and thread_rng freely.
+
+fn deterministic() -> u64 {
+    // RandomState, thread_rng, from_entropy in a comment must not fire.
+    let s = "RandomState thread_rng from_entropy OsRng";
+    s.len() as u64
+}

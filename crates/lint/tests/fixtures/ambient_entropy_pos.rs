@@ -1,0 +1,6 @@
+// Fixture: ambient entropy sources must fire.
+use std::collections::hash_map::RandomState; //~ ambient-entropy
+
+fn hasher() -> RandomState { //~ ambient-entropy
+    RandomState::new() //~ ambient-entropy
+}

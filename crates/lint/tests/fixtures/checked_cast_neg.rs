@@ -1,0 +1,13 @@
+// Fixture: widening casts are out of the rule's scope even inside
+// crates/sim; `as u32` in a string must not fire anywhere.
+fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+fn index(x: u32) -> usize {
+    x as usize
+}
+
+fn in_string() -> &'static str {
+    "cycles as u32"
+}

@@ -1,0 +1,9 @@
+// Fixture: linted under a virtual crates/sim/src path, so the
+// checked-cast rule is in scope.
+fn truncate(cycles: u64) -> u32 {
+    cycles as u32 //~ checked-cast
+}
+
+fn allowed(cycles: u64) -> u32 {
+    cycles as u32 // vread-lint: allow(checked-cast, "fixture: truncation is intended")
+}

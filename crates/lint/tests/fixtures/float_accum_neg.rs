@@ -1,0 +1,10 @@
+// Fixture: integer reductions and rule text in strings/comments must
+// not fire.
+fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+fn comment_only() -> &'static str {
+    // sum::<f64>() and fold(0.0, ..) in this comment must not fire.
+    "sum::<f64>() fold(0.0, f64::max)"
+}

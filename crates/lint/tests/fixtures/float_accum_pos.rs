@@ -1,0 +1,8 @@
+// Fixture: silent f64 reduction idioms must fire.
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / 2.0 //~ float-accum
+}
+
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b) //~ float-accum
+}

@@ -1,0 +1,23 @@
+// Fixture: iteration over HashMap/HashSet-typed state must fire.
+use std::collections::{HashMap, HashSet};
+
+struct Daemon {
+    vfds: HashMap<u64, u32>,
+}
+
+impl Daemon {
+    fn drain_vfds(&self) -> Vec<u32> {
+        self.vfds.values().copied().collect() //~ unordered-iter
+    }
+}
+
+fn main_loop(d: &Daemon) {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(1);
+    for s in &seen { //~ unordered-iter
+        let _ = s;
+    }
+    for (k, v) in d.vfds.iter() { //~ unordered-iter
+        let _ = (k, v);
+    }
+}

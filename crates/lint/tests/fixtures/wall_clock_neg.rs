@@ -1,0 +1,14 @@
+// Fixture: none of this may fire — rule text lives in strings,
+// comments, and behind a valid allow annotation.
+
+fn not_wall_clock() {
+    // Instant::now() in a comment must not fire.
+    let _s = "Instant::now() and SystemTime in a string";
+    let _r = r#"raw Instant::now() and "SystemTime" too"#;
+    /* block comment: Instant::now() SystemTime */
+}
+
+// vread-lint: allow(wall-clock, "fixture: legitimate host-timing site")
+fn timing_harness() -> std::time::Instant {
+    std::time::Instant::now()
+}

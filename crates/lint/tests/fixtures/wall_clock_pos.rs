@@ -1,0 +1,8 @@
+// Fixture: every marked line must produce exactly the marked rule.
+use std::time::{Instant, SystemTime}; //~ wall-clock
+
+fn timing() -> u128 {
+    let t0 = Instant::now(); //~ wall-clock
+    let _epoch = SystemTime::now(); //~ wall-clock
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,55 @@
+//! The workspace must be lint-clean — this is the load-bearing test
+//! behind the determinism guarantees in DESIGN.md §11: any new
+//! wall-clock read, unordered iteration over sim-visible hash state,
+//! entropy source, narrowing accounting cast, or float reduction fails
+//! `cargo test` here before it can break replay-based tests.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = vread_lint::run_workspace(workspace_root()).expect("walk workspace");
+    assert!(report.files_scanned > 50, "walk found the workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn removing_an_allow_fails_the_run() {
+    // The in-tree allow annotations are load-bearing: stripping any
+    // one of them re-surfaces its violation. Spot-check the wall-clock
+    // allows in the repro binary.
+    let path = workspace_root().join("crates/bench/src/bin/repro.rs");
+    let src = std::fs::read_to_string(&path).expect("read repro.rs");
+    assert!(
+        src.contains("vread-lint: allow(wall-clock"),
+        "repro.rs carries its wall-clock allows"
+    );
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("vread-lint: allow(wall-clock"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let violations = vread_lint::lint_source("crates/bench/src/bin/repro.rs", &stripped);
+    assert!(
+        violations.iter().any(|v| v.rule == "wall-clock"),
+        "stripping the allows must re-surface the wall-clock violations, got {violations:?}"
+    );
+}
+
+#[test]
+fn json_report_is_byte_stable() {
+    let a = vread_lint::run_workspace(workspace_root()).expect("walk");
+    let b = vread_lint::run_workspace(workspace_root()).expect("walk");
+    assert_eq!(a.render_json(), b.render_json());
+}

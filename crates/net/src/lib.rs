@@ -20,6 +20,8 @@
 //! stages run on real scheduler threads, connection throughput and latency
 //! degrade under CPU contention exactly as in the paper's Figure 3.
 
+#![forbid(unsafe_code)]
+
 pub mod conn;
 pub mod fault;
 

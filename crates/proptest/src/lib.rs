@@ -13,6 +13,8 @@
 //! failures are reproducible; there is no shrinking — the failing inputs
 //! are printed verbatim instead.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Debug;
 use std::ops::Range;
 

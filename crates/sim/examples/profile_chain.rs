@@ -32,6 +32,7 @@ fn main() {
     let mut events = 0u64;
     for _ in 0..30 {
         let mut w = build();
+        // vread-lint: allow(wall-clock, "host-side profiling harness; wall time never feeds back into the simulation")
         let t0 = Instant::now();
         w.run();
         let dt = t0.elapsed().as_nanos() as f64;

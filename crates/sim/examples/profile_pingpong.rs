@@ -35,6 +35,7 @@ fn main() {
         let mut w = World::new(1);
         let a = w.add_actor("a", PingPong { left: EVENTS });
         w.send_now(a, Start);
+        // vread-lint: allow(wall-clock, "host-side profiling harness; wall time never feeds back into the simulation")
         let t = Instant::now();
         w.run();
         let ns = t.elapsed().as_nanos() as f64 / f64::from(EVENTS);

@@ -215,7 +215,7 @@ impl World {
         for c in 0..cores {
             self.core_timers.push(CoreTimerSlot {
                 host: id,
-                core: c as u32,
+                core: c.try_into().expect("core count fits u32"),
                 armed: None,
             });
         }
@@ -231,21 +231,21 @@ impl World {
 
     /// Registers a network link.
     pub fn add_link(&mut self, link: Link) -> LinkId {
-        let id = LinkId::from_raw(self.links.len() as u32);
+        let id = LinkId::from_raw(self.links.len().try_into().expect("link table fits u32"));
         self.links.push(link);
         id
     }
 
     /// Registers a block device.
     pub fn add_blockdev(&mut self, dev: BlockDev) -> BlockDevId {
-        let id = BlockDevId::from_raw(self.devs.len() as u32);
+        let id = BlockDevId::from_raw(self.devs.len().try_into().expect("device table fits u32"));
         self.devs.push(dev);
         id
     }
 
     /// Registers an actor and returns its address.
     pub fn add_actor(&mut self, name: &str, actor: impl Actor) -> ActorId {
-        let id = ActorId::from_raw(self.actors.len() as u32);
+        let id = ActorId::from_raw(self.actors.len().try_into().expect("actor table fits u32"));
         self.actors.push(ActorSlot {
             actor: Some(Box::new(actor)),
             name: name.to_owned(),

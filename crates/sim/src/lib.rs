@@ -47,6 +47,8 @@
 //! assert!(w.now() > SimTime::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod cpu;
 pub mod engine;

@@ -80,6 +80,7 @@ impl Samples {
 
     /// Largest observation, or 0.0 when empty.
     pub fn max(&self) -> f64 {
+        // vread-lint: allow(float-accum, "f64::max is order-independent (commutative, associative)")
         self.values.iter().cloned().fold(0.0, f64::max)
     }
 

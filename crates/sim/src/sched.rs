@@ -172,7 +172,7 @@ impl Sched {
     ) -> HostId {
         assert!(cores > 0, "a host needs at least one core");
         assert!(ghz > 0.0, "clock frequency must be positive");
-        let id = HostId::from_raw(self.hosts.len() as u16);
+        let id = HostId::from_raw(self.hosts.len().try_into().expect("host table fits u16"));
         self.hosts.push(HostSched {
             name: name.to_owned(),
             ghz,
@@ -188,7 +188,12 @@ impl Sched {
 
     pub fn add_thread(&mut self, host: HostId, name: &str) -> ThreadId {
         assert!((host.index()) < self.hosts.len(), "unknown host {host}");
-        let id = ThreadId::from_raw(self.threads.len() as u32);
+        let id = ThreadId::from_raw(
+            self.threads
+                .len()
+                .try_into()
+                .expect("thread table fits u32"),
+        );
         self.threads.push(ThreadSched {
             host,
             name: name.to_owned(),
@@ -305,7 +310,7 @@ impl World {
     pub fn sync_accounting(&mut self) {
         let now = self.now();
         for hix in 0..self.sched.hosts.len() {
-            let host = crate::ids::HostId::from_raw(hix as u16);
+            let host = crate::ids::HostId::from_raw(hix.try_into().expect("host index fits u16"));
             for cix in 0..self.sched.hosts[hix].cores.len() {
                 self.charge_core(host, cix, now);
             }

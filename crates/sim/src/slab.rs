@@ -32,6 +32,7 @@ fn pack(gen: u32, slot: u32) -> ChainId {
     ChainId::from_raw((u64::from(gen) << 32) | u64::from(slot))
 }
 
+// vread-lint: allow(checked-cast, "intentional bit-slice of the packed generation|slot id")
 fn unpack(id: ChainId) -> (u32, u32) {
     let raw = id.raw();
     ((raw >> 32) as u32, raw as u32)
@@ -91,10 +92,10 @@ impl ChainSlab {
 
     /// In-flight chains in slot order (deterministic, for diagnostics).
     pub(crate) fn iter(&self) -> impl Iterator<Item = (ChainId, &Chain)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.chain.as_ref().map(|c| (pack(s.gen, i as u32), c)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            let slot = i.try_into().expect("slab slot index fits u32");
+            s.chain.as_ref().map(|c| (pack(s.gen, slot), c))
+        })
     }
 }
 

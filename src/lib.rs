@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the whole vread-rs workspace.
+#![forbid(unsafe_code)]
+
 pub use vread_apps as apps;
 pub use vread_bench as bench;
 pub use vread_core as core;
