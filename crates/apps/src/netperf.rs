@@ -39,6 +39,7 @@ impl Actor for NetperfServer {
                 bytes: self.response_bytes,
                 tag: r.tag,
                 notify: false,
+                span: SpanId::NONE,
             };
             // server-side request handling, then respond
             ctx.chain(
@@ -123,6 +124,7 @@ impl NetperfClient {
             bytes: self.request_bytes,
             tag: self.seq,
             notify: false,
+            span: SpanId::NONE,
         };
         ctx.cpu(vcpu, APP_CYCLES, CpuCategory::ClientApp, conn, send);
     }

@@ -90,6 +90,7 @@ impl Actor for MysqlServer {
                     bytes: 64,
                     tag: d.tag,
                     notify: false,
+                    span: SpanId::NONE,
                 },
             );
         }
@@ -235,6 +236,7 @@ impl Actor for SqoopExport {
                         bytes: s.rows * self.cfg.row_bytes,
                         tag: s.rows, // tag carries the batch row count
                         notify: false,
+                        span: SpanId::NONE,
                     },
                 );
                 self.pump(ctx);

@@ -3,7 +3,8 @@
 //! Usage:
 //! ```text
 //! repro [--json DIR] [--jobs N] <experiment>... | all | list
-//! repro scenario <file.json>
+//! repro scenario <file.json> [--spans]
+//! repro trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N]
 //! repro fault-matrix [--jobs N]
 //! repro bench-engine [--out FILE]
 //! repro lint [--format human|json]
@@ -56,7 +57,8 @@ fn main() {
                 for (id, _) in &registry {
                     println!("{id}");
                 }
-                println!("scenario <file.json>");
+                println!("scenario <file.json> [--spans]");
+                println!("trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N]");
                 println!("fault-matrix [--jobs N]");
                 println!("bench-engine [--out FILE]");
                 println!("lint [--format human|json]");
@@ -87,11 +89,25 @@ fn main() {
                     eprintln!("scenario needs a JSON file argument");
                     std::process::exit(2);
                 };
+                let mut spans = false;
+                for a in it.by_ref() {
+                    match a.as_str() {
+                        "--spans" => spans = true,
+                        other => {
+                            eprintln!("scenario: unknown argument {other:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 let json = std::fs::read_to_string(&file).unwrap_or_else(|e| {
                     eprintln!("cannot read {file}: {e}");
                     std::process::exit(2);
                 });
-                match vread_bench::ScenarioSpec::from_json(&json).and_then(|s| s.run()) {
+                let run = vread_bench::ScenarioSpec::from_json(&json).and_then(|mut s| {
+                    s.spans |= spans;
+                    s.run()
+                });
+                match run {
                     Ok(report) => {
                         println!("{}", report.to_json());
                     }
@@ -100,6 +116,48 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+                return;
+            }
+            "trace" => {
+                let mut which: Vec<vread_bench::ReadPath> = Vec::new();
+                let mut trace_out: Option<String> = None;
+                let mut t_jobs = jobs;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--trace-out" => match it.next() {
+                            Some(f) => trace_out = Some(f),
+                            None => {
+                                eprintln!("--trace-out needs a file argument");
+                                std::process::exit(2);
+                            }
+                        },
+                        "--jobs" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => t_jobs = Some(n),
+                                _ => {
+                                    eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "all" => which.extend(vread_bench::ReadPath::ALL),
+                        other => match vread_bench::ReadPath::parse(other) {
+                            Some(p) => which.push(p),
+                            None => {
+                                eprintln!(
+                                    "trace: unknown path {other:?} \
+                                     (expected vanilla|vread-rdma|vread-tcp|all)"
+                                );
+                                std::process::exit(2);
+                            }
+                        },
+                    }
+                }
+                if which.is_empty() {
+                    which.extend(vread_bench::ReadPath::ALL);
+                }
+                trace_cmd(&which, trace_out.as_deref(), t_jobs.unwrap_or(1));
                 return;
             }
             "fault-matrix" => {
@@ -282,6 +340,135 @@ fn run_lint(format: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// trace: the observability gate. Runs the standard co-located reader
+// scenario per read path with the span flight recorder on, prints the
+// per-layer cycle/copy table and the copies-per-read ledger, asserts
+// the paper's copy invariant (vanilla ≥5, vRead =2 copies/read), and
+// optionally exports Chrome trace-event JSON for Perfetto.
+// ---------------------------------------------------------------------------
+
+/// The standard trace scenario: two hosts, client + dn1 on h1, data
+/// co-located with the client, 16 MB read in 1 MB requests.
+fn trace_spec(path: vread_bench::ReadPath) -> vread_bench::ScenarioSpec {
+    use vread_bench::spec::WorkloadSpec;
+    vread_bench::ScenarioSpec::builder()
+        .path(path)
+        .spans(true)
+        .host("h1", 4, 2.0)
+        .host("h2", 4, 2.0)
+        .client("client", "h1")
+        .datanode("dn1", "h1")
+        .datanode("dn2", "h2")
+        .file("/d", 16, &["dn1"])
+        .workload(WorkloadSpec::Reader {
+            path: "/d".to_owned(),
+            request_kb: 1024,
+        })
+        .build()
+        .expect("trace scenario is statically valid")
+}
+
+/// Runs one path's trace cell: returns (pass, report text, chrome JSON).
+fn trace_one(path: vread_bench::ReadPath) -> (bool, String, String) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== trace {} — co-located 16 MB reader, 1 MB requests ==",
+        path.as_str()
+    );
+    let report = match trace_spec(path).run() {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "FAILED: {e}");
+            return (false, out, String::new());
+        }
+    };
+    let sp = report.spans.as_ref().expect("trace scenarios enable spans");
+    out.push_str(&sp.render());
+    let agg = sp.reads();
+    // The paper's invariant (§2): every vanilla read moves the payload
+    // at least 5 times; vRead moves it exactly twice (shared ring).
+    let (ok_copies, expect) = match path {
+        vread_bench::ReadPath::Vanilla => (agg.min_copies_per_read >= 5.0 - 1e-9, ">=5"),
+        _ => (
+            (agg.min_copies_per_read - 2.0).abs() < 1e-9
+                && (agg.max_copies_per_read - 2.0).abs() < 1e-9,
+            "=2",
+        ),
+    };
+    let ok = agg.reads > 0 && ok_copies && sp.conserves_cycles();
+    let _ = writeln!(
+        out,
+        "copy ledger [expected {} copies/read]: {}",
+        expect,
+        if ok { "PASS" } else { "FAIL" },
+    );
+    (ok, out, sp.report.chrome_trace_json())
+}
+
+/// `--trace-out` file name for one path: the base name as-is for a
+/// single-path run, `<stem>-<path>.<ext>` when tracing several.
+fn trace_out_name(base: &str, path: &str, multi: bool) -> String {
+    if !multi {
+        return base.to_owned();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}-{path}.{ext}"),
+        None => format!("{base}-{path}"),
+    }
+}
+
+fn trace_cmd(which: &[vread_bench::ReadPath], trace_out: Option<&str>, jobs: usize) {
+    let n = which.len();
+    let mut cells: Vec<Option<(bool, String, String)>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, (bool, String, String))>();
+        for _ in 0..jobs.min(n).max(1) {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, trace_one(which[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, cell) in rx {
+            cells[i] = Some(cell);
+        }
+    });
+    let mut failed = 0usize;
+    for (i, cell) in cells.into_iter().enumerate() {
+        let (ok, text, chrome) = cell.expect("every trace cell completes");
+        print!("{text}");
+        if !ok {
+            failed += 1;
+        }
+        if let Some(base) = trace_out {
+            if !chrome.is_empty() {
+                let file = trace_out_name(base, which[i].as_str(), n > 1);
+                std::fs::write(&file, &chrome).unwrap_or_else(|e| {
+                    eprintln!("cannot write {file}: {e}");
+                    std::process::exit(1);
+                });
+                println!("[chrome trace written to {file}]");
+            }
+        }
+        println!();
+    }
+    if failed > 0 {
+        eprintln!("{failed} trace cell(s) failed");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // fault-matrix: the reliability smoke gate. Every fault kind crossed
 // with every read path on a short replicated-read scenario; one
 // deterministic summary line per cell, diffable across --jobs counts.
@@ -360,6 +547,7 @@ fn fault_cell(
     use vread_bench::spec::WorkloadSpec;
     let mut b = vread_bench::ScenarioSpec::builder()
         .path(path)
+        .spans(true)
         .host("h1", 4, 2.0)
         .host("h2", 4, 2.0)
         .client("client", "h1")
@@ -378,9 +566,13 @@ fn fault_cell(
     match report {
         Ok(r) => {
             let f = r.faults.as_ref().expect("fault report");
+            // The span ledger makes fallbacks visible in copy terms: a
+            // vread cell whose reads fell back to vanilla shows its max
+            // copies/read jump from 2 to ≥5.
+            let agg = r.spans.as_ref().expect("spans enabled").reads();
             format!(
                 "{:<10} {:<14} bytes={} elapsed_s={:.3} events={} fallbacks={} \
-                 failovers={} retries={} restarts={}",
+                 failovers={} retries={} restarts={} copies={:.2} max_copies={:.2}",
                 path.as_str(),
                 kind,
                 r.bytes,
@@ -390,6 +582,8 @@ fn fault_cell(
                 f.failovers,
                 f.path_retries,
                 f.daemon_restarts,
+                agg.copies_per_read(),
+                agg.max_copies_per_read,
             )
         }
         Err(e) => format!("{:<10} {:<14} FAILED: {e}", path.as_str(), kind),

@@ -19,9 +19,11 @@ pub mod faults;
 pub mod json;
 pub mod report;
 pub mod scenarios;
+pub mod spans;
 pub mod spec;
 
 pub use faults::{collect_fault_report, random_plan, FaultKind, FaultReport, FaultSpec};
 pub use report::{improvement_pct, reduction_pct, Row, Table};
 pub use scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
+pub use spans::{ReadAggregate, SpanSummary};
 pub use spec::{ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError, WorkloadSpec};

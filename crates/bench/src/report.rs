@@ -126,17 +126,22 @@ impl Table {
 }
 
 /// Percentage improvement of `new` over `old`.
+///
+/// Returns 0.0 whenever the ratio is undefined — `old` zero/negative or
+/// either input non-finite — so tables built from degenerate
+/// measurements never emit NaN/inf (which is not valid JSON).
 pub fn improvement_pct(old: f64, new: f64) -> f64 {
-    if old <= 0.0 {
+    if !old.is_finite() || !new.is_finite() || old <= 0.0 {
         0.0
     } else {
         (new / old - 1.0) * 100.0
     }
 }
 
-/// Percentage reduction from `old` to `new`.
+/// Percentage reduction from `old` to `new`, with the same non-finite
+/// hardening as [`improvement_pct`].
 pub fn reduction_pct(old: f64, new: f64) -> f64 {
-    if old <= 0.0 {
+    if !old.is_finite() || !new.is_finite() || old <= 0.0 {
         0.0
     } else {
         (1.0 - new / old) * 100.0
@@ -165,5 +170,25 @@ mod tests {
         assert!((improvement_pct(100.0, 150.0) - 50.0).abs() < 1e-9);
         assert!((reduction_pct(100.0, 80.0) - 20.0).abs() < 1e-9);
         assert_eq!(improvement_pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn pct_helpers_never_emit_non_finite() {
+        let degenerate = [
+            (0.0, 10.0),
+            (-5.0, 10.0),
+            (f64::NAN, 10.0),
+            (10.0, f64::NAN),
+            (f64::INFINITY, 10.0),
+            (10.0, f64::NEG_INFINITY),
+            (0.0, 0.0),
+        ];
+        for (old, new) in degenerate {
+            assert_eq!(improvement_pct(old, new), 0.0, "improvement({old}, {new})");
+            assert_eq!(reduction_pct(old, new), 0.0, "reduction({old}, {new})");
+        }
+        // sane inputs still report real percentages
+        assert!(improvement_pct(1e-300, 2e-300).is_finite());
+        assert!((reduction_pct(200.0, 50.0) - 75.0).abs() < 1e-9);
     }
 }

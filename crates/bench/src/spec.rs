@@ -29,6 +29,7 @@ use crate::faults::{
 };
 use crate::json::{n, obj, s, Json};
 use crate::scenarios::ReadPath;
+use crate::spans::SpanSummary;
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_apps::driver::run_until_counter;
@@ -163,6 +164,9 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Planned faults (default none; see [`FaultSpec`]).
     pub faults: Vec<FaultSpec>,
+    /// Enable the span flight recorder (default false). Adds a
+    /// [`SpanSummary`] to the report; off-path runs serialize unchanged.
+    pub spans: bool,
 }
 
 /// Scenario results.
@@ -182,6 +186,8 @@ pub struct ScenarioReport {
     /// Degradation summary — present only when the scenario planned
     /// faults, so fault-free reports serialize exactly as before.
     pub faults: Option<FaultReport>,
+    /// Span rollups — present only when the scenario enabled tracing.
+    pub spans: Option<SpanSummary>,
 }
 
 /// Errors building/running a scenario.
@@ -226,6 +232,9 @@ impl ScenarioReport {
         ];
         if let Some(f) = &self.faults {
             fields.push(("faults", f.to_json()));
+        }
+        if let Some(sp) = &self.spans {
+            fields.push(("spans", sp.to_json()));
         }
         obj(fields).pretty()
     }
@@ -392,6 +401,13 @@ impl ScenarioSpec {
         let path = ReadPath::parse(&path_s)
             .ok_or_else(|| parse_err(format!("scenario: unknown path {path_s:?}")))?;
 
+        let spans = match j.get("spans") {
+            None | Some(Json::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| parse_err("scenario: field \"spans\" must be a boolean"))?,
+        };
+
         Ok(ScenarioSpec {
             seed: opt_u64(&j, "seed", 42, "scenario")?,
             path,
@@ -400,6 +416,7 @@ impl ScenarioSpec {
             files,
             workload,
             faults,
+            spans,
         })
     }
 
@@ -417,6 +434,11 @@ impl ScenarioSpec {
     /// is invalid (no client VM, unknown path, …).
     pub fn run(&self) -> Result<ScenarioReport, SpecError> {
         let mut w = World::new(self.seed);
+        if self.spans {
+            // Enabled before any activity so the cycle-conservation
+            // invariant covers deploy/populate work too.
+            w.spans.enable();
+        }
         let mut cl = Cluster::new(Costs::default());
 
         // hosts
@@ -650,6 +672,12 @@ impl ScenarioSpec {
             }
         };
 
+        let spans = if self.spans {
+            Some(SpanSummary::collect(&mut w))
+        } else {
+            None
+        };
+
         let mut cpu_by_cat: std::collections::BTreeMap<&'static str, f64> = Default::default();
         for t in 0..w.acct.len() {
             let host = w.thread_host(ThreadId::from_raw(t as u32));
@@ -691,6 +719,7 @@ impl ScenarioSpec {
             } else {
                 Some(collect_fault_report(&w))
             },
+            spans,
         })
     }
 }
@@ -727,6 +756,7 @@ pub struct ScenarioBuilder {
     files: Vec<FileSpec>,
     workload: Option<WorkloadSpec>,
     faults: Vec<FaultSpec>,
+    spans: bool,
 }
 
 impl Default for ScenarioBuilder {
@@ -739,6 +769,7 @@ impl Default for ScenarioBuilder {
             files: Vec::new(),
             workload: None,
             faults: Vec::new(),
+            spans: false,
         }
     }
 }
@@ -824,6 +855,12 @@ impl ScenarioBuilder {
     /// Plans a fault at `at_ms` simulated milliseconds.
     pub fn fault(mut self, at_ms: u64, kind: FaultKind) -> Self {
         self.faults.push(FaultSpec { at_ms, kind });
+        self
+    }
+
+    /// Enables the span flight recorder (default off).
+    pub fn spans(mut self, spans: bool) -> Self {
+        self.spans = spans;
         self
     }
 
@@ -924,6 +961,7 @@ impl ScenarioBuilder {
             files: self.files,
             workload,
             faults: self.faults,
+            spans: self.spans,
         })
     }
 }

@@ -47,6 +47,9 @@ pub struct VreadOpenReq {
     pub dn: DatanodeIx,
     /// Target block.
     pub block: BlockId,
+    /// The client's `vread_open` span (daemon-side open work is charged
+    /// to it).
+    pub span: SpanId,
 }
 
 /// Reply to [`VreadOpenReq`]. `vfd: None` means the block is not visible
@@ -75,6 +78,9 @@ pub struct VreadReadReq {
     pub offset: u64,
     /// Bytes to read.
     pub len: u64,
+    /// The client's `vfd_read` span; all daemon/ring/transport work for
+    /// this read is charged to it.
+    pub span: SpanId,
 }
 
 /// A chunk of payload landed in the client's buffer.
@@ -202,6 +208,9 @@ pub struct RRead {
     pub offset: u64,
     /// Bytes to stream.
     pub len: u64,
+    /// The requesting read's `vfd_read` span (serve-side work is charged
+    /// to it).
+    pub span: SpanId,
 }
 
 /// Remote close (forwarded `vRead_close`).
@@ -272,6 +281,7 @@ struct LocalRead {
     next_offset: u64,
     remaining: u64,
     inflight: usize,
+    span: SpanId,
 }
 
 struct RemoteRead {
@@ -282,6 +292,7 @@ struct RemoteRead {
     forwarded: u64,
     ring_inflight: usize,
     transport_done: bool,
+    span: SpanId,
 }
 
 struct Serve {
@@ -292,6 +303,7 @@ struct Serve {
     next_offset: u64,
     remaining: u64,
     inflight: usize,
+    span: SpanId,
 }
 
 struct LocalChunkDone {
@@ -478,14 +490,14 @@ impl VreadDaemon {
             let chunk = costs
                 .stream_chunk_bytes
                 .min(ring.max_chunk_for_window(DAEMON_WINDOW as u64));
-            let (dn_vm, file, offset, take, client_vm) = {
+            let (dn_vm, file, offset, take, client_vm, span) = {
                 let r = self.local_reads.get_mut(&read).expect("read vanished");
                 let take = r.remaining.min(chunk);
                 let off = r.next_offset;
                 r.next_offset += take;
                 r.remaining -= take;
                 r.inflight += 1;
-                (r.dn_vm, r.file, off, take, r.client_vm)
+                (r.dn_vm, r.file, off, take, r.client_vm, r.span)
             };
             let mut stages = self.image_read_stages(ctx, dn_vm, file, offset, take);
             stages.extend(ring.daemon_push_stages(&costs, self.thread, take));
@@ -494,7 +506,7 @@ impl VreadDaemon {
                 cl.vm(client_vm).vcpu
             };
             stages.extend(ring.guest_pop_stages(&costs, vcpu, take));
-            ctx.chain(stages, me, LocalChunkDone { read, bytes: take });
+            ctx.chain_on(stages, me, LocalChunkDone { read, bytes: take }, span);
         }
     }
 
@@ -516,26 +528,27 @@ impl VreadDaemon {
                 .get::<VreadRegistry>()
                 .expect("registry")
                 .transport;
-            let (dn_vm, file, offset, take) = {
+            let (dn_vm, file, offset, take, span) = {
                 let s = self.serves.get_mut(&key).expect("serve vanished");
                 let take = s.remaining.min(costs.stream_chunk_bytes);
                 let off = s.next_offset;
                 s.next_offset += take;
                 s.remaining -= take;
                 s.inflight += 1;
-                (s.dn_vm, s.file, off, take)
+                (s.dn_vm, s.file, off, take, s.span)
             };
             let mut stages = self.image_read_stages(ctx, dn_vm, file, offset, take);
             if transport == RemoteTransport::Rdma {
                 // Copy into the registered memory region the NIC pushes
                 // from (the paper's "active model" on the datanode side).
-                stages.push(Stage::cpu(
+                stages.push(Stage::copy(
                     self.thread,
                     costs.copy_cycles(take) / 2,
                     CpuCategory::Rdma,
+                    take,
                 ));
             }
-            ctx.chain(stages, me, ServeChunkReady { key, bytes: take });
+            ctx.chain_on(stages, me, ServeChunkReady { key, bytes: take }, span);
         }
     }
 }
@@ -560,7 +573,7 @@ impl Actor for VreadDaemon {
                         dn: req.dn,
                         position: 0,
                     });
-                    ctx.chain(
+                    ctx.chain_on(
                         vec![Stage::cpu(
                             self.thread,
                             costs.eventfd_cycles
@@ -573,6 +586,7 @@ impl Actor for VreadDaemon {
                             token: req.token,
                             vfd,
                         },
+                        req.span,
                     );
                 } else {
                     // remote open via the peer daemon (control path)
@@ -584,7 +598,7 @@ impl Actor for VreadDaemon {
                         let reg = ctx.world.ext.get::<VreadRegistry>().expect("registry");
                         reg.daemons[&dn_host.0].0
                     };
-                    ctx.chain(
+                    ctx.chain_on(
                         vec![Stage::cpu(
                             self.thread,
                             costs.eventfd_cycles + costs.rdma_post_cycles,
@@ -597,6 +611,7 @@ impl Actor for VreadDaemon {
                             dn: req.dn,
                             block: req.block,
                         },
+                        req.span,
                     );
                 }
                 return;
@@ -629,6 +644,7 @@ impl Actor for VreadDaemon {
                                 next_offset: req.offset,
                                 remaining: req.len,
                                 inflight: 0,
+                                span: req.span,
                             },
                         );
                         self.pump_local(ctx, read);
@@ -646,6 +662,7 @@ impl Actor for VreadDaemon {
                                 forwarded: 0,
                                 ring_inflight: 0,
                                 transport_done: false,
+                                span: req.span,
                             },
                         );
                         self.data_waits.insert((conn.raw(), read), read);
@@ -654,7 +671,7 @@ impl Actor for VreadDaemon {
                             reg.daemons[&peer_host].0
                         };
                         let costs = Self::costs(ctx);
-                        ctx.chain(
+                        ctx.chain_on(
                             vec![Stage::cpu(
                                 self.thread,
                                 costs.eventfd_cycles + costs.rdma_post_cycles,
@@ -668,7 +685,9 @@ impl Actor for VreadDaemon {
                                 vfd: peer_vfd,
                                 offset: req.offset,
                                 len: req.len,
+                                span: req.span,
                             },
+                            req.span,
                         );
                     }
                     _ => {
@@ -797,6 +816,7 @@ impl Actor for VreadDaemon {
                         next_offset: rr.offset,
                         remaining: rr.len,
                         inflight: 0,
+                        span: rr.span,
                     },
                 );
                 self.pump_serve(ctx, key);
@@ -866,6 +886,7 @@ impl Actor for VreadDaemon {
                         bytes: sr.bytes,
                         tag: s.tag,
                         notify: true,
+                        span: s.span,
                     },
                 );
                 return;
@@ -902,12 +923,12 @@ impl Actor for VreadDaemon {
                 };
                 let costs = Self::costs(ctx);
                 let ring = RingSpec::from_costs(&costs);
-                let (client_vm,) = {
+                let (client_vm, span) = {
                     let Some(rr) = self.remote_reads.get_mut(&read) else {
                         return;
                     };
                     rr.ring_inflight += 1;
-                    (rr.client_vm,)
+                    (rr.client_vm, rr.span)
                 };
                 let me = ctx.me();
                 let vcpu = {
@@ -916,13 +937,14 @@ impl Actor for VreadDaemon {
                 };
                 let mut stages = ring.daemon_push_stages(&costs, self.thread, r.bytes);
                 stages.extend(ring.guest_pop_stages(&costs, vcpu, r.bytes));
-                ctx.chain(
+                ctx.chain_on(
                     stages,
                     me,
                     RingForwarded {
                         read,
                         bytes: r.bytes,
                     },
+                    span,
                 );
                 return;
             }

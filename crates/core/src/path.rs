@@ -29,6 +29,8 @@ struct ActiveRead {
     block: vread_hdfs::meta::BlockId,
     close_after: bool,
     req: BlockReq,
+    /// The fetch's `vfd_read` span (child of the client's `block_fetch`).
+    span: SpanId,
 }
 
 /// The vRead [`BlockReadPath`]. Plug into
@@ -36,7 +38,8 @@ struct ActiveRead {
 pub struct VreadPath {
     vfds: VfdTable,
     fallback: VanillaPath,
-    pending_open: HashMap<u64, BlockReq>,
+    /// Fetches waiting on `vRead_open`, with their `vread_open` span.
+    pending_open: HashMap<u64, (BlockReq, SpanId)>,
     active: HashMap<u64, ActiveRead>,
     fallback_tokens: HashSet<u64>,
     /// Failure counts per fetch token (a stale descriptor is retried once
@@ -136,16 +139,19 @@ impl VreadPath {
         vfd.position = req.offset + len;
         let close_after = vfd.position >= vfd.size;
         let vfd_id = vfd.id;
+        let now = ctx.now();
+        let span = ctx.world.spans.start("vfd_read", req.span, now);
         self.active.insert(
             req.token,
             ActiveRead {
                 block: req.block,
                 close_after,
                 req,
+                span,
             },
         );
         let stages = Self::request_stages(ctx, shared);
-        ctx.chain(
+        ctx.chain_on(
             stages,
             daemon,
             VreadReadReq {
@@ -155,7 +161,9 @@ impl VreadPath {
                 client_vm: shared.vm,
                 offset: req.offset,
                 len,
+                span,
             },
+            span,
         );
     }
 }
@@ -215,9 +223,11 @@ impl BlockReadPath for VreadPath {
         // Algorithm 1 line 12: vRead_open.
         self.m_opens.incr(ctx.metrics());
         let (daemon, _) = Self::daemon_of(ctx, shared);
-        self.pending_open.insert(req.token, req);
+        let now = ctx.now();
+        let open_span = ctx.world.spans.start("vread_open", req.span, now);
+        self.pending_open.insert(req.token, (req, open_span));
         let stages = Self::request_stages(ctx, shared);
-        ctx.chain(
+        ctx.chain_on(
             stages,
             daemon,
             VreadOpenReq {
@@ -225,7 +235,9 @@ impl BlockReadPath for VreadPath {
                 token: req.token,
                 dn: req.dn,
                 block: req.block,
+                span: open_span,
             },
+            open_span,
         );
     }
 
@@ -238,9 +250,11 @@ impl BlockReadPath for VreadPath {
     ) -> Result<(), BoxMsg> {
         let msg = match downcast::<VreadOpenResp>(msg) {
             Ok(resp) => {
-                let Some(req) = self.pending_open.remove(&resp.token) else {
+                let Some((req, open_span)) = self.pending_open.remove(&resp.token) else {
                     return Ok(());
                 };
+                let now = ctx.now();
+                ctx.world.spans.end(open_span, now);
                 match resp.vfd {
                     Some(vfd) => {
                         self.vfds.put(req.block, vfd);
@@ -274,6 +288,8 @@ impl BlockReadPath for VreadPath {
                 // and retry once through a fresh open; then fall back.
                 if let Some(ar) = self.active.remove(&f.token) {
                     ctx.metrics().incr("vread_read_retries");
+                    let now = ctx.now();
+                    ctx.world.spans.end(ar.span, now);
                     if let Some(vfd) = self.vfds.close(ar.block) {
                         // The read failed but the daemon may still hold
                         // its side of the descriptor (e.g. a stale
@@ -288,10 +304,11 @@ impl BlockReadPath for VreadPath {
                     let req = ar.req;
                     if *tries <= 1 {
                         // fresh vRead_open through (possibly) a new route
-                        self.pending_open.insert(req.token, req);
+                        let open_span = ctx.world.spans.start("vread_open", req.span, now);
+                        self.pending_open.insert(req.token, (req, open_span));
                         let (daemon, _) = Self::daemon_of(ctx, shared);
                         let stages = Self::request_stages(ctx, shared);
-                        ctx.chain(
+                        ctx.chain_on(
                             stages,
                             daemon,
                             VreadOpenReq {
@@ -299,7 +316,9 @@ impl BlockReadPath for VreadPath {
                                 token: req.token,
                                 dn: req.dn,
                                 block: req.block,
+                                span: open_span,
                             },
+                            open_span,
                         );
                     } else {
                         self.fall_back(ctx, shared, req, out);
@@ -313,6 +332,8 @@ impl BlockReadPath for VreadPath {
             Ok(d) => {
                 self.attempts.remove(&d.token);
                 if let Some(ar) = self.active.remove(&d.token) {
+                    let now = ctx.now();
+                    ctx.world.spans.end(ar.span, now);
                     if ctx.world.ext.get::<FaultTrace>().is_some() {
                         // fault runs track when the fast path serves, so
                         // reports can measure recovery latency
@@ -366,7 +387,7 @@ impl BlockReadPath for VreadPath {
         if let Some(block) = self
             .pending_open
             .get(&token)
-            .map(|r| r.block)
+            .map(|(r, _)| r.block)
             .or_else(|| self.active.get(&token).map(|a| a.block))
         {
             self.degraded_blocks.insert(block);

@@ -58,10 +58,11 @@ impl RingSpec {
     /// ring slots and rings the guest's doorbell.
     pub fn daemon_push_stages(&self, c: &Costs, daemon: ThreadId, bytes: u64) -> Vec<Stage> {
         vec![
-            Stage::cpu(
+            Stage::copy(
                 daemon,
                 c.copy_cycles(bytes) + self.slot_cycles(c, bytes),
                 CpuCategory::CopyVreadBuffer,
+                bytes,
             ),
             Stage::cpu(daemon, c.eventfd_cycles, CpuCategory::Daemon),
         ]
@@ -73,10 +74,11 @@ impl RingSpec {
     pub fn guest_pop_stages(&self, c: &Costs, vcpu: ThreadId, bytes: u64) -> Vec<Stage> {
         vec![
             Stage::cpu(vcpu, c.eventfd_irq_cycles, CpuCategory::Other),
-            Stage::cpu(
+            Stage::copy(
                 vcpu,
                 c.copy_cycles(bytes) + self.slot_cycles(c, bytes),
                 CpuCategory::CopyVreadBuffer,
+                bytes,
             ),
         ]
     }
@@ -148,7 +150,7 @@ mod tests {
         let cyc = |st: &[Stage]| -> u64 {
             st.iter()
                 .map(|s| match s {
-                    Stage::Cpu { cycles, .. } => *cycles,
+                    Stage::Cpu { cycles, .. } | Stage::Copy { cycles, .. } => *cycles,
                     _ => 0,
                 })
                 .sum()

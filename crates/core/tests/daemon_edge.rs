@@ -134,6 +134,7 @@ fn raw_daemon_protocol_lifecycle() {
                         token: 1,
                         dn: self.dn,
                         block: self.block,
+                        span: SpanId::NONE,
                     },
                 );
                 return;
@@ -151,6 +152,7 @@ fn raw_daemon_protocol_lifecycle() {
                             client_vm: self.cvm,
                             offset: 0,
                             len: 2 << 20,
+                            span: SpanId::NONE,
                         },
                     );
                     return;
@@ -181,6 +183,7 @@ fn raw_daemon_protocol_lifecycle() {
                                 client_vm: self.cvm,
                                 offset: 0,
                                 len: 1 << 20,
+                                span: SpanId::NONE,
                             },
                         );
                     }
@@ -235,6 +238,7 @@ fn open_of_unknown_block_returns_none() {
                         token: 1,
                         dn: self.dn,
                         block: vread_hdfs::BlockId(999_999),
+                        span: SpanId::NONE,
                     },
                 );
             } else if let Ok(r) = downcast::<VreadOpenResp>(msg) {

@@ -107,6 +107,10 @@ pub struct BlockReq {
     pub len: u64,
     /// Positional read: a fresh stream must be set up.
     pub pread: bool,
+    /// The `block_fetch` span this fetch works under ([`SpanId::NONE`]
+    /// when spans are off). Paths thread it into every chain and wire
+    /// message they issue for the fetch.
+    pub span: SpanId,
 }
 
 /// Events a [`BlockReadPath`] reports back to the client.
@@ -295,6 +299,7 @@ impl BlockReadPath for VanillaPath {
                 offset: req.offset,
                 len: req.len,
                 setup,
+                span: req.span,
             },
         );
         let send = ConnSend {
@@ -302,6 +307,7 @@ impl BlockReadPath for VanillaPath {
             bytes: READ_REQUEST_BYTES,
             tag: req.token,
             notify: false,
+            span: req.span,
         };
         if setup {
             // New BlockReader: client-side stream setup before the wire
@@ -310,10 +316,11 @@ impl BlockReadPath for VanillaPath {
                 let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
                 (cl.vm(shared.vm).vcpu, cl.costs.client_stream_setup_cycles)
             };
-            ctx.chain(
+            ctx.chain_on(
                 vec![Stage::cpu(vcpu, cycles, CpuCategory::ClientApp)],
                 conn,
                 send,
+                req.span,
             );
         } else {
             ctx.send(conn, send);
@@ -378,6 +385,10 @@ struct ReadReq {
     /// Consecutive timeouts without a completed part (drives the
     /// exponential retry backoff; reset when a part completes).
     timeouts: u32,
+    /// Root `read` span for this request.
+    span: SpanId,
+    /// `block_fetch` child span of the active fetch.
+    cur_span: SpanId,
 }
 
 /// Internal watchdog for a block fetch.
@@ -576,6 +587,10 @@ impl DfsClient {
                 let pread = r.pread;
                 r.cur_token = Some(token);
                 r.cur_dn = Some(dn);
+                let parent = r.span;
+                let now = ctx.now();
+                let bspan = ctx.world.spans.start("block_fetch", parent, now);
+                r.cur_span = bspan;
                 let mark = r.bytes_done;
                 let timeout_ms = {
                     let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
@@ -589,6 +604,7 @@ impl DfsClient {
                     },
                     vread_sim::SimDuration::from_millis(timeout_ms),
                 );
+                let lb = &r.blocks[r.cur_block];
                 (
                     Some(BlockReq {
                         token,
@@ -597,6 +613,7 @@ impl DfsClient {
                         offset: start - lb.offset,
                         len: end - start,
                         pread,
+                        span: bspan,
                     }),
                     false,
                 )
@@ -618,23 +635,26 @@ impl DfsClient {
                     let Some(&rid) = self.tokens.get(&token) else {
                         continue;
                     };
+                    let mut span = SpanId::NONE;
                     if let Some(r) = self.reads.get_mut(&rid) {
                         r.processing += 1;
+                        span = r.span;
                     }
                     let vcpu = self.vcpu(ctx);
                     let cycles = self.client_cycles(ctx, bytes);
                     let me = ctx.me();
-                    ctx.chain(
+                    ctx.chain_on(
                         vec![Stage::cpu(vcpu, cycles, CpuCategory::ClientApp)],
                         me,
                         ChunkCpu { rid, token, bytes },
+                        span,
                     );
                 }
                 PathEvent::Done { token } => {
                     let Some(&rid) = self.tokens.get(&token) else {
                         continue;
                     };
-                    let advance = {
+                    let (advance, bspan) = {
                         let r = self.reads.get_mut(&rid).expect("read vanished");
                         r.cur_token = None;
                         r.cur_dn = None;
@@ -642,8 +662,11 @@ impl DfsClient {
                         r.part_received = 0;
                         r.timeouts = 0;
                         r.cur_block += 1;
-                        r.cur_block < r.blocks.len()
+                        let bspan = std::mem::replace(&mut r.cur_span, SpanId::NONE);
+                        (r.cur_block < r.blocks.len(), bspan)
                     };
+                    let now = ctx.now();
+                    ctx.world.spans.end(bspan, now);
                     if advance {
                         self.start_block(ctx, rid);
                     } else {
@@ -667,6 +690,11 @@ impl DfsClient {
             let r = self.reads.remove(&rid).expect("just checked");
             // release tokens for this read
             self.tokens.retain(|_, v| *v != rid);
+            let now = ctx.now();
+            // ledger denominator: the bytes actually delivered
+            ctx.world.spans.payload(r.span, r.bytes_done);
+            ctx.world.spans.end(r.cur_span, now);
+            ctx.world.spans.end(r.span, now);
             self.m_bytes_read.add(ctx.metrics(), r.bytes_done as f64);
             ctx.send(
                 r.app,
@@ -843,6 +871,8 @@ impl Actor for DfsClient {
         let msg = match downcast::<DfsRead>(msg) {
             Ok(rd) => {
                 let rid = self.alloc_id();
+                let now = ctx.now();
+                let span = ctx.world.spans.start("read", SpanId::NONE, now);
                 self.reads.insert(
                     rid,
                     ReadReq {
@@ -863,6 +893,8 @@ impl Actor for DfsClient {
                         tried: Vec::new(),
                         part_received: 0,
                         timeouts: 0,
+                        span,
+                        cur_span: SpanId::NONE,
                     },
                 );
                 if self.loc_cache.contains_key(&rd.path) {
@@ -1008,6 +1040,7 @@ impl Actor for DfsClient {
                         bytes: wc.bytes,
                         tag: wc.tag,
                         notify: false,
+                        span: SpanId::NONE,
                     },
                 );
                 return;
@@ -1044,13 +1077,17 @@ impl Actor for DfsClient {
                 // stalled: let the path diagnose before reacting
                 let shared = self.shared(ctx);
                 let advice = self.path_impl.on_timeout(ctx, &shared, t.token);
-                let (dn, timeouts) = {
+                let (dn, timeouts, bspan) = {
                     let r = self.reads.get_mut(&t.rid).expect("read vanished");
                     r.timeouts += 1;
                     r.cur_token = None;
                     let dn = r.cur_dn.take();
-                    (dn, r.timeouts)
+                    let bspan = std::mem::replace(&mut r.cur_span, SpanId::NONE);
+                    (dn, r.timeouts, bspan)
                 };
+                // close the stalled fetch's span at the timeout instant
+                let now = ctx.now();
+                ctx.world.spans.end(bspan, now);
                 match advice {
                     TimeoutAdvice::TryReplica => {
                         // abandon this replica and fail over

@@ -39,6 +39,10 @@ pub struct DnReadReq {
     pub len: u64,
     /// Whether a new DataXceiver stream must be set up.
     pub setup: bool,
+    /// The client's `block_fetch` span; the datanode parents its
+    /// `dn_read` span under it so server-side work lands in the read's
+    /// causal tree.
+    pub span: SpanId,
 }
 
 /// Control message announcing a write chunk about to arrive.
@@ -69,6 +73,8 @@ struct ReadStream {
     remaining: u64,
     inflight: usize,
     setup_pending: bool,
+    /// This stream's `dn_read` span.
+    span: SpanId,
 }
 
 struct WriteStream {
@@ -224,14 +230,15 @@ impl Datanode {
                 ));
                 (stages, take)
             });
-            {
+            let span = {
                 let st = self.reads.get_mut(&key).expect("stream vanished");
                 st.setup_pending = false;
                 st.next_offset += take;
                 st.remaining -= take;
                 st.inflight += 1;
-            }
-            ctx.chain(stages, me, ChunkRead { key, bytes: take });
+                st.span
+            };
+            ctx.chain_on(stages, me, ChunkRead { key, bytes: take }, span);
         }
     }
 }
@@ -268,6 +275,8 @@ impl Actor for Datanode {
                 let key = (r.conn.raw(), r.tag);
                 if let Some(req) = self.pending_reads.remove(&key) {
                     // The read request header arrived: start streaming.
+                    let now = ctx.now();
+                    let span = ctx.world.spans.start("dn_read", req.span, now);
                     self.reads.insert(
                         key,
                         ReadStream {
@@ -278,6 +287,7 @@ impl Actor for Datanode {
                             remaining: req.len,
                             inflight: 0,
                             setup_pending: req.setup,
+                            span,
                         },
                     );
                     self.pump_read(key, ctx);
@@ -335,6 +345,7 @@ impl Actor for Datanode {
                         bytes: cr.bytes,
                         tag: cr.key.1,
                         notify: true,
+                        span: st.span,
                     },
                 );
                 return;
@@ -353,6 +364,7 @@ impl Actor for Datanode {
                         bytes: 64,
                         tag: key.1,
                         notify: false,
+                        span: SpanId::NONE,
                     },
                 );
                 // Forward down the replica pipeline.
@@ -386,6 +398,7 @@ impl Actor for Datanode {
                             bytes: cw.meta.bytes,
                             tag: fwd_tag,
                             notify: false,
+                            span: SpanId::NONE,
                         },
                     );
                 }
@@ -424,7 +437,9 @@ impl Actor for Datanode {
                 finished = st.remaining == 0 && st.inflight == 0;
             }
             if finished {
-                self.reads.remove(&key);
+                let st = self.reads.remove(&key).expect("just checked");
+                let now = ctx.now();
+                ctx.world.spans.end(st.span, now);
             } else {
                 self.pump_read(key, ctx);
             }

@@ -42,10 +42,11 @@ pub fn guest_disk_read(
 
     if guest_missing == 0 {
         // Served from the guest page cache: read() syscall + copy to user.
-        stages.push(Stage::cpu(
+        stages.push(Stage::copy(
             vcpu,
             costs.syscall_cycles + costs.copy_cycles(len),
             user_cat,
+            len,
         ));
         return stages;
     }
@@ -73,10 +74,11 @@ pub fn guest_disk_read(
 
     // The virtio-vqueue copy: host memory -> guest vring buffers, then the
     // completion interrupt.
-    stages.push(Stage::cpu(
+    stages.push(Stage::copy(
         vhost,
         costs.copy_cycles(len),
         CpuCategory::CopyVirtioVqueue,
+        len,
     ));
     stages.push(Stage::cpu(
         vhost,
@@ -84,10 +86,11 @@ pub fn guest_disk_read(
         CpuCategory::Other,
     ));
     // Guest completion + kernel->user copy.
-    stages.push(Stage::cpu(
+    stages.push(Stage::copy(
         vcpu,
         costs.blk_complete_cycles + costs.copy_cycles(len),
         user_cat,
+        len,
     ));
 
     cl.vms[vm.0].cache.insert_range(obj, offset, len);
@@ -121,15 +124,21 @@ pub fn guest_disk_write(
 
     vec![
         // user -> kernel copy + submission + kick
-        Stage::cpu(
+        Stage::copy(
             vcpu,
             costs.syscall_cycles + costs.copy_cycles(len) + costs.blk_submit_cycles,
             user_cat,
+            len,
         ),
         Stage::cpu(vcpu, costs.virtio_kick_cycles, CpuCategory::DiskRead),
         // host handling + guest memory -> host write buffer copy
         Stage::cpu(vhost, costs.blk_host_cycles, CpuCategory::Other),
-        Stage::cpu(vhost, costs.copy_cycles(len), CpuCategory::CopyVirtioVqueue),
+        Stage::copy(
+            vhost,
+            costs.copy_cycles(len),
+            CpuCategory::CopyVirtioVqueue,
+            len,
+        ),
         Stage::disk(dev, dev_bytes),
         Stage::cpu(vhost, costs.irq_inject_cycles, CpuCategory::Other),
         Stage::cpu(vcpu, costs.blk_complete_cycles, CpuCategory::DiskRead),
@@ -169,8 +178,9 @@ mod tests {
         assert_eq!(stages.len(), 1, "guest-cache hit short-circuits virtio");
         assert!(matches!(
             stages[0],
-            Stage::Cpu {
+            Stage::Copy {
                 cat: CpuCategory::ClientApp,
+                bytes: 65536,
                 ..
             }
         ));

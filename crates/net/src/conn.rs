@@ -82,6 +82,9 @@ pub struct ConnSend {
     /// Whether to deliver a [`ConnSent`] ack to the sender when the whole
     /// message has been delivered.
     pub notify: bool,
+    /// Span the transfer's CPU work and copies are attributed to
+    /// ([`SpanId::NONE`] for untraced traffic).
+    pub span: SpanId,
 }
 
 /// Delivered to the receiving endpoint when a whole message has arrived.
@@ -146,6 +149,7 @@ struct End {
 #[derive(Debug)]
 struct OutMsg {
     bytes_left: u64,
+    span: SpanId,
 }
 
 #[derive(Debug)]
@@ -247,10 +251,11 @@ impl Conn {
         match snd.flavor {
             Flavor::Guest(_) => {
                 // guest TCP tx: syscall, user->skb copy, stack work
-                st.push(Stage::cpu(
+                st.push(Stage::copy(
                     snd.vcpu,
                     c.syscall_cycles + c.copy_cycles(bytes) + c.tcp_tx_cycles(bytes),
                     CpuCategory::GuestTcp,
+                    bytes,
                 ));
                 if sriov_direct {
                     // SR-IOV VF: the NIC DMAs straight out of guest
@@ -262,10 +267,11 @@ impl Conn {
                         c.vhost_kick_cycles,
                         CpuCategory::VhostNet,
                     ));
-                    st.push(Stage::cpu(
+                    st.push(Stage::copy(
                         snd.vhost,
                         c.copy_cycles(bytes),
                         CpuCategory::CopyVirtioVqueue,
+                        bytes,
                     ));
                     if self.inter_host {
                         st.push(Stage::cpu(
@@ -277,10 +283,11 @@ impl Conn {
                 }
             }
             Flavor::HostUser { thread, cat } => {
-                st.push(Stage::cpu(
+                st.push(Stage::copy(
                     thread,
                     c.syscall_cycles + c.copy_cycles(bytes) + c.host_tcp_cycles(bytes),
                     cat,
+                    bytes,
                 ));
             }
             Flavor::Rdma { thread } => {
@@ -313,10 +320,11 @@ impl Conn {
                         ));
                     }
                     // host->guest vqueue copy + interrupt injection
-                    st.push(Stage::cpu(
+                    st.push(Stage::copy(
                         rcv.vhost,
                         c.copy_cycles(bytes),
                         CpuCategory::CopyVirtioVqueue,
+                        bytes,
                     ));
                     st.push(Stage::cpu(
                         rcv.vhost,
@@ -331,17 +339,19 @@ impl Conn {
                     CpuCategory::GuestTcp,
                 ));
                 let app_cat = self.rx_copy_cat(to);
-                st.push(Stage::cpu(
+                st.push(Stage::copy(
                     rcv.vcpu,
                     c.syscall_cycles + c.copy_cycles(bytes),
                     app_cat,
+                    bytes,
                 ));
             }
             Flavor::HostUser { thread, cat } => {
-                st.push(Stage::cpu(
+                st.push(Stage::copy(
                     thread,
                     c.syscall_cycles + c.copy_cycles(bytes) + c.host_tcp_cycles(bytes),
                     cat,
+                    bytes,
                 ));
             }
             Flavor::Rdma { thread } => {
@@ -363,23 +373,24 @@ impl Conn {
 
     fn pump(&mut self, side_ix: usize, ctx: &mut Ctx<'_>) {
         while self.dirs[side_ix].inflight < self.spec.window_chunks {
-            let chunk = {
+            let (chunk, span) = {
                 let d = &mut self.dirs[side_ix];
                 let Some(front) = d.to_send.front_mut() else {
                     break;
                 };
                 let take = front.bytes_left.min(self.spec.chunk_bytes).max(1);
                 front.bytes_left -= take.min(front.bytes_left);
+                let span = front.span;
                 let exhausted = front.bytes_left == 0;
                 if exhausted {
                     d.to_send.pop_front();
                 }
-                take
+                (take, span)
             };
             self.dirs[side_ix].inflight += 1;
             let stages = self.chunk_stages(side_ix, chunk);
             let me = ctx.me();
-            ctx.chain(stages, me, ChunkDone { side_ix });
+            ctx.chain_on(stages, me, ChunkDone { side_ix }, span);
         }
     }
 }
@@ -412,6 +423,7 @@ impl Actor for Conn {
                 let d = &mut self.dirs[six];
                 d.to_send.push_back(OutMsg {
                     bytes_left: send.bytes,
+                    span: send.span,
                 });
                 d.arriving.push_back(InMsg {
                     tag: send.tag,
@@ -491,6 +503,7 @@ mod tests {
                                 bytes: r.bytes,
                                 tag: r.tag,
                                 notify: false,
+                                span: SpanId::NONE,
                             },
                         );
                     }
@@ -555,6 +568,7 @@ mod tests {
                 bytes: 1 << 20,
                 tag: 42,
                 notify: true,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -619,6 +633,7 @@ mod tests {
                     bytes,
                     tag,
                     notify: false,
+                    span: SpanId::NONE,
                 },
             );
         }
@@ -667,6 +682,7 @@ mod tests {
                 bytes: 32 * 1024,
                 tag: 9,
                 notify: false,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -725,6 +741,7 @@ mod tests {
                 bytes: 1 << 20,
                 tag: 1,
                 notify: false,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -784,6 +801,7 @@ mod tests {
                 bytes: 16 << 20,
                 tag: 5,
                 notify: false,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -844,6 +862,7 @@ mod tests {
                 bytes: 4 << 20,
                 tag: 1,
                 notify: false,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -910,6 +929,7 @@ mod tests {
                 bytes: 1 << 20,
                 tag: 1,
                 notify: false,
+                span: SpanId::NONE,
             },
         );
         w.run();
@@ -969,6 +989,7 @@ mod tests {
                 bytes: 10 << 20,
                 tag: 1,
                 notify: true,
+                span: SpanId::NONE,
             },
         );
         // Run a tiny bit and check we didn't schedule all 160 chunks at once:

@@ -58,6 +58,7 @@ fn bidirectional_traffic_does_not_interfere() {
             bytes: 3 << 20,
             tag: 1,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.send_now(
@@ -67,6 +68,7 @@ fn bidirectional_traffic_does_not_interfere() {
             bytes: 2 << 20,
             tag: 2,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.send_now(
@@ -76,6 +78,7 @@ fn bidirectional_traffic_does_not_interfere() {
             bytes: 1 << 20,
             tag: 3,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.run();
@@ -126,6 +129,7 @@ fn guest_to_hostuser_endpoint_works() {
             bytes: 1 << 20,
             tag: 7,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.run();
@@ -162,6 +166,7 @@ fn handshake_charged_once_per_direction() {
             bytes: 1,
             tag: 1,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.run();
@@ -178,6 +183,7 @@ fn handshake_charged_once_per_direction() {
             bytes: 1,
             tag: 2,
             notify: false,
+            span: SpanId::NONE,
         },
     );
     w.run();
@@ -213,7 +219,7 @@ proptest! {
             )
         });
         for (i, &bytes) in sizes.iter().enumerate() {
-            w.send_now(conn, ConnSend { dir: Side::A, bytes, tag: i as u64, notify: false });
+            w.send_now(conn, ConnSend { dir: Side::A, bytes, tag: i as u64, notify: false, span: SpanId::NONE });
         }
         w.run();
         let got = got.borrow();

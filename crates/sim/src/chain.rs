@@ -19,6 +19,7 @@
 use crate::cpu::CpuCategory;
 use crate::ids::{ActorId, BlockDevId, LinkId, ThreadId};
 use crate::msg::BoxMsg;
+use crate::span::SpanId;
 use crate::time::SimDuration;
 
 /// One step of a [`Stage`] chain.
@@ -53,6 +54,21 @@ pub enum Stage {
         /// How long to wait.
         dur: SimDuration,
     },
+    /// A *data copy*: burns `cycles` on `thread` exactly like
+    /// [`Stage::Cpu`], but additionally records `bytes` moved against the
+    /// chain's span (the flight recorder's copies-per-read ledger,
+    /// [`crate::span`]). Timing and accounting are identical to an
+    /// equivalent `Cpu` stage whether spans are on or off.
+    Copy {
+        /// The thread performing the copy.
+        thread: ThreadId,
+        /// Cost of the copy (plus any fused per-slot/syscall work).
+        cycles: u64,
+        /// Accounting category (e.g. [`CpuCategory::CopyVreadBuffer`]).
+        cat: CpuCategory,
+        /// Payload bytes moved.
+        bytes: u64,
+    },
 }
 
 impl Stage {
@@ -78,6 +94,16 @@ impl Stage {
     /// Convenience constructor for a delay stage.
     pub fn delay(dur: SimDuration) -> Stage {
         Stage::Delay { dur }
+    }
+
+    /// Convenience constructor for a data-copy stage.
+    pub fn copy(thread: ThreadId, cycles: u64, cat: CpuCategory, bytes: u64) -> Stage {
+        Stage::Copy {
+            thread,
+            cycles,
+            cat,
+            bytes,
+        }
     }
 }
 
@@ -208,6 +234,9 @@ pub(crate) struct Chain {
     pub(crate) stages: StageList,
     /// `(recipient, message)` delivered when the last stage completes.
     pub(crate) then: Option<(ActorId, BoxMsg)>,
+    /// The span this chain's work is attributed to ([`SpanId::NONE`]
+    /// when untraced).
+    pub(crate) span: SpanId,
 }
 
 impl Chain {
@@ -215,6 +244,15 @@ impl Chain {
         Chain {
             stages,
             then: Some((to, msg)),
+            span: SpanId::NONE,
+        }
+    }
+
+    pub(crate) fn new_on(stages: StageList, to: ActorId, msg: BoxMsg, span: SpanId) -> Self {
+        Chain {
+            stages,
+            then: Some((to, msg)),
+            span,
         }
     }
 }

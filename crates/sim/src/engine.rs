@@ -38,8 +38,9 @@ use crate::resources::{BlockDev, Link};
 use crate::rng::SimRng;
 use crate::sched::{Sched, SchedParams};
 use crate::slab::ChainSlab;
+use crate::span::{SpanId, SpanRecorder};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceKind, Tracer};
+use crate::trace::{TraceDetail, TraceKind, TraceRef, Tracer};
 
 /// A component that receives messages and reacts by scheduling work,
 /// sending messages, and mutating shared state.
@@ -137,6 +138,10 @@ pub struct World {
     pub ext: Extensions,
     /// Optional bounded event trace (see [`crate::trace`]).
     pub tracer: Tracer,
+    /// Optional causal span recorder — the flight recorder (see
+    /// [`crate::span`]). Disabled by default; enabling it attributes
+    /// every charged cycle and every [`Stage::Copy`] to a span.
+    pub spans: SpanRecorder,
 }
 
 impl std::fmt::Debug for World {
@@ -181,6 +186,7 @@ impl World {
             rng: SimRng::new(seed),
             ext: Extensions::new(),
             tracer: Tracer::new(),
+            spans: SpanRecorder::new(),
         }
     }
 
@@ -379,14 +385,30 @@ impl World {
         id
     }
 
+    /// Like [`World::start_chain`], but attributes the chain's CPU work
+    /// and data copies to `span` (pass [`SpanId::NONE`] for untraced).
+    pub fn start_chain_on<M: Send + 'static>(
+        &mut self,
+        stages: impl Into<StageList>,
+        to: ActorId,
+        msg: M,
+        span: SpanId,
+    ) -> ChainId {
+        let id = self
+            .chains
+            .insert(Chain::new_on(stages.into(), to, Box::new(msg), span));
+        self.advance_chain(id);
+        id
+    }
+
     /// Advances a chain past its next stage (or completes it).
     pub(crate) fn advance_chain(&mut self, id: ChainId) {
         loop {
-            let stage = {
+            let (stage, span) = {
                 let Some(ch) = self.chains.get_mut(id) else {
                     return;
                 };
-                ch.stages.pop_front()
+                (ch.stages.pop_front(), ch.span)
             };
             match stage {
                 None => {
@@ -395,8 +417,8 @@ impl World {
                         self.tracer.record(
                             self.now,
                             TraceKind::ChainDone,
-                            &format!("chain{}", id.raw()),
-                            String::new(),
+                            TraceRef::Chain(id.raw()),
+                            TraceDetail::None,
                         );
                     }
                     if let Some((to, msg)) = ch.then {
@@ -412,7 +434,22 @@ impl World {
                     if cycles == 0 {
                         continue;
                     }
-                    self.sched_enqueue(thread, id, cycles, cat);
+                    self.sched_enqueue(thread, id, cycles, cat, span);
+                    return;
+                }
+                Some(Stage::Copy {
+                    thread,
+                    cycles,
+                    cat,
+                    bytes,
+                }) => {
+                    // A copy is timed and accounted exactly like a Cpu
+                    // stage; the only extra effect is the ledger entry.
+                    self.spans.copy(span, bytes, self.now);
+                    if cycles == 0 {
+                        continue;
+                    }
+                    self.sched_enqueue(thread, id, cycles, cat, span);
                     return;
                 }
                 Some(Stage::Link { link, bytes }) => {
@@ -598,9 +635,12 @@ impl World {
             return;
         };
         if self.tracer.is_enabled() {
-            let name = self.actors[idx].name.clone();
-            self.tracer
-                .record(self.now, TraceKind::Deliver, &name, String::new());
+            self.tracer.record(
+                self.now,
+                TraceKind::Deliver,
+                TraceRef::Actor(to),
+                TraceDetail::None,
+            );
         }
         let mut ctx = Ctx {
             world: self,
@@ -654,6 +694,17 @@ impl<'a> Ctx<'a> {
         msg: M,
     ) -> ChainId {
         self.world.start_chain(stages, to, msg)
+    }
+
+    /// Starts a stage chain attributed to `span` (see [`crate::span`]).
+    pub fn chain_on<M: Send + 'static>(
+        &mut self,
+        stages: impl Into<StageList>,
+        to: ActorId,
+        msg: M,
+        span: SpanId,
+    ) -> ChainId {
+        self.world.start_chain_on(stages, to, msg, span)
     }
 
     /// Shorthand for a single-CPU-stage chain (allocation-free).

@@ -78,6 +78,9 @@ impl Actor for FaultScheduler {
                 let action = self.slots[f.0].take().expect("fault slot fired twice");
                 ctx.metrics().incr(action.label());
                 ctx.metrics().incr("fault_events");
+                let label = action.label();
+                let now = ctx.now();
+                ctx.world.spans.mark(label, now);
                 let at = ctx.now().as_secs_f64();
                 ctx.metrics().sample("fault_at_s", at);
                 if let Some((delay, follow)) = action.apply(ctx) {

@@ -61,6 +61,7 @@ pub mod resources;
 pub mod rng;
 pub mod sched;
 mod slab;
+pub mod span;
 pub mod time;
 pub mod trace;
 
@@ -73,8 +74,9 @@ pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Sample
 pub use msg::{downcast, BoxMsg, Start};
 pub use rng::SimRng;
 pub use sched::SchedParams;
+pub use span::{Span, SpanId, SpanMark, SpanRecorder, SpanReport};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceKind, Tracer};
+pub use trace::{TraceDetail, TraceKind, TraceRef, Tracer};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -87,5 +89,6 @@ pub mod prelude {
     pub use crate::msg::{downcast, BoxMsg, Start};
     pub use crate::rng::SimRng;
     pub use crate::sched::SchedParams;
+    pub use crate::span::{SpanId, SpanRecorder};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -31,7 +31,9 @@ use std::collections::{BTreeSet, VecDeque};
 use crate::cpu::CpuCategory;
 use crate::engine::World;
 use crate::ids::{ChainId, HostId, ThreadId};
+use crate::span::SpanId;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceDetail, TraceRef};
 
 /// Tunable scheduler constants (per host).
 #[derive(Debug, Clone)]
@@ -81,6 +83,9 @@ pub(crate) struct Work {
     pub chain: ChainId,
     pub cycles_left: f64,
     pub cat: CpuCategory,
+    /// Span the executed cycles are attributed to ([`SpanId::NONE`] when
+    /// untraced).
+    pub span: SpanId,
 }
 
 /// Thread run state.
@@ -104,6 +109,9 @@ pub(crate) struct ThreadSched {
     pub work: VecDeque<Work>,
     /// The core this thread last ran on (cache affinity).
     pub prev_core: Option<usize>,
+    /// When the thread last entered the run queue (for span queue-wait
+    /// attribution; only read while `state == Queued`).
+    pub queued_at: SimTime,
 }
 
 /// What a core is currently doing.
@@ -201,6 +209,7 @@ impl Sched {
             state: TState::Idle,
             work: VecDeque::new(),
             prev_core: None,
+            queued_at: SimTime::ZERO,
         });
         id
     }
@@ -219,6 +228,7 @@ impl World {
         chain: ChainId,
         cycles: u64,
         cat: CpuCategory,
+        span: SpanId,
     ) {
         let tix = thread.index();
         assert!(tix < self.sched.threads.len(), "unknown thread {thread}");
@@ -235,6 +245,7 @@ impl World {
             chain,
             cycles_left: cycles as f64 * pressure,
             cat,
+            span,
         });
         if th.state == TState::Idle {
             self.wake_thread(thread);
@@ -266,9 +277,11 @@ impl World {
             )
         };
         {
+            let now = self.now();
             let th = &mut self.sched.threads[tix];
             th.vr = th.vr.max(min_vr.saturating_sub(bonus_ns));
             th.state = TState::Queued;
+            th.queued_at = now;
             let vr = th.vr;
             self.sched.hosts[hix].runq.insert((vr, thread.raw()));
         }
@@ -321,13 +334,15 @@ impl World {
     fn preempt(&mut self, host: HostId, cix: usize) {
         if self.tracer.is_enabled() {
             if let Some(r) = self.sched.hosts[host.index()].cores[cix].running {
-                let name = self.sched.threads[r.thread as usize].name.clone();
                 let now = self.now();
                 self.tracer.record(
                     now,
                     crate::trace::TraceKind::Preempt,
-                    &name,
-                    format!("core{cix}"),
+                    TraceRef::Thread(ThreadId::from_raw(r.thread)),
+                    TraceDetail::Core {
+                        core: cix.try_into().expect("core index fits u32"),
+                        migrated: false,
+                    },
                 );
             }
         }
@@ -338,8 +353,10 @@ impl World {
             .take()
             .expect("preempting an idle core");
         self.sched.hosts[hix].cores[cix].gen += 1;
+        let now = self.now();
         let th = &mut self.sched.threads[r.thread as usize];
         th.state = TState::Queued;
+        th.queued_at = now;
         let key = (th.vr, r.thread);
         self.sched.hosts[hix].runq.insert(key);
     }
@@ -384,13 +401,30 @@ impl World {
             total_cycles as f64,
             switch_ns,
         );
+        if self.spans.is_enabled() {
+            // Context-switch/migration overhead belongs to no read — it
+            // lands in the recorder's unattributed pool so the cycle
+            // conservation invariant still holds.
+            self.spans
+                .charge(SpanId::NONE, CpuCategory::Other, total_cycles as f64, now);
+            // Attribute the time this thread spent waiting in the run
+            // queue (and this dispatch) to the span of the work it is
+            // about to execute.
+            let th = &self.sched.threads[traw as usize];
+            if let Some(w) = th.work.front() {
+                let wait_ns = now.since(th.queued_at).as_nanos();
+                self.spans.queue_wait(w.span, wait_ns);
+            }
+        }
         if self.tracer.is_enabled() {
-            let name = self.sched.threads[traw as usize].name.clone();
             self.tracer.record(
                 now,
                 crate::trace::TraceKind::Dispatch,
-                &name,
-                format!("core{cix}{}", if migrated { " (migrated)" } else { "" }),
+                TraceRef::Thread(ThreadId::from_raw(traw)),
+                TraceDetail::Core {
+                    core: cix.try_into().expect("core index fits u32"),
+                    migrated,
+                },
             );
         }
         let start = now + SimDuration::from_nanos(switch_ns);
@@ -418,13 +452,14 @@ impl World {
         let cycles = ns as f64 * ghz;
         let th = &mut self.sched.threads[traw as usize];
         th.vr += ns;
-        let cat = if let Some(w) = th.work.front_mut() {
+        let (cat, span) = if let Some(w) = th.work.front_mut() {
             w.cycles_left = (w.cycles_left - cycles).max(0.0);
-            w.cat
+            (w.cat, w.span)
         } else {
-            CpuCategory::Other
+            (CpuCategory::Other, SpanId::NONE)
         };
         self.acct.add(traw as usize, cat, cycles, ns);
+        self.spans.charge(span, cat, cycles, upto);
     }
 
     /// Programs the core timer for the earlier of slice expiry and
@@ -510,6 +545,7 @@ impl World {
             // vruntime).
             let vr = self.sched.threads[tix].vr;
             self.sched.threads[tix].state = TState::Queued;
+            self.sched.threads[tix].queued_at = now;
             self.sched.hosts[hix].runq.insert((vr, r.thread));
             self.sched.hosts[hix].cores[cix].running = None;
             self.sched.hosts[hix].cores[cix].gen += 1;

@@ -6,10 +6,17 @@
 //! scheduling problems (this is how the harness's own deadlocks were
 //! found during development). Disabled tracing costs one branch per
 //! event.
+//!
+//! Records are allocation-free: subjects are typed ids ([`TraceRef`])
+//! and details a small payload enum ([`TraceDetail`]), so enabling the
+//! tracer does not put `String` allocations on the hot path. The ring
+//! counts how many records it evicted ([`Tracer::dropped`]) so truncated
+//! history is visible instead of silent.
 
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::ids::{ActorId, ThreadId};
 use crate::time::SimTime;
 
 /// What kind of engine event a record describes.
@@ -43,17 +50,73 @@ impl TraceKind {
     }
 }
 
+/// The subject of a trace record, as a typed id (no allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRef {
+    /// An actor (rendered with its id; resolve names via
+    /// [`crate::World::actor_name`]).
+    Actor(ActorId),
+    /// A schedulable thread.
+    Thread(ThreadId),
+    /// A chain, by raw id.
+    Chain(u64),
+    /// A static label (tests, one-off subsystems).
+    Static(&'static str),
+}
+
+impl fmt::Display for TraceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceRef::Actor(a) => write!(f, "actor{}", a.raw()),
+            TraceRef::Thread(t) => write!(f, "thread{}", t.raw()),
+            TraceRef::Chain(c) => write!(f, "chain{c}"),
+            TraceRef::Static(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Structured detail payload of a trace record (no allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceDetail {
+    /// Nothing extra.
+    #[default]
+    None,
+    /// A scheduler event on a core (dispatch/preempt), flagging whether
+    /// the thread migrated off its previous core.
+    Core {
+        /// Core index within the host.
+        core: u32,
+        /// Whether the dispatch paid the migration penalty.
+        migrated: bool,
+    },
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::None => Ok(()),
+            TraceDetail::Core { core, migrated } => {
+                write!(
+                    f,
+                    "core{core}{}",
+                    if *migrated { " (migrated)" } else { "" }
+                )
+            }
+        }
+    }
+}
+
 /// One trace record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct TraceRecord {
     /// When it happened.
     pub t: SimTime,
     /// What happened.
     pub kind: TraceKind,
-    /// Subject (actor name, thread name, chain id).
-    pub subject: String,
-    /// Free-form detail.
-    pub detail: String,
+    /// Subject (actor, thread, chain).
+    pub subject: TraceRef,
+    /// Structured detail.
+    pub detail: TraceDetail,
 }
 
 impl fmt::Display for TraceRecord {
@@ -63,7 +126,7 @@ impl fmt::Display for TraceRecord {
             "[{:>12}] {:10} {:24} {}",
             self.t,
             self.kind.label(),
-            self.subject,
+            self.subject.to_string(),
             self.detail
         )
     }
@@ -107,7 +170,7 @@ impl Tracer {
     }
 
     /// Records one event (no-op when disabled).
-    pub fn record(&mut self, t: SimTime, kind: TraceKind, subject: &str, detail: String) {
+    pub fn record(&mut self, t: SimTime, kind: TraceKind, subject: TraceRef, detail: TraceDetail) {
         if !self.enabled {
             return;
         }
@@ -118,7 +181,7 @@ impl Tracer {
         self.ring.push_back(TraceRecord {
             t,
             kind,
-            subject: subject.to_owned(),
+            subject,
             detail,
         });
     }
@@ -173,7 +236,12 @@ mod tests {
     use super::*;
 
     fn rec(tr: &mut Tracer, n: u64, kind: TraceKind) {
-        tr.record(SimTime::from_nanos(n), kind, "subj", format!("d{n}"));
+        tr.record(
+            SimTime::from_nanos(n),
+            kind,
+            TraceRef::Chain(n),
+            TraceDetail::None,
+        );
     }
 
     #[test]
@@ -194,7 +262,7 @@ mod tests {
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.dropped(), 2);
         let first = tr.records().next().unwrap();
-        assert_eq!(first.detail, "d2");
+        assert_eq!(first.subject, TraceRef::Chain(2));
     }
 
     #[test]
@@ -207,6 +275,24 @@ mod tests {
         assert!(all.contains("deliver") && all.contains("preempt"));
         let only = tr.render(&[TraceKind::Preempt]);
         assert!(!only.contains("deliver") && only.contains("preempt"));
+    }
+
+    #[test]
+    fn subjects_and_details_render() {
+        let mut tr = Tracer::new();
+        tr.enable(10);
+        tr.record(
+            SimTime::from_nanos(1),
+            TraceKind::Dispatch,
+            TraceRef::Thread(ThreadId::from_raw(3)),
+            TraceDetail::Core {
+                core: 2,
+                migrated: true,
+            },
+        );
+        let out = tr.render(&[]);
+        assert!(out.contains("thread3"));
+        assert!(out.contains("core2 (migrated)"));
     }
 
     #[test]
