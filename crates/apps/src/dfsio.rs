@@ -59,6 +59,7 @@ pub struct TestDfsio {
     cur_file: usize,
     offset: u64,
     req: u64,
+    job: Option<JobHandle>,
     m_bytes: LazyCounter,
 }
 
@@ -89,8 +90,16 @@ impl TestDfsio {
             cur_file: 0,
             offset: 0,
             req: 0,
+            job: None,
             m_bytes: LazyCounter::new("dfsio_bytes"),
         }
+    }
+
+    /// Binds a completion token: the driver signals start, per-buffer
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     fn vcpu(&self, ctx: &Ctx<'_>) -> ThreadId {
@@ -107,6 +116,9 @@ impl TestDfsio {
             ctx.metrics().add("dfsio_done", 1.0);
             let s = ctx.now().as_secs_f64();
             ctx.metrics().sample("dfsio_done_at_s", s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
             return;
         }
         self.offset = 0;
@@ -174,6 +186,9 @@ impl Actor for TestDfsio {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("dfsio_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.start_task(ctx);
             return;
         }
@@ -197,6 +212,9 @@ impl Actor for TestDfsio {
         };
         if let Ok(d) = downcast::<MrDone>(msg) {
             self.m_bytes.add(ctx.metrics(), d.bytes as f64);
+            if let Some(j) = self.job {
+                ctx.job_progress(j, d.bytes, 1);
+            }
             if self.mode == DfsioMode::Read && self.offset < self.file_bytes && d.bytes > 0 {
                 self.issue(ctx);
             } else {

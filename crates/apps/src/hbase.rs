@@ -71,6 +71,7 @@ pub struct HbaseClient {
     cached_block: Option<u64>,
     rng: SimRng,
     req: u64,
+    job: Option<JobHandle>,
 }
 
 struct RowsCpuDone {
@@ -100,7 +101,15 @@ impl HbaseClient {
             cached_block: None,
             rng: SimRng::new(seed),
             req: 0,
+            job: None,
         }
+    }
+
+    /// Binds a completion token: the client signals start, per-batch
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     /// Total table size in bytes.
@@ -130,6 +139,9 @@ impl HbaseClient {
             ctx.metrics().add("hbase_done", 1.0);
             let s = ctx.now().as_secs_f64();
             ctx.metrics().sample("hbase_done_at_s", s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
             return;
         }
         let me = ctx.me();
@@ -211,6 +223,9 @@ impl Actor for HbaseClient {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("hbase_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.step(ctx);
             return;
         }
@@ -233,6 +248,9 @@ impl Actor for HbaseClient {
             ctx.metrics().add("hbase_rows", rc.rows as f64);
             ctx.metrics()
                 .add("hbase_bytes", (rc.rows * self.cfg.row_bytes) as f64);
+            if let Some(j) = self.job {
+                ctx.job_progress(j, rc.rows * self.cfg.row_bytes, rc.rows);
+            }
             self.step(ctx);
         }
     }

@@ -45,6 +45,7 @@ pub struct HiveQuery {
     offset: u64,
     bytes_seen: u64,
     req: u64,
+    job: Option<JobHandle>,
 }
 
 struct SetupDone;
@@ -65,7 +66,15 @@ impl HiveQuery {
             offset: 0,
             bytes_seen: 0,
             req: 0,
+            job: None,
         }
+    }
+
+    /// Binds a completion token: the query signals start, per-buffer
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     /// The table's size for [`vread_hdfs::populate_file`].
@@ -88,6 +97,9 @@ impl HiveQuery {
             ctx.metrics().add("hive_done", 1.0);
             let s = ctx.now().as_secs_f64();
             ctx.metrics().sample("hive_done_at_s", s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
             return;
         }
         let len = self.cfg.buffer_bytes.min(total - self.offset);
@@ -113,6 +125,9 @@ impl Actor for HiveQuery {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("hive_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             let vcpu = self.vcpu(ctx);
             let me = ctx.me();
             ctx.chain(
@@ -157,7 +172,9 @@ impl Actor for HiveQuery {
         };
         if let Ok(f) = downcast::<FilterDone>(msg) {
             ctx.metrics().add("hive_rows", f.rows as f64);
-            let _ = f.bytes;
+            if let Some(j) = self.job {
+                ctx.job_progress(j, f.bytes, f.rows);
+            }
             self.issue(ctx);
         }
     }

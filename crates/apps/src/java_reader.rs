@@ -40,6 +40,7 @@ pub struct JavaReader {
     offset: u64,
     issued_at: SimTime,
     next_req: u64,
+    job: Option<JobHandle>,
     m_delay_ms: LazySamples,
     m_bytes: LazyCounter,
 }
@@ -61,9 +62,17 @@ impl JavaReader {
             offset: 0,
             issued_at: SimTime::ZERO,
             next_req: 0,
+            job: None,
             m_delay_ms: LazySamples::new("reader_delay_ms"),
             m_bytes: LazyCounter::new("reader_bytes"),
         }
+    }
+
+    /// Binds a completion token: the reader signals start, per-request
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     /// Creates `path` of `bytes` size in `vm`'s local filesystem (for
@@ -81,6 +90,9 @@ impl JavaReader {
             ctx.metrics().add("reader_done", 1.0);
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("reader_done_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
             return;
         }
         let len = self.request_bytes.min(self.total_bytes - self.offset);
@@ -138,6 +150,9 @@ impl JavaReader {
         let ms = ctx.now().since(self.issued_at).as_millis_f64();
         self.m_delay_ms.record(ctx.metrics(), ms);
         self.m_bytes.add(ctx.metrics(), bytes as f64);
+        if let Some(j) = self.job {
+            ctx.job_progress(j, bytes, 1);
+        }
     }
 }
 
@@ -146,6 +161,9 @@ impl Actor for JavaReader {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("reader_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.issue(ctx);
             return;
         }

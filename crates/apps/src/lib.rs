@@ -31,11 +31,11 @@ pub mod sqoop;
 pub mod wordcount;
 
 pub use dfsio::{DfsioConfig, DfsioMode, TestDfsio};
-pub use driver::{elapsed_secs, run_until_counter};
+pub use driver::{complete_job_after, elapsed_secs, run_jobs, run_jobs_settled, run_until_counter};
 pub use hbase::{HbaseClient, HbaseConfig, HbaseOp};
 pub use hive::{HiveConfig, HiveQuery};
 pub use java_reader::{JavaReader, ReaderMode};
 pub use lookbusy::Lookbusy;
-pub use netperf::{deploy_netperf, NetperfClient, NetperfServer};
-pub use sqoop::{deploy_sqoop, MysqlServer, SqoopConfig, SqoopExport};
+pub use netperf::{deploy_netperf, deploy_netperf_with_job, NetperfClient, NetperfServer};
+pub use sqoop::{deploy_sqoop, deploy_sqoop_with_job, MysqlServer, SqoopConfig, SqoopExport};
 pub use wordcount::{WordCount, WordCountConfig};

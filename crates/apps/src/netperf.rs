@@ -63,6 +63,7 @@ pub struct NetperfClient {
     sent_at: SimTime,
     /// Transactions are only counted after this time (warm-up).
     pub measure_from: SimTime,
+    job: Option<JobHandle>,
     m_txns: LazyCounter,
     m_rtt_ms: LazySamples,
 }
@@ -80,9 +81,19 @@ impl NetperfClient {
             seq: 0,
             sent_at: SimTime::ZERO,
             measure_from: SimTime::ZERO,
+            job: None,
             m_txns: LazyCounter::new("netperf_txns"),
             m_rtt_ms: LazySamples::new("netperf_rtt_ms"),
         }
+    }
+
+    /// Binds a completion token: the client signals start and one op of
+    /// progress per counted transaction. netperf runs for a fixed window
+    /// and never completes on its own — bound it with
+    /// `complete_job_after`.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     fn fire(&mut self, ctx: &mut Ctx<'_>) {
@@ -133,6 +144,9 @@ impl NetperfClient {
 impl Actor for NetperfClient {
     fn handle(&mut self, msg: BoxMsg, ctx: &mut Ctx<'_>) {
         if msg.is::<Start>() {
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.fire(ctx);
             return;
         }
@@ -142,6 +156,9 @@ impl Actor for NetperfClient {
                 let rtt = ctx.now().since(self.sent_at).as_millis_f64();
                 self.m_txns.incr(ctx.metrics());
                 self.m_rtt_ms.record(ctx.metrics(), rtt);
+                if let Some(j) = self.job {
+                    ctx.job_progress(j, 0, 1);
+                }
             }
             self.fire(ctx);
         }
@@ -157,9 +174,23 @@ pub fn deploy_netperf(
     request_bytes: u64,
     measure_from: SimTime,
 ) -> ActorId {
+    deploy_netperf_with_job(w, client_vm, server_vm, request_bytes, measure_from, None)
+}
+
+/// [`deploy_netperf`] with an optional completion token bound to the
+/// client.
+pub fn deploy_netperf_with_job(
+    w: &mut World,
+    client_vm: VmId,
+    server_vm: VmId,
+    request_bytes: u64,
+    measure_from: SimTime,
+    job: Option<JobHandle>,
+) -> ActorId {
     let server = w.add_actor("netperf-server", NetperfServer::new(server_vm, 128));
     let mut client = NetperfClient::new(client_vm, server, server_vm, request_bytes);
     client.measure_from = measure_from;
+    client.job = job;
     w.add_actor("netperf-client", client)
 }
 

@@ -112,6 +112,7 @@ pub struct SqoopExport {
     batches_inflight: usize,
     pending_read: bool,
     req: u64,
+    job: Option<JobHandle>,
 }
 
 struct SerializeDone {
@@ -141,7 +142,15 @@ impl SqoopExport {
             batches_inflight: 0,
             pending_read: false,
             req: 0,
+            job: None,
         }
+    }
+
+    /// Binds a completion token: the export signals start, per-batch
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     /// Table bytes for population.
@@ -164,6 +173,9 @@ impl SqoopExport {
             ctx.metrics().add("sqoop_done", 1.0);
             let s = ctx.now().as_secs_f64();
             ctx.metrics().sample("sqoop_done_at_s", s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
             return;
         }
         if self.pending_read
@@ -197,6 +209,9 @@ impl Actor for SqoopExport {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("sqoop_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.pump(ctx);
             return;
         }
@@ -249,6 +264,9 @@ impl Actor for SqoopExport {
             self.batches_inflight -= 1;
             self.rows_acked += r.tag;
             ctx.metrics().add("sqoop_rows", r.tag as f64);
+            if let Some(j) = self.job {
+                ctx.job_progress(j, r.tag * self.cfg.row_bytes, r.tag);
+            }
             self.pump(ctx);
         }
     }
@@ -265,21 +283,38 @@ pub fn deploy_sqoop(
     rows: u64,
     cfg: SqoopConfig,
 ) -> ActorId {
+    deploy_sqoop_with_job(w, client_vm, db_host, dfs_client, table, rows, cfg, None)
+}
+
+/// [`deploy_sqoop`] with an optional completion token bound to the
+/// export job.
+#[allow(clippy::too_many_arguments)]
+pub fn deploy_sqoop_with_job(
+    w: &mut World,
+    client_vm: VmId,
+    db_host: HostIx,
+    dfs_client: ActorId,
+    table: String,
+    rows: u64,
+    cfg: SqoopConfig,
+    job: Option<JobHandle>,
+) -> ActorId {
     let host_id = w.ext.get::<Cluster>().expect("cluster").hosts[db_host.0].host;
     let thread = w.add_thread(host_id, "mysqld");
     let mysql = w.add_actor("mysql", MysqlServer::new(thread, cfg.mysql_row_cycles));
     // The export actor is created first so the conn can point at it.
-    let export_slot = w.add_actor(
-        "sqoop",
-        SqoopExport::new(
-            dfs_client,
-            client_vm,
-            table,
-            rows,
-            cfg,
-            ActorId::from_raw(0),
-        ),
+    let mut export = SqoopExport::new(
+        dfs_client,
+        client_vm,
+        table,
+        rows,
+        cfg,
+        ActorId::from_raw(0),
     );
+    if let Some(j) = job {
+        export = export.with_job(j);
+    }
+    let export_slot = w.add_actor("sqoop", export);
     let conn = with_cluster(w, |cl, w| {
         add_conn(
             w,

@@ -73,6 +73,7 @@ pub struct WordCount {
     phase: Phase,
     offset: u64,
     req: u64,
+    job: Option<JobHandle>,
 }
 
 impl WordCount {
@@ -94,7 +95,15 @@ impl WordCount {
             phase: Phase::Map,
             offset: 0,
             req: 0,
+            job: None,
         }
+    }
+
+    /// Binds a completion token: the job signals start, map-side
+    /// progress and completion on `job` in addition to its metrics.
+    pub fn with_job(mut self, job: JobHandle) -> Self {
+        self.job = Some(job);
+        self
     }
 
     fn vcpu(&self, ctx: &Ctx<'_>) -> ThreadId {
@@ -182,6 +191,9 @@ impl Actor for WordCount {
         if msg.is::<Start>() {
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("wc_start_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_started(j);
+            }
             self.next_read(ctx);
             return;
         }
@@ -203,6 +215,9 @@ impl Actor for WordCount {
         let msg = match downcast::<MapCpuDone>(msg) {
             Ok(mc) => {
                 ctx.metrics().add("wc_input_bytes", mc.bytes as f64);
+                if let Some(j) = self.job {
+                    ctx.job_progress(j, mc.bytes, 1);
+                }
                 self.next_read(ctx);
                 return;
             }
@@ -223,6 +238,9 @@ impl Actor for WordCount {
             ctx.metrics().add("wc_done", 1.0);
             let now_s = ctx.now().as_secs_f64();
             ctx.metrics().sample("wc_done_at_s", now_s);
+            if let Some(j) = self.job {
+                ctx.job_completed(j);
+            }
         }
     }
 }

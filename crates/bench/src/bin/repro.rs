@@ -85,37 +85,34 @@ fn main() {
                 return;
             }
             "scenario" => {
-                let Some(file) = it.next() else {
-                    eprintln!("scenario needs a JSON file argument");
-                    std::process::exit(2);
-                };
+                let mut files: Vec<String> = Vec::new();
                 let mut spans = false;
-                for a in it.by_ref() {
+                let mut s_jobs = jobs;
+                while let Some(a) = it.next() {
                     match a.as_str() {
                         "--spans" => spans = true,
-                        other => {
+                        "--jobs" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => s_jobs = Some(n),
+                                _ => {
+                                    eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        other if other.starts_with("--") => {
                             eprintln!("scenario: unknown argument {other:?}");
                             std::process::exit(2);
                         }
+                        file => files.push(file.to_owned()),
                     }
                 }
-                let json = std::fs::read_to_string(&file).unwrap_or_else(|e| {
-                    eprintln!("cannot read {file}: {e}");
+                if files.is_empty() {
+                    eprintln!("scenario needs a JSON file argument");
                     std::process::exit(2);
-                });
-                let run = vread_bench::ScenarioSpec::from_json(&json).and_then(|mut s| {
-                    s.spans |= spans;
-                    s.run()
-                });
-                match run {
-                    Ok(report) => {
-                        println!("{}", report.to_json());
-                    }
-                    Err(e) => {
-                        eprintln!("scenario failed: {e}");
-                        std::process::exit(1);
-                    }
                 }
+                scenario_cmd(&files, spans, s_jobs.unwrap_or(1));
                 return;
             }
             "trace" => {
@@ -310,6 +307,70 @@ fn run_parallel(
         }
     });
     failed
+}
+
+// ---------------------------------------------------------------------------
+// scenario: run declarative scenario files and print their reports.
+// ---------------------------------------------------------------------------
+
+/// Runs every scenario file across `jobs` worker threads and prints the
+/// reports strictly in input order — each world is independent, so the
+/// job count cannot change any output. A single file prints just its
+/// report; multiple files are separated by `== <file> ==` headers.
+fn scenario_cmd(files: &[String], spans: bool, jobs: usize) {
+    let run_one = |file: &str| -> Result<String, String> {
+        let json = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let report = vread_bench::ScenarioSpec::from_json(&json)
+            .and_then(|mut s| {
+                s.spans |= spans;
+                s.run()
+            })
+            .map_err(|e| format!("scenario failed: {e}"))?;
+        Ok(report.to_json())
+    };
+
+    let n = files.len();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<String, String>>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n).max(1) {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = catch_unwind(AssertUnwindSafe(|| run_one(&files[i])))
+                    .unwrap_or_else(|_| Err("scenario panicked".to_owned()));
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    for (i, out) in rx {
+        results[i] = Some(out);
+    }
+
+    let mut failed = 0usize;
+    for (file, result) in files.iter().zip(results) {
+        if n > 1 {
+            println!("== {file} ==");
+        }
+        match result.expect("every scenario produced a result") {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                failed += 1;
+                eprintln!("{e}");
+            }
+        }
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,41 +1,32 @@
 //! Figure 3 — netperf TCP_RR transaction rate between two VMs, with and
 //! without two 85%-lookbusy background VMs on the same quad-core host.
 
-use vread_apps::lookbusy::{llc_pressure, Lookbusy};
 use vread_apps::netperf::deploy_netperf;
-use vread_host::cluster::Cluster;
-use vread_host::costs::Costs;
 use vread_sim::prelude::*;
 
+use crate::deploy::{DeployPlan, Deployment};
 use crate::report::{reduction_pct, Table};
+use crate::spec::VmRole;
 
 const REQUESTS: [(u64, &str); 3] = [(32 << 10, "32KB"), (64 << 10, "64KB"), (128 << 10, "128KB")];
 const WARMUP: SimDuration = SimDuration::from_millis(100);
 const MEASURE: SimDuration = SimDuration::from_secs(1);
 
 fn rate(request: u64, background: usize) -> f64 {
-    let mut w = World::new(77);
-    let mut cl = Cluster::new(Costs::default());
-    let h = cl.add_host(&mut w, "h", 4, 3.2);
-    let vma = cl.add_vm(&mut w, h, "netperf-client");
-    let vmb = cl.add_vm(&mut w, h, "netperf-server");
-    let mut bg = Vec::new();
+    let mut plan = DeployPlan::new(77)
+        .host("h", 4, 3.2)
+        .vm("netperf-client", "h", VmRole::Peer, None)
+        .vm("netperf-server", "h", VmRole::Peer, None);
     for i in 0..background {
-        let vm = cl.add_vm(&mut w, h, &format!("bg{i}"));
-        bg.push(cl.vm(vm).vcpu);
+        plan = plan.vm(&format!("bg{i}"), "h", VmRole::Lookbusy, None);
     }
-    let host_id = cl.hosts[h.0].host;
-    w.ext.insert(cl);
-    for t in bg {
-        Lookbusy::spawn_default(&mut w, t);
-    }
-    if background > 0 {
-        w.set_cache_pressure(host_id, llc_pressure(background));
-    }
-    let client = deploy_netperf(&mut w, vma, vmb, request, SimTime::ZERO + WARMUP);
-    w.send_now(client, Start);
-    w.run_until(SimTime::ZERO + WARMUP + MEASURE);
-    w.metrics.counter("netperf_txns") / MEASURE.as_secs_f64()
+    let mut d = Deployment::build(plan).expect("netperf plan is well-formed");
+    d.start_background();
+    let (vma, vmb) = (d.vm_ids["netperf-client"], d.vm_ids["netperf-server"]);
+    let client = deploy_netperf(&mut d.w, vma, vmb, request, SimTime::ZERO + WARMUP);
+    d.w.send_now(client, Start);
+    d.w.run_until(SimTime::ZERO + WARMUP + MEASURE);
+    d.w.metrics.counter("netperf_txns") / MEASURE.as_secs_f64()
 }
 
 /// Runs Figure 3.

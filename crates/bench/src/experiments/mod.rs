@@ -18,7 +18,7 @@ pub mod table2;
 pub mod table3;
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
-use vread_apps::driver::run_until_counter;
+use vread_apps::driver::run_jobs_settled;
 use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_sim::prelude::*;
 
@@ -63,6 +63,7 @@ pub(crate) fn reader_pass(
     total: u64,
 ) -> f64 {
     tb.w.metrics.reset();
+    let job = tb.w.register_job("reader");
     let reader = JavaReader::new(
         tb.client_vm,
         ReaderMode::Dfs {
@@ -71,16 +72,11 @@ pub(crate) fn reader_pass(
         },
         request,
         total,
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("reader", reader);
     tb.w.send_now(a, Start);
-    let ok = run_until_counter(
-        &mut tb.w,
-        "reader_done",
-        1.0,
-        SimDuration::from_millis(50),
-        CAP,
-    );
+    let ok = run_jobs_settled(&mut tb.w, CAP, SimDuration::from_millis(50));
     assert!(ok, "reader pass did not finish within the cap");
     tb.w.metrics.mean("reader_delay_ms")
 }
@@ -88,6 +84,7 @@ pub(crate) fn reader_pass(
 /// Runs a local-filesystem [`JavaReader`] pass; returns mean delay (ms).
 pub(crate) fn local_reader_pass(tb: &mut Testbed, path: &str, request: u64, total: u64) -> f64 {
     tb.w.metrics.reset();
+    let job = tb.w.register_job("reader");
     let reader = JavaReader::new(
         tb.client_vm,
         ReaderMode::Local {
@@ -95,16 +92,11 @@ pub(crate) fn local_reader_pass(tb: &mut Testbed, path: &str, request: u64, tota
         },
         request,
         total,
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("reader", reader);
     tb.w.send_now(a, Start);
-    let ok = run_until_counter(
-        &mut tb.w,
-        "reader_done",
-        1.0,
-        SimDuration::from_millis(50),
-        CAP,
-    );
+    let ok = run_jobs_settled(&mut tb.w, CAP, SimDuration::from_millis(50));
     assert!(ok, "local reader pass did not finish within the cap");
     tb.w.metrics.mean("reader_delay_ms")
 }
@@ -129,6 +121,7 @@ pub(crate) fn dfsio_pass(
     tb.w.metrics.reset();
     let (client_vcpu, ..) = tb.key_threads();
     let busy0 = tb.w.acct.busy_ns(client_vcpu.index());
+    let job = tb.w.register_job("dfsio");
     let d = TestDfsio::new(
         client,
         tb.client_vm,
@@ -136,16 +129,11 @@ pub(crate) fn dfsio_pass(
         files.to_vec(),
         file_bytes,
         DfsioConfig::default(),
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("dfsio", d);
     tb.w.send_now(a, Start);
-    let ok = run_until_counter(
-        &mut tb.w,
-        "dfsio_done",
-        1.0,
-        SimDuration::from_millis(100),
-        CAP,
-    );
+    let ok = run_jobs_settled(&mut tb.w, CAP, SimDuration::from_millis(100));
     assert!(ok, "dfsio pass did not finish within the cap");
     let secs = tb.w.metrics.mean("dfsio_done_at_s") - tb.w.metrics.mean("dfsio_start_at_s");
     let bytes = tb.w.metrics.counter("dfsio_bytes");

@@ -1,9 +1,9 @@
 //! Table 3 — Hive select query time and Sqoop export time, vanilla vs
 //! vRead, on the hybrid 4-VM setup at 2.0 GHz.
 
-use vread_apps::driver::run_until_counter;
+use vread_apps::driver::run_jobs_settled;
 use vread_apps::hive::{HiveConfig, HiveQuery};
-use vread_apps::sqoop::{deploy_sqoop, SqoopConfig, SqoopExport};
+use vread_apps::sqoop::{deploy_sqoop_with_job, SqoopConfig, SqoopExport};
 use vread_sim::prelude::*;
 
 use crate::report::{reduction_pct, Table};
@@ -25,16 +25,11 @@ fn hive_secs(path: ReadPath) -> f64 {
     );
     let client = tb.make_client();
     let setup_cycles = cfg.setup_cycles;
-    let q = HiveQuery::new(client, tb.client_vm, "/hive/test".into(), ROWS, cfg);
+    let job = tb.w.register_job("hive");
+    let q = HiveQuery::new(client, tb.client_vm, "/hive/test".into(), ROWS, cfg).with_job(job);
     let a = tb.w.add_actor("hive", q);
     tb.w.send_now(a, Start);
-    let ok = run_until_counter(
-        &mut tb.w,
-        "hive_done",
-        1.0,
-        SimDuration::from_millis(200),
-        CAP,
-    );
+    let ok = run_jobs_settled(&mut tb.w, CAP, SimDuration::from_millis(200));
     assert!(ok, "hive query did not finish");
     let secs = tb.w.metrics.mean("hive_done_at_s") - tb.w.metrics.mean("hive_start_at_s");
     // Project to the paper's 30M rows: scan scales, plan setup does not.
@@ -52,7 +47,8 @@ fn sqoop_secs(path: ReadPath) -> f64 {
     );
     let client = tb.make_client();
     let db_host = tb.hosts.1; // MySQL on the other physical machine
-    let job = deploy_sqoop(
+    let job = tb.w.register_job("sqoop");
+    let export = deploy_sqoop_with_job(
         &mut tb.w,
         tb.client_vm,
         db_host,
@@ -60,15 +56,10 @@ fn sqoop_secs(path: ReadPath) -> f64 {
         "/export/t".into(),
         ROWS,
         cfg,
+        Some(job),
     );
-    tb.w.send_now(job, Start);
-    let ok = run_until_counter(
-        &mut tb.w,
-        "sqoop_done",
-        1.0,
-        SimDuration::from_millis(200),
-        CAP,
-    );
+    tb.w.send_now(export, Start);
+    let ok = run_jobs_settled(&mut tb.w, CAP, SimDuration::from_millis(200));
     assert!(ok, "sqoop export did not finish");
     let secs = tb.w.metrics.mean("sqoop_done_at_s") - tb.w.metrics.mean("sqoop_start_at_s");
     secs * (PAPER_ROWS as f64 / ROWS as f64)

@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod deploy;
 pub mod experiments;
 pub mod faults;
 pub mod json;
@@ -22,8 +23,12 @@ pub mod scenarios;
 pub mod spans;
 pub mod spec;
 
+pub use deploy::{make_read_client, DeployPlan, Deployment};
 pub use faults::{collect_fault_report, random_plan, FaultKind, FaultReport, FaultSpec};
 pub use report::{improvement_pct, reduction_pct, Row, Table};
 pub use scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 pub use spans::{ReadAggregate, SpanSummary};
-pub use spec::{ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError, WorkloadSpec};
+pub use spec::{
+    ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError, WorkloadBinding, WorkloadReport,
+    WorkloadSpec,
+};

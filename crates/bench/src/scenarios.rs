@@ -6,12 +6,10 @@
 //! host 2 runs datanode 2. In the *4 VMs* configuration each host is
 //! filled to four VMs with 85%-lookbusy background VMs.
 
-use vread_apps::lookbusy::{llc_pressure, Lookbusy};
-use vread_core::daemon::{deploy_vread, RemoteTransport};
-use vread_core::VreadPath;
-use vread_hdfs::client::{add_client, BlockReadPath, VanillaPath};
+use crate::deploy::{make_read_client, DeployPlan, Deployment};
+use crate::spec::VmRole;
 use vread_hdfs::populate::{populate_file, Placement};
-use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
+use vread_hdfs::{DatanodeIx, HdfsMeta};
 use vread_host::cluster::{Cluster, HostIx, VmId};
 use vread_host::costs::Costs;
 use vread_sim::prelude::*;
@@ -167,53 +165,36 @@ pub struct Testbed {
 }
 
 impl Testbed {
-    /// Builds the Figure 10 deployment.
+    /// Builds the Figure 10 deployment (via [`Deployment::build`], the
+    /// single home of topology wiring).
     pub fn build(opts: TestbedOpts) -> Testbed {
-        let mut w = World::new(opts.seed);
-        let mut cl = Cluster::new(opts.costs.clone());
-        let h1 = cl.add_host(&mut w, "host1", 4, opts.ghz);
-        let h2 = cl.add_host(&mut w, "host2", 4, opts.ghz);
-        let client_vm = cl.add_vm(&mut w, h1, "client");
-        let dn1_vm = cl.add_vm(&mut w, h1, "datanode1");
-        let dn2_vm = cl.add_vm(&mut w, h2, "datanode2");
-
+        let mut plan = DeployPlan::new(opts.seed)
+            .path(opts.path)
+            .costs(opts.costs.clone())
+            .host("host1", 4, opts.ghz)
+            .host("host2", 4, opts.ghz)
+            .vm("client", "host1", VmRole::Client, None)
+            .vm("datanode1", "host1", VmRole::Datanode, None)
+            .vm("datanode2", "host2", VmRole::Datanode, None);
         // Background VMs (the "rest" up to 4 per host).
-        let mut bg_threads = Vec::new();
-        let (bg1, bg2) = if opts.four_vms {
-            (2usize, 3usize)
-        } else {
-            (0, 0)
-        };
-        for i in 0..bg1 {
-            let vm = cl.add_vm(&mut w, h1, &format!("bg1-{i}"));
-            bg_threads.push(cl.vm(vm).vcpu);
-        }
-        for i in 0..bg2 {
-            let vm = cl.add_vm(&mut w, h2, &format!("bg2-{i}"));
-            bg_threads.push(cl.vm(vm).vcpu);
-        }
-        let host1_id = cl.hosts[h1.0].host;
-        let host2_id = cl.hosts[h2.0].host;
-        w.ext.insert(cl);
-
-        let (_nn, dns) = deploy_hdfs(&mut w, client_vm, &[dn1_vm, dn2_vm]);
-
-        for t in bg_threads {
-            Lookbusy::spawn_default(&mut w, t);
-        }
         if opts.four_vms {
-            w.set_cache_pressure(host1_id, llc_pressure(bg1));
-            w.set_cache_pressure(host2_id, llc_pressure(bg2));
+            for i in 0..2 {
+                plan = plan.vm(&format!("bg1-{i}"), "host1", VmRole::Lookbusy, None);
+            }
+            for i in 0..3 {
+                plan = plan.vm(&format!("bg2-{i}"), "host2", VmRole::Lookbusy, None);
+            }
         }
-
+        let mut d = Deployment::build(plan).expect("testbed plan is well-formed");
+        d.start_background();
         Testbed {
-            w,
+            client_vm: d.vm_ids["client"],
+            dn_local: d.dn_ixs[0],
+            dn_remote: d.dn_ixs[1],
+            dn_vms: (d.vm_ids["datanode1"], d.vm_ids["datanode2"]),
+            hosts: (d.host_ix["host1"], d.host_ix["host2"]),
+            w: d.w,
             opts,
-            client_vm,
-            dn_local: dns[0],
-            dn_remote: dns[1],
-            dn_vms: (dn1_vm, dn2_vm),
-            hosts: (h1, h2),
         }
     }
 
@@ -236,18 +217,7 @@ impl Testbed {
     /// and creates the DFS client. Call *after* [`Testbed::populate`] so
     /// the initial mounts see the data.
     pub fn make_client(&mut self) -> ActorId {
-        let path: Box<dyn BlockReadPath> = match self.opts.path {
-            ReadPath::Vanilla => Box::new(VanillaPath::new()),
-            ReadPath::VreadRdma => {
-                deploy_vread(&mut self.w, RemoteTransport::Rdma);
-                Box::new(VreadPath::new())
-            }
-            ReadPath::VreadTcp => {
-                deploy_vread(&mut self.w, RemoteTransport::Tcp);
-                Box::new(VreadPath::new())
-            }
-        };
-        add_client(&mut self.w, self.client_vm, path)
+        make_read_client(&mut self.w, self.opts.path, self.client_vm)
     }
 
     /// Controls where *written* blocks land: `CoLocated` keeps the HVE

@@ -20,30 +20,29 @@
 //! }
 //! ```
 //!
+//! A scenario may instead carry a `"workloads"` array where each entry
+//! adds `"client"` (the client VM it runs in, default the first client)
+//! and `"start_ms"` (launch offset, default 0); reports for such
+//! scenarios gain a `per_workload` block. The topology is resolved and
+//! deployed through [`crate::deploy::Deployment`], and workloads are
+//! driven by the event-driven job primitives (no time-slice polling).
+//!
 //! Run with `repro scenario <file.json>`; the report (throughput, CPU,
 //! per-thread busy time) is printed and returned as JSON.
 
-use crate::faults::{
-    build_fault_actions, collect_fault_report, plan_window, FaultKind, FaultReport, FaultSpec,
-    FaultTargets,
-};
+use crate::deploy::{DeployPlan, Deployment};
+use crate::faults::{collect_fault_report, FaultKind, FaultReport, FaultSpec};
 use crate::json::{n, obj, s, Json};
 use crate::scenarios::ReadPath;
 use crate::spans::SpanSummary;
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
-use vread_apps::driver::run_until_counter;
+use vread_apps::driver::{complete_job_after, run_jobs, run_jobs_settled};
 use vread_apps::java_reader::{JavaReader, ReaderMode};
-use vread_apps::lookbusy::{llc_pressure, Lookbusy};
-use vread_apps::netperf::deploy_netperf;
-use vread_core::daemon::{deploy_vread, RemoteTransport};
-use vread_core::VreadPath;
-use vread_hdfs::client::{add_client, BlockReadPath, VanillaPath};
-use vread_hdfs::populate::{populate_file, Placement};
-use vread_hdfs::{deploy_hdfs, DatanodeIx, HdfsMeta};
-use vread_host::cluster::{Cluster, VmId};
+use vread_apps::netperf::{deploy_netperf, deploy_netperf_with_job};
+use vread_hdfs::HdfsMeta;
+use vread_host::cluster::VmId;
 use vread_host::costs::Costs;
-use vread_sim::fault::{schedule_faults, FaultTrace};
 use vread_sim::prelude::*;
 
 /// A physical host.
@@ -66,6 +65,8 @@ pub enum VmRole {
     Datanode,
     /// Background CPU load.
     Lookbusy,
+    /// A plain VM with no HDFS role (netperf peers).
+    Peer,
 }
 
 /// A virtual machine.
@@ -129,6 +130,41 @@ pub enum WorkloadSpec {
     },
 }
 
+impl WorkloadSpec {
+    /// The scenario-JSON `kind` spelling.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            WorkloadSpec::DfsioRead { .. } => "dfsio-read",
+            WorkloadSpec::DfsioWrite { .. } => "dfsio-write",
+            WorkloadSpec::Reader { .. } => "reader",
+            WorkloadSpec::Netperf { .. } => "netperf",
+        }
+    }
+}
+
+/// One workload bound to a client VM and a launch time.
+#[derive(Debug, Clone)]
+pub struct WorkloadBinding {
+    /// Client VM the workload runs in; `None` = the first client VM.
+    pub client: Option<String>,
+    /// Simulated milliseconds after scenario start to launch at.
+    pub start_ms: u64,
+    /// The workload itself.
+    pub kind: WorkloadSpec,
+}
+
+impl WorkloadBinding {
+    /// Binds `kind` to the default client at time zero — the shape the
+    /// singular `"workload"` field produces.
+    pub fn new(kind: WorkloadSpec) -> Self {
+        WorkloadBinding {
+            client: None,
+            start_ms: 0,
+            kind,
+        }
+    }
+}
+
 /// A whole scenario.
 ///
 /// ```rust
@@ -160,8 +196,9 @@ pub struct ScenarioSpec {
     pub vms: Vec<VmSpec>,
     /// Pre-populated files (default none).
     pub files: Vec<FileSpec>,
-    /// The workload to run.
-    pub workload: WorkloadSpec,
+    /// The workloads to run (the singular `"workload"` JSON field binds
+    /// one workload to the first client at time zero).
+    pub workloads: Vec<WorkloadBinding>,
     /// Planned faults (default none; see [`FaultSpec`]).
     pub faults: Vec<FaultSpec>,
     /// Enable the span flight recorder (default false). Adds a
@@ -169,10 +206,28 @@ pub struct ScenarioSpec {
     pub spans: bool,
 }
 
+/// Per-workload results (multi-workload scenarios only).
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload kind (`"dfsio-read"`, `"reader"`, …).
+    pub kind: String,
+    /// Client VM it ran in.
+    pub client: String,
+    /// Launch offset in milliseconds.
+    pub start_ms: u64,
+    /// Start-to-completion seconds for this job alone.
+    pub elapsed_s: f64,
+    /// Payload this job moved (bytes) — 0 for netperf.
+    pub bytes: u64,
+    /// Job throughput in MB/s (transactions/s for netperf).
+    pub rate: f64,
+}
+
 /// Scenario results.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
-    /// Simulated seconds the workload took.
+    /// Simulated seconds the workload took (first start to last
+    /// completion for multi-workload scenarios).
     pub elapsed_s: f64,
     /// Payload moved (bytes) — 0 for netperf.
     pub bytes: u64,
@@ -183,6 +238,10 @@ pub struct ScenarioReport {
     /// CPU milliseconds by the paper's figure-legend buckets (whole
     /// deployment, lookbusy excluded).
     pub cpu_by_category_ms: Vec<(String, f64)>,
+    /// Per-job breakdown — present only when the scenario ran two or
+    /// more workloads, so single-workload reports serialize exactly as
+    /// before.
+    pub per_workload: Vec<WorkloadReport>,
     /// Degradation summary — present only when the scenario planned
     /// faults, so fault-free reports serialize exactly as before.
     pub faults: Option<FaultReport>,
@@ -230,6 +289,26 @@ impl ScenarioReport {
             ("thread_busy_ms", pairs(&self.thread_busy_ms)),
             ("cpu_by_category_ms", pairs(&self.cpu_by_category_ms)),
         ];
+        if !self.per_workload.is_empty() {
+            fields.push((
+                "per_workload",
+                Json::Arr(
+                    self.per_workload
+                        .iter()
+                        .map(|wr| {
+                            obj(vec![
+                                ("kind", s(&wr.kind)),
+                                ("client", s(&wr.client)),
+                                ("start_ms", n(wr.start_ms as f64)),
+                                ("elapsed_s", n(wr.elapsed_s)),
+                                ("bytes", n(wr.bytes as f64)),
+                                ("rate", n(wr.rate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(f) = &self.faults {
             fields.push(("faults", f.to_json()));
         }
@@ -294,15 +373,107 @@ pub(crate) fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, Sp
         .collect()
 }
 
+/// Top-level scenario keys the parser understands; anything else is a
+/// typo and gets rejected rather than silently ignored.
+const TOP_LEVEL_KEYS: [&str; 9] = [
+    "seed",
+    "path",
+    "spans",
+    "hosts",
+    "vms",
+    "files",
+    "workload",
+    "workloads",
+    "faults",
+];
+
+/// Rejects duplicate host names, VM names or file paths — a duplicate
+/// would silently shadow its namesake in every later by-name lookup.
+fn check_unique_names(
+    hosts: &[HostSpec],
+    vms: &[VmSpec],
+    files: &[FileSpec],
+) -> Result<(), SpecError> {
+    let mut seen = std::collections::HashSet::new();
+    for h in hosts {
+        if !seen.insert(h.name.as_str()) {
+            return Err(SpecError::Invalid(format!(
+                "duplicate host name {:?}",
+                h.name
+            )));
+        }
+    }
+    seen.clear();
+    for v in vms {
+        if !seen.insert(v.name.as_str()) {
+            return Err(SpecError::Invalid(format!(
+                "duplicate VM name {:?}",
+                v.name
+            )));
+        }
+    }
+    seen.clear();
+    for f in files {
+        if !seen.insert(f.path.as_str()) {
+            return Err(SpecError::Invalid(format!(
+                "duplicate file path {:?}",
+                f.path
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Descending sort by busy time that tolerates NaN (a NaN would have
+/// panicked the old `partial_cmp().expect()` formulation; `total_cmp`
+/// orders it deterministically instead).
+fn sort_busy_desc(v: &mut [(String, f64)]) {
+    v.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+fn workload_from_json(w: &Json) -> Result<WorkloadSpec, SpecError> {
+    Ok(match req_str(w, "kind", "workload")?.as_str() {
+        "dfsio-read" => WorkloadSpec::DfsioRead {
+            files: str_list(w, "files", "workload")?,
+            buffer_kb: opt_u64(w, "buffer_kb", 1024, "workload")?,
+        },
+        "dfsio-write" => WorkloadSpec::DfsioWrite {
+            files: str_list(w, "files", "workload")?,
+            mb: req_u64(w, "mb", "workload")?,
+        },
+        "reader" => WorkloadSpec::Reader {
+            path: req_str(w, "path", "workload")?,
+            request_kb: req_u64(w, "request_kb", "workload")?,
+        },
+        "netperf" => WorkloadSpec::Netperf {
+            request_kb: req_u64(w, "request_kb", "workload")?,
+            duration_ms: req_u64(w, "duration_ms", "workload")?,
+        },
+        other => return Err(parse_err(format!("workload: unknown kind {other:?}"))),
+    })
+}
+
 impl ScenarioSpec {
     /// Parses a spec from JSON.
     ///
     /// # Errors
     ///
-    /// Returns [`SpecError::Parse`] on malformed JSON or missing/mistyped
-    /// fields.
+    /// Returns [`SpecError::Parse`] on malformed JSON, missing/mistyped
+    /// fields or unknown top-level keys, and [`SpecError::Invalid`] for
+    /// duplicate host/VM/file names.
     pub fn from_json(json: &str) -> Result<Self, SpecError> {
         let j = Json::parse(json).map_err(|e| parse_err(e.to_string()))?;
+
+        if let Json::Obj(members) = &j {
+            for (k, _) in members {
+                if !TOP_LEVEL_KEYS.contains(&k.as_str()) {
+                    return Err(parse_err(format!(
+                        "scenario: unknown field {k:?} (known fields: {})",
+                        TOP_LEVEL_KEYS.join(", ")
+                    )));
+                }
+            }
+        }
 
         let hosts = req_arr(&j, "hosts", "scenario")?
             .iter()
@@ -327,6 +498,7 @@ impl ScenarioSpec {
                     "client" => VmRole::Client,
                     "datanode" => VmRole::Datanode,
                     "lookbusy" => VmRole::Lookbusy,
+                    "peer" => VmRole::Peer,
                     other => return Err(parse_err(format!("vm: unknown role {other:?}"))),
                 };
                 Ok(VmSpec {
@@ -376,25 +548,38 @@ impl ScenarioSpec {
                 .collect::<Result<Vec<_>, SpecError>>()?,
         };
 
-        let w = req(&j, "workload", "scenario")?;
-        let workload = match req_str(w, "kind", "workload")?.as_str() {
-            "dfsio-read" => WorkloadSpec::DfsioRead {
-                files: str_list(w, "files", "workload")?,
-                buffer_kb: opt_u64(w, "buffer_kb", 1024, "workload")?,
-            },
-            "dfsio-write" => WorkloadSpec::DfsioWrite {
-                files: str_list(w, "files", "workload")?,
-                mb: req_u64(w, "mb", "workload")?,
-            },
-            "reader" => WorkloadSpec::Reader {
-                path: req_str(w, "path", "workload")?,
-                request_kb: req_u64(w, "request_kb", "workload")?,
-            },
-            "netperf" => WorkloadSpec::Netperf {
-                request_kb: req_u64(w, "request_kb", "workload")?,
-                duration_ms: req_u64(w, "duration_ms", "workload")?,
-            },
-            other => return Err(parse_err(format!("workload: unknown kind {other:?}"))),
+        let workloads = match (j.get("workload"), j.get("workloads")) {
+            (Some(_), Some(_)) => {
+                return Err(parse_err(
+                    "scenario: give either \"workload\" or \"workloads\", not both",
+                ))
+            }
+            (Some(w), None) => vec![WorkloadBinding::new(workload_from_json(w)?)],
+            (None, Some(arr)) => {
+                let arr = arr
+                    .as_array()
+                    .ok_or_else(|| parse_err("scenario: field \"workloads\" must be an array"))?;
+                if arr.is_empty() {
+                    return Err(parse_err("scenario: \"workloads\" must not be empty"));
+                }
+                arr.iter()
+                    .map(|w| {
+                        Ok(WorkloadBinding {
+                            client: match w.get("client") {
+                                None | Some(Json::Null) => None,
+                                Some(c) => {
+                                    Some(c.as_str().map(str::to_owned).ok_or_else(|| {
+                                        parse_err("workload: field \"client\" must be a string")
+                                    })?)
+                                }
+                            },
+                            start_ms: opt_u64(w, "start_ms", 0, "workload")?,
+                            kind: workload_from_json(w)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?
+            }
+            (None, None) => return Err(parse_err("scenario: missing field \"workload\"")),
         };
 
         let path_s = req_str(&j, "path", "scenario")?;
@@ -408,13 +593,15 @@ impl ScenarioSpec {
                 .ok_or_else(|| parse_err("scenario: field \"spans\" must be a boolean"))?,
         };
 
+        check_unique_names(&hosts, &vms, &files)?;
+
         Ok(ScenarioSpec {
             seed: opt_u64(&j, "seed", 42, "scenario")?,
             path,
             hosts,
             vms,
             files,
-            workload,
+            workloads,
             faults,
             spans,
         })
@@ -433,205 +620,109 @@ impl ScenarioSpec {
     /// Returns [`SpecError`] when names don't resolve or the combination
     /// is invalid (no client VM, unknown path, …).
     pub fn run(&self) -> Result<ScenarioReport, SpecError> {
-        let mut w = World::new(self.seed);
-        if self.spans {
-            // Enabled before any activity so the cycle-conservation
-            // invariant covers deploy/populate work too.
-            w.spans.enable();
-        }
-        let mut cl = Cluster::new(Costs::default());
-
-        // hosts
-        let mut host_ix = std::collections::HashMap::new();
-        for h in &self.hosts {
-            let ix = cl.add_host(&mut w, &h.name, h.cores, h.ghz);
-            host_ix.insert(h.name.clone(), ix);
-        }
-
-        // VMs
-        let mut vm_ids: std::collections::HashMap<String, VmId> = Default::default();
-        let mut client_vm: Option<VmId> = None;
-        let mut datanode_vms: Vec<(String, VmId)> = Vec::new();
-        let mut lookbusy: Vec<(ThreadId, f64)> = Vec::new();
-        let mut busy_per_host: std::collections::BTreeMap<String, usize> = Default::default();
-        for v in &self.vms {
-            let hix = *host_ix
-                .get(&v.host)
-                .ok_or_else(|| SpecError::Unresolved(format!("host {}", v.host)))?;
-            let id = cl.add_vm(&mut w, hix, &v.name);
-            vm_ids.insert(v.name.clone(), id);
-            match v.role {
-                VmRole::Client => {
-                    if client_vm.is_none() {
-                        client_vm = Some(id);
-                    }
-                }
-                VmRole::Datanode => datanode_vms.push((v.name.clone(), id)),
-                VmRole::Lookbusy => {
-                    lookbusy.push((cl.vm(id).vcpu, v.busy.unwrap_or(0.85)));
-                    *busy_per_host.entry(v.host.clone()).or_insert(0) += 1;
-                }
-            }
-        }
-        let client_vm = client_vm.ok_or_else(|| SpecError::Invalid("no client VM".to_owned()))?;
-        if datanode_vms.is_empty() {
+        let plan = DeployPlan {
+            seed: self.seed,
+            path: self.path,
+            spans: self.spans,
+            costs: Costs::default(),
+            hosts: self.hosts.clone(),
+            vms: self.vms.clone(),
+            files: self.files.clone(),
+        };
+        let mut d = Deployment::build(plan)?;
+        d.first_client()?;
+        if d.datanode_vms.is_empty() {
             return Err(SpecError::Invalid("no datanode VM".to_owned()));
         }
-        // cache pressure per host from its lookbusy population
-        for (host, n) in &busy_per_host {
-            let hix = host_ix[host];
-            let host_id = cl.hosts[hix.0].host;
-            w.set_cache_pressure(host_id, llc_pressure(*n));
-        }
-        w.ext.insert(cl);
 
-        // HDFS + data
-        let dn_vms: Vec<VmId> = datanode_vms.iter().map(|(_, v)| *v).collect();
-        let (_nn, dn_ixs) = deploy_hdfs(&mut w, client_vm, &dn_vms);
-        let dn_by_name: std::collections::HashMap<&str, DatanodeIx> = datanode_vms
+        // bind every workload to its client VM before creating anything
+        let bound: Vec<(VmId, String, &WorkloadBinding)> = self
+            .workloads
             .iter()
-            .zip(&dn_ixs)
-            .map(|((name, _), ix)| (name.as_str(), *ix))
-            .collect();
-        for f in &self.files {
-            let dns: Vec<DatanodeIx> = f
-                .placement
-                .iter()
-                .map(|n| {
-                    dn_by_name
-                        .get(n.as_str())
-                        .copied()
-                        .ok_or_else(|| SpecError::Unresolved(format!("datanode {n}")))
-                })
-                .collect::<Result<_, _>>()?;
-            if dns.is_empty() {
-                return Err(SpecError::Invalid(format!(
-                    "file {} has no placement",
-                    f.path
-                )));
-            }
-            let placement = if f.replicate {
-                Placement::Replicated(dns)
-            } else {
-                Placement::RoundRobin(dns)
-            };
-            populate_file(&mut w, &f.path, f.mb << 20, &placement);
-        }
+            .map(|b| {
+                let vm = d.client_vm(b.client.as_deref())?;
+                let name = match &b.client {
+                    Some(n) => n.clone(),
+                    None => d.clients[0].0.clone(),
+                };
+                Ok((vm, name, b))
+            })
+            .collect::<Result<_, SpecError>>()?;
 
-        // read path
-        let path: Box<dyn BlockReadPath> = match self.path {
-            ReadPath::Vanilla => Box::new(VanillaPath::new()),
-            ReadPath::VreadRdma => {
-                deploy_vread(&mut w, RemoteTransport::Rdma);
-                Box::new(VreadPath::new())
-            }
-            ReadPath::VreadTcp => {
-                deploy_vread(&mut w, RemoteTransport::Tcp);
-                Box::new(VreadPath::new())
-            }
-        };
-        let client = add_client(&mut w, client_vm, path);
-
-        // background load
-        for (thread, busy) in lookbusy {
-            let lb = Lookbusy::new(thread, busy, SimDuration::from_millis(10));
-            let a = w.add_actor("lookbusy", lb);
-            w.send_now(a, Start);
-        }
-
-        // fault plan — armed before the workload starts so every fault
-        // fires at its absolute scenario time
-        if !self.faults.is_empty() {
-            let datanode_set: std::collections::HashSet<VmId> =
-                datanode_vms.iter().map(|(_, v)| *v).collect();
-            let targets = FaultTargets {
-                hosts: &host_ix,
-                vms: &vm_ids,
-                datanodes: &datanode_set,
-            };
-            let plan = build_fault_actions(&self.faults, &w, &targets)?;
-            schedule_faults(&mut w, plan);
-            // widen the trace window past the restores so
-            // throughput-during-fault integrates over the whole outage
-            let (window_start, window_end) = plan_window(&self.faults);
-            w.ext.insert(FaultTrace {
-                window_start,
-                window_end,
-            });
-        }
-
-        // workload
         let cap = SimDuration::from_secs(3_000);
-        let (elapsed_s, bytes, rate) = match &self.workload {
+        if let [(client_vm, _, binding)] = bound.as_slice() {
+            self.run_single(&mut d, *client_vm, binding, cap)
+        } else {
+            self.run_multi(&mut d, &bound, cap)
+        }
+    }
+
+    /// Drives a single workload with the legacy measurement math (the
+    /// settled drive keeps whole-world accounting byte-identical to the
+    /// polling-era reports).
+    fn run_single(
+        &self,
+        d: &mut Deployment,
+        client_vm: VmId,
+        binding: &WorkloadBinding,
+        cap: SimDuration,
+    ) -> Result<ScenarioReport, SpecError> {
+        let client = d.add_client_on(client_vm);
+        d.start_background();
+        d.arm_faults(&self.faults)?;
+
+        let start_delay = SimDuration::from_millis(binding.start_ms);
+        let (elapsed_s, bytes, rate) = match &binding.kind {
             WorkloadSpec::DfsioRead { files, buffer_kb } => {
-                let meta = w.ext.get::<HdfsMeta>().expect("meta");
-                let sizes: Vec<u64> = files
-                    .iter()
-                    .map(|f| {
-                        meta.file(f)
-                            .map(|m| m.size())
-                            .ok_or_else(|| SpecError::Unresolved(format!("file {f}")))
-                    })
-                    .collect::<Result<_, _>>()?;
-                let file_bytes = sizes[0];
+                let file_bytes = dfsio_read_size(&d.w, files)?;
                 let cfg = DfsioConfig {
                     buffer_bytes: buffer_kb << 10,
                     ..Default::default()
                 };
-                let job = TestDfsio::new(
+                let job = d.w.register_job("dfsio");
+                let app = TestDfsio::new(
                     client,
                     client_vm,
                     DfsioMode::Read,
                     files.clone(),
                     file_bytes,
                     cfg,
-                );
-                let a = w.add_actor("dfsio", job);
-                w.send_now(a, Start);
-                if !run_until_counter(
-                    &mut w,
-                    "dfsio_done",
-                    1.0,
-                    SimDuration::from_millis(100),
-                    cap,
-                ) {
+                )
+                .with_job(job);
+                let a = d.w.add_actor("dfsio", app);
+                launch(&mut d.w, a, start_delay);
+                if !run_jobs_settled(&mut d.w, cap, SimDuration::from_millis(100)) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs = w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
-                let b = w.metrics.counter("dfsio_bytes") as u64;
+                let secs =
+                    d.w.metrics.mean("dfsio_done_at_s") - d.w.metrics.mean("dfsio_start_at_s");
+                let b = d.w.metrics.counter("dfsio_bytes") as u64;
                 (secs, b, b as f64 / 1e6 / secs)
             }
             WorkloadSpec::DfsioWrite { files, mb } => {
-                let job = TestDfsio::new(
+                let job = d.w.register_job("dfsio");
+                let app = TestDfsio::new(
                     client,
                     client_vm,
                     DfsioMode::Write,
                     files.clone(),
                     mb << 20,
                     DfsioConfig::default(),
-                );
-                let a = w.add_actor("dfsio", job);
-                w.send_now(a, Start);
-                if !run_until_counter(
-                    &mut w,
-                    "dfsio_done",
-                    1.0,
-                    SimDuration::from_millis(100),
-                    cap,
-                ) {
+                )
+                .with_job(job);
+                let a = d.w.add_actor("dfsio", app);
+                launch(&mut d.w, a, start_delay);
+                if !run_jobs_settled(&mut d.w, cap, SimDuration::from_millis(100)) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs = w.metrics.mean("dfsio_done_at_s") - w.metrics.mean("dfsio_start_at_s");
-                let b = w.metrics.counter("dfsio_bytes") as u64;
+                let secs =
+                    d.w.metrics.mean("dfsio_done_at_s") - d.w.metrics.mean("dfsio_start_at_s");
+                let b = d.w.metrics.counter("dfsio_bytes") as u64;
                 (secs, b, b as f64 / 1e6 / secs)
             }
             WorkloadSpec::Reader { path, request_kb } => {
-                let total = {
-                    let meta = w.ext.get::<HdfsMeta>().expect("meta");
-                    meta.file(path)
-                        .map(|m| m.size())
-                        .ok_or_else(|| SpecError::Unresolved(format!("file {path}")))?
-                };
+                let total = hdfs_file_size(&d.w, path)?;
+                let job = d.w.register_job("reader");
                 let rdr = JavaReader::new(
                     client_vm,
                     ReaderMode::Dfs {
@@ -640,40 +731,221 @@ impl ScenarioSpec {
                     },
                     request_kb << 10,
                     total,
-                );
-                let a = w.add_actor("reader", rdr);
-                w.send_now(a, Start);
-                if !run_until_counter(
-                    &mut w,
-                    "reader_done",
-                    1.0,
-                    SimDuration::from_millis(50),
-                    cap,
-                ) {
+                )
+                .with_job(job);
+                let a = d.w.add_actor("reader", rdr);
+                launch(&mut d.w, a, start_delay);
+                if !run_jobs_settled(&mut d.w, cap, SimDuration::from_millis(50)) {
                     return Err(SpecError::Invalid("workload did not finish".to_owned()));
                 }
-                let secs = w.metrics.mean("reader_done_at_s") - w.metrics.mean("reader_start_at_s");
+                let secs =
+                    d.w.metrics.mean("reader_done_at_s") - d.w.metrics.mean("reader_start_at_s");
                 (secs, total, total as f64 / 1e6 / secs)
             }
             WorkloadSpec::Netperf {
                 request_kb,
                 duration_ms,
             } => {
-                let server_vm = dn_vms[0];
-                let measure_from = w.now();
-                let np =
-                    deploy_netperf(&mut w, client_vm, server_vm, request_kb << 10, measure_from);
-                w.send_now(np, Start);
+                let server_vm = d.datanode_vms[0].1;
+                let measure_from = d.w.now() + start_delay;
+                let np = deploy_netperf(
+                    &mut d.w,
+                    client_vm,
+                    server_vm,
+                    request_kb << 10,
+                    measure_from,
+                );
+                launch(&mut d.w, np, start_delay);
                 let dur = SimDuration::from_millis(*duration_ms);
-                let t = w.now() + dur;
-                w.run_until(t);
-                let txns = w.metrics.counter("netperf_txns");
+                let t = d.w.now() + start_delay + dur;
+                d.w.run_until(t);
+                let txns = d.w.metrics.counter("netperf_txns");
                 (dur.as_secs_f64(), 0, txns / dur.as_secs_f64())
             }
         };
 
+        Ok(self.finish_report(d, elapsed_s, bytes, rate, Vec::new()))
+    }
+
+    /// Drives two or more workloads concurrently: every job registers a
+    /// completion token, the engine runs until all of them finish, and
+    /// the aggregates come from the job table (per-job figures land in
+    /// `per_workload`).
+    fn run_multi(
+        &self,
+        d: &mut Deployment,
+        bound: &[(VmId, String, &WorkloadBinding)],
+        cap: SimDuration,
+    ) -> Result<ScenarioReport, SpecError> {
+        struct Armed {
+            kind: &'static str,
+            client: String,
+            start_ms: u64,
+            job: JobHandle,
+            netperf_s: Option<f64>,
+        }
+        let mut armed: Vec<Armed> = Vec::new();
+        for (vm, cname, b) in bound {
+            let start_delay = SimDuration::from_millis(b.start_ms);
+            let job = match &b.kind {
+                WorkloadSpec::DfsioRead { files, buffer_kb } => {
+                    let file_bytes = dfsio_read_size(&d.w, files)?;
+                    let client = d.add_client_on(*vm);
+                    let cfg = DfsioConfig {
+                        buffer_bytes: buffer_kb << 10,
+                        ..Default::default()
+                    };
+                    let job = d.w.register_job("dfsio");
+                    let app = TestDfsio::new(
+                        client,
+                        *vm,
+                        DfsioMode::Read,
+                        files.clone(),
+                        file_bytes,
+                        cfg,
+                    )
+                    .with_job(job);
+                    let a = d.w.add_actor("dfsio", app);
+                    launch(&mut d.w, a, start_delay);
+                    job
+                }
+                WorkloadSpec::DfsioWrite { files, mb } => {
+                    let client = d.add_client_on(*vm);
+                    let job = d.w.register_job("dfsio");
+                    let app = TestDfsio::new(
+                        client,
+                        *vm,
+                        DfsioMode::Write,
+                        files.clone(),
+                        mb << 20,
+                        DfsioConfig::default(),
+                    )
+                    .with_job(job);
+                    let a = d.w.add_actor("dfsio", app);
+                    launch(&mut d.w, a, start_delay);
+                    job
+                }
+                WorkloadSpec::Reader { path, request_kb } => {
+                    let total = hdfs_file_size(&d.w, path)?;
+                    let client = d.add_client_on(*vm);
+                    let job = d.w.register_job("reader");
+                    let rdr = JavaReader::new(
+                        *vm,
+                        ReaderMode::Dfs {
+                            client,
+                            path: path.clone(),
+                        },
+                        request_kb << 10,
+                        total,
+                    )
+                    .with_job(job);
+                    let a = d.w.add_actor("reader", rdr);
+                    launch(&mut d.w, a, start_delay);
+                    job
+                }
+                WorkloadSpec::Netperf {
+                    request_kb,
+                    duration_ms,
+                } => {
+                    let server_vm = d.datanode_vms[0].1;
+                    let measure_from = d.w.now() + start_delay;
+                    let job = d.w.register_job("netperf");
+                    let np = deploy_netperf_with_job(
+                        &mut d.w,
+                        *vm,
+                        server_vm,
+                        request_kb << 10,
+                        measure_from,
+                        Some(job),
+                    );
+                    launch(&mut d.w, np, start_delay);
+                    // netperf never finishes on its own: bound its
+                    // measurement window with a completion timer
+                    complete_job_after(
+                        &mut d.w,
+                        job,
+                        start_delay + SimDuration::from_millis(*duration_ms),
+                    );
+                    job
+                }
+            };
+            armed.push(Armed {
+                kind: b.kind.kind_str(),
+                client: cname.clone(),
+                start_ms: b.start_ms,
+                job,
+                netperf_s: match &b.kind {
+                    WorkloadSpec::Netperf { duration_ms, .. } => Some(*duration_ms as f64 / 1e3),
+                    _ => None,
+                },
+            });
+        }
+        d.start_background();
+        d.arm_faults(&self.faults)?;
+
+        if !run_jobs(&mut d.w, cap) {
+            return Err(SpecError::Invalid("workload did not finish".to_owned()));
+        }
+
+        let mut first_start: Option<SimTime> = None;
+        let mut last_done: Option<SimTime> = None;
+        let mut total_bytes = 0u64;
+        let mut total_ops = 0u64;
+        let mut per_workload = Vec::new();
+        for a in &armed {
+            let started = d.w.jobs.started_at(a.job).expect("job started");
+            let done = d.w.jobs.completed_at(a.job).expect("job completed");
+            first_start = Some(first_start.map_or(started, |t| t.min(started)));
+            last_done = Some(last_done.map_or(done, |t| t.max(done)));
+            let job_bytes = d.w.jobs.bytes(a.job);
+            let job_ops = d.w.jobs.ops(a.job);
+            total_bytes += job_bytes;
+            total_ops += job_ops;
+            // netperf measures over its fixed window, not token
+            // round-trip times
+            let secs = a
+                .netperf_s
+                .unwrap_or_else(|| done.since(started).as_secs_f64());
+            let rate = if a.netperf_s.is_some() {
+                job_ops as f64 / secs
+            } else {
+                job_bytes as f64 / 1e6 / secs
+            };
+            per_workload.push(WorkloadReport {
+                kind: a.kind.to_owned(),
+                client: a.client.clone(),
+                start_ms: a.start_ms,
+                elapsed_s: secs,
+                bytes: job_bytes,
+                rate,
+            });
+        }
+        let elapsed_s = last_done
+            .expect("at least one job")
+            .since(first_start.expect("at least one job"))
+            .as_secs_f64();
+        let rate = if total_bytes > 0 {
+            total_bytes as f64 / 1e6 / elapsed_s
+        } else {
+            total_ops as f64 / elapsed_s
+        };
+
+        Ok(self.finish_report(d, elapsed_s, total_bytes, rate, per_workload))
+    }
+
+    /// Collects the whole-world tail of a report: spans, CPU-category
+    /// and per-thread busy rollups, and the fault summary.
+    fn finish_report(
+        &self,
+        d: &mut Deployment,
+        elapsed_s: f64,
+        bytes: u64,
+        rate: f64,
+        per_workload: Vec<WorkloadReport>,
+    ) -> ScenarioReport {
+        let w = &mut d.w;
         let spans = if self.spans {
-            Some(SpanSummary::collect(&mut w))
+            Some(SpanSummary::collect(w))
         } else {
             None
         };
@@ -706,22 +978,55 @@ impl ScenarioSpec {
             })
             .filter(|(_, b)| *b > 0.0)
             .collect();
-        thread_busy_ms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        sort_busy_desc(&mut thread_busy_ms);
 
-        Ok(ScenarioReport {
+        ScenarioReport {
             elapsed_s,
             bytes,
             rate,
             thread_busy_ms,
             cpu_by_category_ms,
+            per_workload,
             faults: if self.faults.is_empty() {
                 None
             } else {
-                Some(collect_fault_report(&w))
+                Some(collect_fault_report(w))
             },
             spans,
-        })
+        }
     }
+}
+
+/// Sends `Start` now (zero delay) or after `delay`.
+fn launch(w: &mut World, actor: ActorId, delay: SimDuration) {
+    if delay == SimDuration::ZERO {
+        w.send_now(actor, Start);
+    } else {
+        w.send_after(actor, Start, delay);
+    }
+}
+
+/// The populated size of the first dfsio-read input (all files share
+/// it, matching TestDFSIO's uniform file size).
+fn dfsio_read_size(w: &World, files: &[String]) -> Result<u64, SpecError> {
+    let meta = w.ext.get::<HdfsMeta>().expect("meta");
+    let sizes: Vec<u64> = files
+        .iter()
+        .map(|f| {
+            meta.file(f)
+                .map(|m| m.size())
+                .ok_or_else(|| SpecError::Unresolved(format!("file {f}")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(sizes[0])
+}
+
+/// The populated size of one HDFS file.
+fn hdfs_file_size(w: &World, path: &str) -> Result<u64, SpecError> {
+    let meta = w.ext.get::<HdfsMeta>().expect("meta");
+    meta.file(path)
+        .map(|m| m.size())
+        .ok_or_else(|| SpecError::Unresolved(format!("file {path}")))
 }
 
 /// Fluent construction of a [`ScenarioSpec`] — the programmatic
@@ -754,7 +1059,7 @@ pub struct ScenarioBuilder {
     hosts: Vec<HostSpec>,
     vms: Vec<VmSpec>,
     files: Vec<FileSpec>,
-    workload: Option<WorkloadSpec>,
+    workloads: Vec<WorkloadBinding>,
     faults: Vec<FaultSpec>,
     spans: bool,
 }
@@ -767,7 +1072,7 @@ impl Default for ScenarioBuilder {
             hosts: Vec::new(),
             vms: Vec::new(),
             files: Vec::new(),
-            workload: None,
+            workloads: Vec::new(),
             faults: Vec::new(),
             spans: false,
         }
@@ -846,9 +1151,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the workload (required).
+    /// Adds a workload bound to the first client VM at time zero (at
+    /// least one workload is required).
     pub fn workload(mut self, workload: WorkloadSpec) -> Self {
-        self.workload = Some(workload);
+        self.workloads.push(WorkloadBinding::new(workload));
+        self
+    }
+
+    /// Adds a workload bound to client VM `client`, launching `start_ms`
+    /// simulated milliseconds after scenario start.
+    pub fn workload_on(mut self, client: &str, start_ms: u64, workload: WorkloadSpec) -> Self {
+        self.workloads.push(WorkloadBinding {
+            client: Some(client.to_owned()),
+            start_ms,
+            kind: workload,
+        });
         self
     }
 
@@ -869,30 +1186,35 @@ impl ScenarioBuilder {
     /// # Errors
     ///
     /// [`SpecError::Invalid`] when the shape is wrong (no workload, no
-    /// client/datanode VM, vm-crash against a non-datanode);
-    /// [`SpecError::Unresolved`] when a host, datanode, file or fault
-    /// target name doesn't refer to anything added before `build`.
+    /// client/datanode VM, duplicate host/VM/file names, a workload
+    /// bound to a non-client VM, vm-crash against a non-datanode);
+    /// [`SpecError::Unresolved`] when a host, datanode, file, workload
+    /// client or fault target name doesn't refer to anything added
+    /// before `build`.
     pub fn build(self) -> Result<ScenarioSpec, SpecError> {
-        let workload = self
-            .workload
-            .ok_or_else(|| SpecError::Invalid("no workload".to_owned()))?;
+        if self.workloads.is_empty() {
+            return Err(SpecError::Invalid("no workload".to_owned()));
+        }
+        check_unique_names(&self.hosts, &self.vms, &self.files)?;
         let host_names: std::collections::HashSet<&str> =
             self.hosts.iter().map(|h| h.name.as_str()).collect();
         let mut datanodes = std::collections::HashSet::new();
-        let mut has_client = false;
+        let mut client_names = std::collections::HashSet::new();
         for v in &self.vms {
             if !host_names.contains(v.host.as_str()) {
                 return Err(SpecError::Unresolved(format!("host {}", v.host)));
             }
             match v.role {
-                VmRole::Client => has_client = true,
+                VmRole::Client => {
+                    client_names.insert(v.name.as_str());
+                }
                 VmRole::Datanode => {
                     datanodes.insert(v.name.as_str());
                 }
-                VmRole::Lookbusy => {}
+                VmRole::Lookbusy | VmRole::Peer => {}
             }
         }
-        if !has_client {
+        if client_names.is_empty() {
             return Err(SpecError::Invalid("no client VM".to_owned()));
         }
         if datanodes.is_empty() {
@@ -913,18 +1235,30 @@ impl ScenarioBuilder {
         }
         let file_names: std::collections::HashSet<&str> =
             self.files.iter().map(|f| f.path.as_str()).collect();
-        let read_targets: Vec<&str> = match &workload {
-            WorkloadSpec::DfsioRead { files, .. } => files.iter().map(String::as_str).collect(),
-            WorkloadSpec::Reader { path, .. } => vec![path.as_str()],
-            _ => Vec::new(),
-        };
-        for f in read_targets {
-            if !file_names.contains(f) {
-                return Err(SpecError::Unresolved(format!("file {f}")));
-            }
-        }
         let vm_names: std::collections::HashSet<&str> =
             self.vms.iter().map(|v| v.name.as_str()).collect();
+        for b in &self.workloads {
+            if let Some(c) = &b.client {
+                if !vm_names.contains(c.as_str()) {
+                    return Err(SpecError::Unresolved(format!("client VM {c}")));
+                }
+                if !client_names.contains(c.as_str()) {
+                    return Err(SpecError::Invalid(format!(
+                        "workload client {c} is not a client VM"
+                    )));
+                }
+            }
+            let read_targets: Vec<&str> = match &b.kind {
+                WorkloadSpec::DfsioRead { files, .. } => files.iter().map(String::as_str).collect(),
+                WorkloadSpec::Reader { path, .. } => vec![path.as_str()],
+                _ => Vec::new(),
+            };
+            for f in read_targets {
+                if !file_names.contains(f) {
+                    return Err(SpecError::Unresolved(format!("file {f}")));
+                }
+            }
+        }
         for f in &self.faults {
             match &f.kind {
                 FaultKind::DaemonCrash { host }
@@ -959,7 +1293,7 @@ impl ScenarioBuilder {
             hosts: self.hosts,
             vms: self.vms,
             files: self.files,
-            workload,
+            workloads: self.workloads,
             faults: self.faults,
             spans: self.spans,
         })
@@ -1001,9 +1335,11 @@ mod tests {
                 .any(|(k, _)| k == "data copy(vRead-buffer)"),
             "vread run shows ring copies in the breakdown"
         );
-        // JSON-serializable report
+        // JSON-serializable report; single-workload reports carry no
+        // per_workload block
         let j = report.to_json();
         assert!(j.contains("elapsed_s"));
+        assert!(!j.contains("per_workload"));
     }
 
     #[test]
@@ -1022,6 +1358,77 @@ mod tests {
             ScenarioSpec::from_json(&bad),
             Err(SpecError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_rejected() {
+        let bad =
+            SPEC.replace("\"seed\": 7,", "")
+                .replacen("\"path\"", "\"wokload\": [], \"path\"", 1);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        match err {
+            SpecError::Parse(msg) => {
+                assert!(msg.contains("wokload"), "names the offending key: {msg}")
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_in_both_construction_paths() {
+        let dup_vm = SPEC.replace(
+            "{ \"name\": \"dn2\", \"host\": \"h2\", \"role\": \"datanode\" }",
+            "{ \"name\": \"dn1\", \"host\": \"h2\", \"role\": \"datanode\" }",
+        );
+        assert!(matches!(
+            ScenarioSpec::from_json(&dup_vm),
+            Err(SpecError::Invalid(_))
+        ));
+        let dup_host = SPEC.replace("\"name\": \"h2\"", "\"name\": \"h1\"");
+        assert!(matches!(
+            ScenarioSpec::from_json(&dup_host),
+            Err(SpecError::Invalid(_))
+        ));
+
+        let builder = || {
+            ScenarioSpec::builder()
+                .host("h1", 4, 2.0)
+                .client("client", "h1")
+                .datanode("dn1", "h1")
+                .file("/d", 8, &["dn1"])
+                .workload(WorkloadSpec::Reader {
+                    path: "/d".to_owned(),
+                    request_kb: 1024,
+                })
+        };
+        assert!(builder().build().is_ok());
+        assert!(matches!(
+            builder().datanode("dn1", "h1").build(),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            builder().host("h1", 4, 2.0).build(),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            builder().file("/d", 8, &["dn1"]).build(),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn busy_sort_tolerates_nan() {
+        // regression: the old partial_cmp().expect("no NaN") panicked on
+        // NaN busy values; total_cmp orders them deterministically
+        let mut v = vec![
+            ("a".to_owned(), 1.0),
+            ("n".to_owned(), f64::NAN),
+            ("b".to_owned(), 2.0),
+        ];
+        sort_busy_desc(&mut v);
+        assert_eq!(v[0].0, "n", "NaN sorts above all finite values");
+        assert_eq!(v[1].0, "b");
+        assert_eq!(v[2].0, "a");
     }
 
     #[test]
@@ -1092,6 +1499,26 @@ mod tests {
                 .build(),
             Err(SpecError::Invalid(_)),
         ));
+        assert!(
+            matches!(
+                base()
+                    .file("/d", 8, &["dn1"])
+                    .workload_on("ghost", 0, wl.clone())
+                    .build(),
+                Err(SpecError::Unresolved(_))
+            ),
+            "workload client must exist"
+        );
+        assert!(
+            matches!(
+                base()
+                    .file("/d", 8, &["dn1"])
+                    .workload_on("dn1", 0, wl.clone())
+                    .build(),
+                Err(SpecError::Invalid(_))
+            ),
+            "workload client must have the client role"
+        );
         let ok = base().file("/d", 8, &["dn1"]).workload(wl).build().unwrap();
         assert_eq!(ok.path, ReadPath::Vanilla);
         assert!(ok.run().is_ok());
@@ -1182,5 +1609,66 @@ mod tests {
         let spec = ScenarioSpec::from_json(spec_json).unwrap();
         let report = spec.run().unwrap();
         assert_eq!(report.bytes, 32 << 20);
+    }
+
+    const MULTI: &str = r#"{
+        "seed": 11,
+        "path": "vread-rdma",
+        "hosts": [
+            { "name": "h1", "ghz": 3.2 },
+            { "name": "h2", "ghz": 3.2 }
+        ],
+        "vms": [
+            { "name": "c1", "host": "h1", "role": "client" },
+            { "name": "c2", "host": "h2", "role": "client" },
+            { "name": "dn1", "host": "h1", "role": "datanode" },
+            { "name": "dn2", "host": "h2", "role": "datanode" }
+        ],
+        "files": [
+            { "path": "/a", "mb": 32, "placement": ["dn1"] },
+            { "path": "/b", "mb": 16, "placement": ["dn2"] }
+        ],
+        "workloads": [
+            { "kind": "reader", "path": "/a", "request_kb": 1024, "client": "c1" },
+            { "kind": "reader", "path": "/b", "request_kb": 1024, "client": "c2", "start_ms": 50 }
+        ]
+    }"#;
+
+    #[test]
+    fn multi_workload_reports_per_job_and_sums_to_aggregate() {
+        let spec = ScenarioSpec::from_json(MULTI).unwrap();
+        let report = spec.run().unwrap();
+        assert_eq!(report.per_workload.len(), 2);
+        let per_bytes: u64 = report.per_workload.iter().map(|wr| wr.bytes).sum();
+        assert_eq!(per_bytes, report.bytes, "per-workload bytes sum");
+        assert_eq!(report.bytes, (32 << 20) + (16 << 20));
+        assert_eq!(report.per_workload[0].client, "c1");
+        assert_eq!(report.per_workload[1].client, "c2");
+        assert_eq!(report.per_workload[1].start_ms, 50);
+        for wr in &report.per_workload {
+            assert!(wr.elapsed_s > 0.0 && wr.rate > 0.0, "{wr:?}");
+        }
+        // the aggregate window covers both jobs
+        assert!(report.elapsed_s >= report.per_workload[0].elapsed_s);
+        let j = report.to_json();
+        assert!(j.contains("per_workload"));
+
+        // deterministic: a second run serializes byte-identically
+        let again = ScenarioSpec::from_json(MULTI).unwrap().run().unwrap();
+        assert_eq!(again.to_json(), j);
+    }
+
+    #[test]
+    fn singular_and_plural_workload_fields_are_exclusive() {
+        let both = SPEC.replacen("\"workload\":", "\"workloads\": [], \"workload\":", 1);
+        assert!(matches!(
+            ScenarioSpec::from_json(&both),
+            Err(SpecError::Parse(_))
+        ));
+        let neither = SPEC.replacen("\"workload\":", "\"ignored\":", 1);
+        assert!(matches!(
+            ScenarioSpec::from_json(&neither),
+            Err(SpecError::Parse(_))
+        ));
     }
 }

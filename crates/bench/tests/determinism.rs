@@ -5,7 +5,7 @@
 //! experiment builds its own `World`, so the job count cannot change
 //! any output.
 
-use vread_apps::driver::run_until_counter;
+use vread_apps::driver::run_jobs_settled;
 use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_bench::experiments;
 use vread_bench::{Locality, Testbed, TestbedOpts};
@@ -24,6 +24,7 @@ fn fig2_pass(seed: u64) -> Fingerprint {
     let file = 32 << 20;
     tb.populate("/f", file, Locality::CoLocated);
     let client = tb.make_client();
+    let job = tb.w.register_job("reader");
     let reader = JavaReader::new(
         tb.client_vm,
         ReaderMode::Dfs {
@@ -32,15 +33,14 @@ fn fig2_pass(seed: u64) -> Fingerprint {
         },
         1 << 20,
         file,
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("reader", reader);
     tb.w.send_now(a, Start);
-    let ok = run_until_counter(
+    let ok = run_jobs_settled(
         &mut tb.w,
-        "reader_done",
-        1.0,
-        SimDuration::from_millis(50),
         SimDuration::from_secs(300),
+        SimDuration::from_millis(50),
     );
     assert!(ok, "reader pass did not finish");
 

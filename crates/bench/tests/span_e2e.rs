@@ -16,7 +16,7 @@
 //! unattributed pool — no lost or double-counted work.
 
 use proptest::prelude::*;
-use vread_apps::driver::run_until_counter;
+use vread_apps::driver::run_jobs_settled;
 use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_bench::spec::WorkloadSpec;
 use vread_bench::{Locality, ReadPath, ScenarioSpec, SpanSummary, Testbed, TestbedOpts};
@@ -28,6 +28,7 @@ const REQ: u64 = 1 << 20;
 /// One full sequential read of `/f` on the testbed.
 fn reader_pass(tb: &mut Testbed, client: ActorId) {
     tb.w.metrics.reset();
+    let job = tb.w.register_job("reader");
     let rdr = JavaReader::new(
         tb.client_vm,
         ReaderMode::Dfs {
@@ -36,16 +37,15 @@ fn reader_pass(tb: &mut Testbed, client: ActorId) {
         },
         REQ,
         FILE,
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("reader", rdr);
     tb.w.send_now(a, Start);
     assert!(
-        run_until_counter(
+        run_jobs_settled(
             &mut tb.w,
-            "reader_done",
-            1.0,
-            SimDuration::from_millis(50),
             SimDuration::from_secs(3_000),
+            SimDuration::from_millis(50),
         ),
         "reader pass finishes",
     );

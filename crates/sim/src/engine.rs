@@ -32,6 +32,7 @@ use crate::chain::{Chain, Stage, StageList};
 use crate::cpu::{CpuAccounting, CpuCategory};
 use crate::ext::Extensions;
 use crate::ids::{ActorId, BlockDevId, ChainId, HostId, LinkId, ThreadId};
+use crate::job::{JobHandle, Jobs};
 use crate::metrics::Metrics;
 use crate::msg::BoxMsg;
 use crate::resources::{BlockDev, Link};
@@ -142,6 +143,8 @@ pub struct World {
     /// [`crate::span`]). Disabled by default; enabling it attributes
     /// every charged cycle and every [`Stage::Copy`] to a span.
     pub spans: SpanRecorder,
+    /// Registered jobs and their completion state (see [`crate::job`]).
+    pub jobs: Jobs,
 }
 
 impl std::fmt::Debug for World {
@@ -187,6 +190,7 @@ impl World {
             ext: Extensions::new(),
             tracer: Tracer::new(),
             spans: SpanRecorder::new(),
+            jobs: Jobs::default(),
         }
     }
 
@@ -582,6 +586,38 @@ impl World {
         self.run_until(t);
     }
 
+    /// Registers a pending job and returns its completion token (see
+    /// [`crate::job`]).
+    pub fn register_job(&mut self, label: &str) -> JobHandle {
+        self.jobs.register(label)
+    }
+
+    /// Runs until **every registered job has completed**, or until `cap`
+    /// of simulated time elapses. Returns `true` when all jobs finished.
+    ///
+    /// On success the clock stops *exactly at the completing event* —
+    /// unlike slice-based polling there is no trailing over-run, so
+    /// measurements taken afterwards see the world precisely as of
+    /// completion. On a cap miss the clock fast-forwards to the
+    /// deadline. Either way accounting is synced, so between-run busy
+    /// reads are exact.
+    pub fn run_jobs_for(&mut self, cap: SimDuration) -> bool {
+        let deadline = self.now + cap;
+        while self.jobs.pending() > 0 {
+            match self.next_event_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.jobs.pending() > 0 && self.now < deadline {
+            self.now = deadline;
+        }
+        self.sync_accounting();
+        self.jobs.pending() == 0
+    }
+
     /// Diagnostic dump of in-flight chains, per-thread work queues and
     /// run-queue depths (for debugging stuck protocols).
     pub fn dump_state(&self) -> String {
@@ -737,6 +773,24 @@ impl<'a> Ctx<'a> {
     /// Typed shared state, inserting a default if absent.
     pub fn ext<T: 'static + Default>(&mut self) -> &mut T {
         self.world.ext.get_or_default::<T>()
+    }
+
+    /// Marks `job` started now (see [`crate::job`]).
+    pub fn job_started(&mut self, job: JobHandle) {
+        let now = self.world.now;
+        self.world.jobs.start(job, now);
+    }
+
+    /// Adds progress (`bytes`, `ops`) to `job`.
+    pub fn job_progress(&mut self, job: JobHandle, bytes: u64, ops: u64) {
+        self.world.jobs.progress(job, bytes, ops);
+    }
+
+    /// Marks `job` completed now; the engine's job-driven run loop stops
+    /// once every registered job has completed.
+    pub fn job_completed(&mut self, job: JobHandle) {
+        let now = self.world.now;
+        self.world.jobs.complete(job, now);
     }
 }
 

@@ -55,6 +55,7 @@ pub mod engine;
 pub mod ext;
 pub mod fault;
 pub mod ids;
+pub mod job;
 pub mod metrics;
 pub mod msg;
 pub mod resources;
@@ -70,6 +71,7 @@ pub use cpu::{CpuAccounting, CpuCategory};
 pub use engine::{Actor, Ctx, World};
 pub use fault::{schedule_faults, FaultAction, FaultScheduler, FaultTrace, SlowDisk, StallThread};
 pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+pub use job::{JobHandle, Jobs};
 pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Samples};
 pub use msg::{downcast, BoxMsg, Start};
 pub use rng::SimRng;
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use crate::engine::{Actor, Ctx, World};
     pub use crate::fault::{schedule_faults, FaultAction, FaultTrace};
     pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+    pub use crate::job::JobHandle;
     pub use crate::metrics::{CounterId, LazyCounter, LazySamples, SampleId};
     pub use crate::msg::{downcast, BoxMsg, Start};
     pub use crate::rng::SimRng;

@@ -8,7 +8,7 @@
 //! ```
 
 use vread::apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
-use vread::apps::driver::run_until_counter;
+use vread::apps::driver::run_jobs_settled;
 use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::sim::prelude::*;
 
@@ -22,22 +22,22 @@ fn dfsio(tb: &mut Testbed, client: ActorId, files: &[String]) -> (f64, f64) {
         cl.vm(tb.client_vm).vcpu
     };
     let busy0 = tb.w.acct.busy_ns(vcpu.index());
-    let job = TestDfsio::new(
+    let job = tb.w.register_job("dfsio");
+    let app = TestDfsio::new(
         client,
         tb.client_vm,
         DfsioMode::Read,
         files.to_vec(),
         FILE_BYTES,
         DfsioConfig::default(),
-    );
-    let a = tb.w.add_actor("dfsio", job);
+    )
+    .with_job(job);
+    let a = tb.w.add_actor("dfsio", app);
     tb.w.send_now(a, Start);
-    assert!(run_until_counter(
+    assert!(run_jobs_settled(
         &mut tb.w,
-        "dfsio_done",
-        1.0,
-        SimDuration::from_millis(100),
         SimDuration::from_secs(600),
+        SimDuration::from_millis(100),
     ));
     let secs = tb.w.metrics.mean("dfsio_done_at_s") - tb.w.metrics.mean("dfsio_start_at_s");
     let mbps = tb.w.metrics.counter("dfsio_bytes") / 1e6 / secs;

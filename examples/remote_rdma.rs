@@ -5,7 +5,7 @@
 //! cargo run --release --example remote_rdma
 //! ```
 
-use vread::apps::driver::run_until_counter;
+use vread::apps::driver::run_jobs_settled;
 use vread::apps::java_reader::{JavaReader, ReaderMode};
 use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::core::VreadRegistry;
@@ -23,6 +23,7 @@ fn main() {
         let mut tb = Testbed::build(TestbedOpts::new().path(path));
         tb.populate("/remote", FILE, Locality::Remote);
         let client = tb.make_client();
+        let job = tb.w.register_job("reader");
         let reader = JavaReader::new(
             tb.client_vm,
             ReaderMode::Dfs {
@@ -31,15 +32,14 @@ fn main() {
             },
             1 << 20,
             FILE,
-        );
+        )
+        .with_job(job);
         let a = tb.w.add_actor("reader", reader);
         tb.w.send_now(a, Start);
-        assert!(run_until_counter(
+        assert!(run_jobs_settled(
             &mut tb.w,
-            "reader_done",
-            1.0,
-            SimDuration::from_millis(50),
             SimDuration::from_secs(600),
+            SimDuration::from_millis(50),
         ));
         let secs = tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s");
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example wordcount
 //! ```
 
-use vread::apps::driver::run_until_counter;
+use vread::apps::driver::run_jobs_settled;
 use vread::apps::wordcount::{WordCount, WordCountConfig};
 use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::sim::prelude::*;
@@ -22,21 +22,21 @@ fn main() {
         let mut tb = Testbed::build(TestbedOpts::new().four_vms(true).path(path));
         tb.populate("/corpus", INPUT, Locality::Hybrid);
         let client = tb.make_client();
-        let job = WordCount::new(
+        let job = tb.w.register_job("wordcount");
+        let wc = WordCount::new(
             client,
             tb.client_vm,
             "/corpus".into(),
             INPUT,
             WordCountConfig::default(),
-        );
-        let a = tb.w.add_actor("wc", job);
+        )
+        .with_job(job);
+        let a = tb.w.add_actor("wc", wc);
         tb.w.send_now(a, Start);
-        assert!(run_until_counter(
+        assert!(run_jobs_settled(
             &mut tb.w,
-            "wc_done",
-            1.0,
-            SimDuration::from_millis(100),
             SimDuration::from_secs(600),
+            SimDuration::from_millis(100),
         ));
         let start = tb.w.metrics.mean("wc_start_at_s");
         let map_done = tb.w.metrics.mean("wc_map_done_at_s");

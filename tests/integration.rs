@@ -2,7 +2,7 @@
 //! of the facade crate.
 
 use vread::apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
-use vread::apps::driver::run_until_counter;
+use vread::apps::driver::run_jobs_settled;
 use vread::apps::java_reader::{JavaReader, ReaderMode};
 use vread::bench::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 use vread::hdfs::client::{DfsRead, DfsReadDone};
@@ -13,6 +13,7 @@ const CAP: SimDuration = SimDuration::from_secs(600);
 
 fn reader_done(tb: &mut Testbed, client: ActorId, path: &str, req: u64, total: u64) -> f64 {
     tb.w.metrics.reset();
+    let job = tb.w.register_job("reader");
     let r = JavaReader::new(
         tb.client_vm,
         ReaderMode::Dfs {
@@ -21,15 +22,14 @@ fn reader_done(tb: &mut Testbed, client: ActorId, path: &str, req: u64, total: u
         },
         req,
         total,
-    );
+    )
+    .with_job(job);
     let a = tb.w.add_actor("rdr", r);
     tb.w.send_now(a, Start);
-    assert!(run_until_counter(
+    assert!(run_jobs_settled(
         &mut tb.w,
-        "reader_done",
-        1.0,
-        SimDuration::from_millis(50),
-        CAP
+        CAP,
+        SimDuration::from_millis(50)
     ));
     assert_eq!(tb.w.metrics.counter("reader_bytes"), total as f64);
     tb.w.metrics.mean("reader_done_at_s") - tb.w.metrics.mean("reader_start_at_s")
@@ -167,22 +167,22 @@ fn accounting_is_conserved_and_vread_cheaper() {
             tb.populate(f, 64 << 20, Locality::Hybrid);
         }
         let client = tb.make_client();
-        let job = TestDfsio::new(
+        let job = tb.w.register_job("dfsio");
+        let app = TestDfsio::new(
             client,
             tb.client_vm,
             DfsioMode::Read,
             files,
             64 << 20,
             DfsioConfig::default(),
-        );
-        let a = tb.w.add_actor("dfsio", job);
+        )
+        .with_job(job);
+        let a = tb.w.add_actor("dfsio", app);
         tb.w.send_now(a, Start);
-        assert!(run_until_counter(
+        assert!(run_jobs_settled(
             &mut tb.w,
-            "dfsio_done",
-            1.0,
-            SimDuration::from_millis(100),
-            CAP
+            CAP,
+            SimDuration::from_millis(100)
         ));
 
         // conservation per host
