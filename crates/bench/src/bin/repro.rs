@@ -2,26 +2,27 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--json DIR] [--jobs N] <experiment>... | all | list
-//! repro scenario <file.json> [--spans]
-//! repro trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N]
-//! repro fault-matrix [--jobs N]
+//! repro [--json DIR] [--jobs N] [--engine-threads N] <experiment>... | all | list
+//! repro scenario <file.json> [--spans] [--jobs N] [--engine-threads N]
+//! repro trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N] [--engine-threads N]
+//! repro fault-matrix [--jobs N] [--engine-threads N]
 //! repro bench-engine [--out FILE]
 //! repro lint [--format human|json]
 //! ```
 //!
 //! Experiments run in parallel across `--jobs` worker threads (default:
-//! available cores). Every experiment builds its own deterministic
-//! `World` from a fixed seed, so results — and the JSON written with
-//! `--json` — are byte-identical regardless of the job count.
+//! available cores), fanned out through the engine's deterministic
+//! `run_indexed` pool. `--engine-threads N` additionally drives each
+//! scenario *world* through the conservative parallel engine
+//! (`vread_sim::par`). Every world builds from a fixed seed and the
+//! window protocol is thread-count-invariant, so results — and the JSON
+//! written with `--json` — are byte-identical regardless of either knob.
 
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 use vread_bench::experiments;
-use vread_bench::Table;
+use vread_sim::par::{run_indexed, run_indexed_streamed};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +30,7 @@ fn main() {
 
     let mut json_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut engine_threads: usize = 1;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -53,13 +55,26 @@ fn main() {
                     }
                 }
             }
+            "--engine-threads" => {
+                let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                match parsed {
+                    Some(n) if n >= 1 => engine_threads = n,
+                    _ => {
+                        eprintln!("--engine-threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "list" => {
                 for (id, _) in &registry {
                     println!("{id}");
                 }
-                println!("scenario <file.json> [--spans]");
-                println!("trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N]");
-                println!("fault-matrix [--jobs N]");
+                println!("scenario <file.json> [--spans] [--jobs N] [--engine-threads N]");
+                println!(
+                    "trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N] \
+                     [--engine-threads N]"
+                );
+                println!("fault-matrix [--jobs N] [--engine-threads N]");
                 println!("bench-engine [--out FILE]");
                 println!("lint [--format human|json]");
                 return;
@@ -88,6 +103,7 @@ fn main() {
                 let mut files: Vec<String> = Vec::new();
                 let mut spans = false;
                 let mut s_jobs = jobs;
+                let mut s_engine = engine_threads;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--spans" => spans = true,
@@ -97,6 +113,16 @@ fn main() {
                                 Some(n) if n >= 1 => s_jobs = Some(n),
                                 _ => {
                                     eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "--engine-threads" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => s_engine = n,
+                                _ => {
+                                    eprintln!("--engine-threads needs a positive integer");
                                     std::process::exit(2);
                                 }
                             }
@@ -112,13 +138,14 @@ fn main() {
                     eprintln!("scenario needs a JSON file argument");
                     std::process::exit(2);
                 }
-                scenario_cmd(&files, spans, s_jobs.unwrap_or(1));
+                scenario_cmd(&files, spans, s_jobs.unwrap_or(1), s_engine);
                 return;
             }
             "trace" => {
                 let mut which: Vec<vread_bench::ReadPath> = Vec::new();
                 let mut trace_out: Option<String> = None;
                 let mut t_jobs = jobs;
+                let mut t_engine = engine_threads;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--trace-out" => match it.next() {
@@ -134,6 +161,16 @@ fn main() {
                                 Some(n) if n >= 1 => t_jobs = Some(n),
                                 _ => {
                                     eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "--engine-threads" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => t_engine = n,
+                                _ => {
+                                    eprintln!("--engine-threads needs a positive integer");
                                     std::process::exit(2);
                                 }
                             }
@@ -154,11 +191,12 @@ fn main() {
                 if which.is_empty() {
                     which.extend(vread_bench::ReadPath::ALL);
                 }
-                trace_cmd(&which, trace_out.as_deref(), t_jobs.unwrap_or(1));
+                trace_cmd(&which, trace_out.as_deref(), t_jobs.unwrap_or(1), t_engine);
                 return;
             }
             "fault-matrix" => {
                 let mut fm_jobs = jobs;
+                let mut fm_engine = engine_threads;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--jobs" => {
@@ -171,13 +209,23 @@ fn main() {
                                 }
                             }
                         }
+                        "--engine-threads" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => fm_engine = n,
+                                _ => {
+                                    eprintln!("--engine-threads needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
                         other => {
                             eprintln!("fault-matrix: unknown argument {other:?}");
                             std::process::exit(2);
                         }
                     }
                 }
-                fault_matrix(fm_jobs.unwrap_or(1));
+                fault_matrix(fm_jobs.unwrap_or(1), fm_engine);
                 return;
             }
             "bench-engine" => {
@@ -242,70 +290,47 @@ fn main() {
     }
 }
 
-/// Runs `runners` across `jobs` worker threads, printing each
-/// experiment's tables (and writing JSON) strictly in input order as
-/// soon as its prefix is complete. Returns the number of failures.
+/// Runs `runners` across `jobs` worker threads (the engine's
+/// deterministic `run_indexed` pool), printing each experiment's tables
+/// (and writing JSON) strictly in input order as soon as its prefix is
+/// complete. Returns the number of failures.
 fn run_parallel(
     runners: &[(&str, experiments::Runner)],
     jobs: usize,
     json_dir: Option<&str>,
 ) -> usize {
-    let n = runners.len();
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Option<Vec<Table>>, f64)>();
     let mut failed = 0usize;
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                // vread-lint: allow(wall-clock, "host elapsed-time progress reporting on stderr; never enters sim state or JSON output")
-                let started = std::time::Instant::now();
-                let tables = catch_unwind(AssertUnwindSafe(runners[i].1)).ok();
-                let secs = started.elapsed().as_secs_f64();
-                if tx.send((i, tables, secs)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        // Reorder: buffer out-of-order completions, flush in input order.
-        let mut done: Vec<Option<(Option<Vec<Table>>, f64)>> = (0..n).map(|_| None).collect();
-        let mut flushed = 0usize;
-        for (i, tables, secs) in rx {
-            done[i] = Some((tables, secs));
-            while flushed < n {
-                let Some((tables, secs)) = done[flushed].take() else {
-                    break;
-                };
-                let id = runners[flushed].0;
-                match tables {
-                    Some(tables) => {
-                        for t in &tables {
-                            println!("{}", t.render());
-                            if let Some(dir) = json_dir {
-                                std::fs::create_dir_all(dir).expect("create json dir");
-                                let path = format!("{dir}/{}.json", t.id);
-                                let mut f = std::fs::File::create(&path).expect("create json file");
-                                f.write_all(t.to_json().as_bytes()).expect("write json");
-                            }
+    run_indexed_streamed(
+        runners.len(),
+        jobs,
+        |i| {
+            // vread-lint: allow(wall-clock, "host elapsed-time progress reporting on stderr; never enters sim state or JSON output")
+            let started = std::time::Instant::now();
+            let tables = catch_unwind(AssertUnwindSafe(runners[i].1)).ok();
+            (tables, started.elapsed().as_secs_f64())
+        },
+        |i, (tables, secs)| {
+            let id = runners[i].0;
+            match tables {
+                Some(tables) => {
+                    for t in &tables {
+                        println!("{}", t.render());
+                        if let Some(dir) = json_dir {
+                            std::fs::create_dir_all(dir).expect("create json dir");
+                            let path = format!("{dir}/{}.json", t.id);
+                            let mut f = std::fs::File::create(&path).expect("create json file");
+                            f.write_all(t.to_json().as_bytes()).expect("write json");
                         }
-                        eprintln!("[{id} done in {secs:.1}s]");
                     }
-                    None => {
-                        failed += 1;
-                        eprintln!("[{id} FAILED after {secs:.1}s]");
-                    }
+                    eprintln!("[{id} done in {secs:.1}s]");
                 }
-                flushed += 1;
+                None => {
+                    failed += 1;
+                    eprintln!("[{id} FAILED after {secs:.1}s]");
+                }
             }
-        }
-    });
+        },
+    );
     failed
 }
 
@@ -317,50 +342,33 @@ fn run_parallel(
 /// reports strictly in input order — each world is independent, so the
 /// job count cannot change any output. A single file prints just its
 /// report; multiple files are separated by `== <file> ==` headers.
-fn scenario_cmd(files: &[String], spans: bool, jobs: usize) {
+/// `engine_threads > 1` additionally drives each scenario's world through
+/// the conservative parallel engine; the window protocol is
+/// thread-count-invariant, so the reports stay byte-identical.
+fn scenario_cmd(files: &[String], spans: bool, jobs: usize, engine_threads: usize) {
     let run_one = |file: &str| -> Result<String, String> {
         let json = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
         let report = vread_bench::ScenarioSpec::from_json(&json)
             .and_then(|mut s| {
                 s.spans |= spans;
-                s.run()
+                s.run_with_engine(engine_threads)
             })
             .map_err(|e| format!("scenario failed: {e}"))?;
         Ok(report.to_json())
     };
 
     let n = files.len();
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<String, String>>> = (0..n).map(|_| None).collect();
-    let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
-    std::thread::scope(|s| {
-        for _ in 0..jobs.min(n).max(1) {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let out = catch_unwind(AssertUnwindSafe(|| run_one(&files[i])))
-                    .unwrap_or_else(|_| Err("scenario panicked".to_owned()));
-                if tx.send((i, out)).is_err() {
-                    break;
-                }
-            });
-        }
+    let results = run_indexed(n, jobs, |i| {
+        catch_unwind(AssertUnwindSafe(|| run_one(&files[i])))
+            .unwrap_or_else(|_| Err("scenario panicked".to_owned()))
     });
-    drop(tx);
-    for (i, out) in rx {
-        results[i] = Some(out);
-    }
 
     let mut failed = 0usize;
     for (file, result) in files.iter().zip(results) {
         if n > 1 {
             println!("== {file} ==");
         }
-        match result.expect("every scenario produced a result") {
+        match result {
             Ok(report) => println!("{report}"),
             Err(e) => {
                 failed += 1;
@@ -430,7 +438,7 @@ fn trace_spec(path: vread_bench::ReadPath) -> vread_bench::ScenarioSpec {
 }
 
 /// Runs one path's trace cell: returns (pass, report text, chrome JSON).
-fn trace_one(path: vread_bench::ReadPath) -> (bool, String, String) {
+fn trace_one(path: vread_bench::ReadPath, engine_threads: usize) -> (bool, String, String) {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
@@ -438,7 +446,7 @@ fn trace_one(path: vread_bench::ReadPath) -> (bool, String, String) {
         "== trace {} — co-located 16 MB reader, 1 MB requests ==",
         path.as_str()
     );
-    let report = match trace_spec(path).run() {
+    let report = match trace_spec(path).run_with_engine(engine_threads) {
         Ok(r) => r,
         Err(e) => {
             let _ = writeln!(out, "FAILED: {e}");
@@ -480,33 +488,17 @@ fn trace_out_name(base: &str, path: &str, multi: bool) -> String {
     }
 }
 
-fn trace_cmd(which: &[vread_bench::ReadPath], trace_out: Option<&str>, jobs: usize) {
+fn trace_cmd(
+    which: &[vread_bench::ReadPath],
+    trace_out: Option<&str>,
+    jobs: usize,
+    engine_threads: usize,
+) {
     let n = which.len();
-    let mut cells: Vec<Option<(bool, String, String)>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        let (tx, rx) = mpsc::channel::<(usize, (bool, String, String))>();
-        for _ in 0..jobs.min(n).max(1) {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                if tx.send((i, trace_one(which[i]))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, cell) in rx {
-            cells[i] = Some(cell);
-        }
-    });
+    let cells = run_indexed(n, jobs, |i| trace_one(which[i], engine_threads));
     let mut failed = 0usize;
     for (i, cell) in cells.into_iter().enumerate() {
-        let (ok, text, chrome) = cell.expect("every trace cell completes");
+        let (ok, text, chrome) = cell;
         print!("{text}");
         if !ok {
             failed += 1;
@@ -604,6 +596,7 @@ fn fault_cell(
     path: vread_bench::ReadPath,
     name: &str,
     faults: &[(u64, vread_bench::FaultKind)],
+    engine_threads: usize,
 ) -> String {
     use vread_bench::spec::WorkloadSpec;
     let mut b = vread_bench::ScenarioSpec::builder()
@@ -622,7 +615,7 @@ fn fault_cell(
     for (at_ms, kind) in faults {
         b = b.fault(*at_ms, kind.clone());
     }
-    let report = b.build().and_then(|s| s.run());
+    let report = b.build().and_then(|s| s.run_with_engine(engine_threads));
     let kind = name;
     match report {
         Ok(r) => {
@@ -651,39 +644,18 @@ fn fault_cell(
     }
 }
 
-fn fault_matrix(jobs: usize) {
+fn fault_matrix(jobs: usize, engine_threads: usize) {
     let timelines = fault_timelines();
     let cells: Vec<_> = vread_bench::ReadPath::ALL
         .iter()
         .flat_map(|&p| timelines.iter().map(move |(name, t)| (p, *name, t)))
         .collect();
-    let n = cells.len();
-    let mut lines: Vec<Option<String>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        let (tx, rx) = mpsc::channel::<(usize, String)>();
-        for _ in 0..jobs.min(n) {
-            let tx = tx.clone();
-            let next = &next;
-            let cells = &cells;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let (path, name, faults) = &cells[i];
-                if tx.send((i, fault_cell(*path, name, faults))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, line) in rx {
-            lines[i] = Some(line);
-        }
+    let lines = run_indexed(cells.len(), jobs, |i| {
+        let (path, name, faults) = &cells[i];
+        fault_cell(*path, name, faults, engine_threads)
     });
     let mut failed = 0usize;
-    for line in lines.into_iter().flatten() {
+    for line in lines {
         if line.contains("FAILED") {
             failed += 1;
         }
@@ -726,11 +698,34 @@ struct BenchResult {
     name: &'static str,
     events: u64,
     ns_per_event: f64,
+    /// Engine-pool extras (multi-host benches only): worker threads, the
+    /// measured wall-clock speedup at that thread count, and the host's
+    /// CPU count for context (speedup is bounded by real cores).
+    parallel: Option<(usize, f64, usize)>,
 }
 
 impl BenchResult {
     fn events_per_sec(&self) -> f64 {
         1e9 / self.ns_per_event
+    }
+
+    fn to_json_entry(&self) -> String {
+        let mut s = format!(
+            "    {{\n      \"name\": \"{}\",\n      \"events\": {},\n      \
+             \"ns_per_event\": {:.2},\n      \"events_per_sec\": {:.0}",
+            self.name,
+            self.events,
+            self.ns_per_event,
+            self.events_per_sec()
+        );
+        if let Some((threads, speedup, host_cpus)) = self.parallel {
+            s.push_str(&format!(
+                ",\n      \"threads\": {threads},\n      \"speedup_x{threads}\": {speedup:.2},\n      \
+                 \"host_cpus\": {host_cpus}"
+            ));
+        }
+        s.push_str("\n    }");
+        s
     }
 }
 
@@ -752,6 +747,26 @@ fn measure(reps: usize, build: impl Fn() -> World) -> (u64, f64) {
     (events, best / events as f64)
 }
 
+/// Best-of-`reps` wall time of the 8-host fan-out at `threads` engine
+/// threads, as (rendered reports, events, best wall ns).
+fn measure_fanout(reps: usize, threads: usize) -> (Vec<String>, u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut reports = Vec::new();
+    let mut events = 0u64;
+    for _ in 0..reps {
+        // vread-lint: allow(wall-clock, "bench-engine measures real host wall time of the run; the sim itself stays virtual-time only")
+        let t0 = std::time::Instant::now();
+        let (r, e) = vread_bench::run_fanout_bench(8, threads);
+        let dt = t0.elapsed().as_nanos() as f64;
+        reports = r;
+        events = e;
+        if dt < best {
+            best = dt;
+        }
+    }
+    (reports, events, best)
+}
+
 fn bench_engine(out: &str) {
     let (events, ns) = measure(20, || {
         let mut w = World::new(1);
@@ -763,6 +778,7 @@ fn bench_engine(out: &str) {
         name: "message_pingpong_1m",
         events,
         ns_per_event: ns,
+        parallel: None,
     };
 
     let (events, ns) = measure(20, || {
@@ -783,24 +799,45 @@ fn bench_engine(out: &str) {
         name: "chain_5stage_x2000",
         events,
         ns_per_event: ns,
+        parallel: None,
     };
 
+    // Multi-host parallel bench: 8 independent host shards on the engine
+    // pool. ns/event is taken from the 1-thread run (comparable with the
+    // sequential benches above); speedup is 1-thread wall over 4-thread
+    // wall, and the byte-identity of the two runs is asserted here so the
+    // perf gate doubles as a determinism check.
+    let (seq_reports, events, wall1) = measure_fanout(3, 1);
+    let (par_reports, _, wall4) = measure_fanout(3, 4);
+    assert_eq!(
+        seq_reports, par_reports,
+        "cluster_8host_fanout reports must be byte-identical at 1 and 4 engine threads"
+    );
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cluster = BenchResult {
+        name: "cluster_8host_fanout",
+        events,
+        ns_per_event: wall1 / events as f64,
+        parallel: Some((4, wall1 / wall4, host_cpus)),
+    };
+
+    let benches = [&pingpong, &chain, &cluster];
     let mut json = String::from("{\n  \"benches\": [\n");
-    for (i, b) in [&pingpong, &chain].iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\n      \"name\": \"{}\",\n      \"events\": {},\n      \"ns_per_event\": {:.2},\n      \"events_per_sec\": {:.0}\n    }}{}\n",
-            b.name,
-            b.events,
-            b.ns_per_event,
-            b.events_per_sec(),
-            if i == 0 { "," } else { "" }
-        ));
-        println!(
+    for (i, b) in benches.iter().enumerate() {
+        json.push_str(&b.to_json_entry());
+        json.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+        print!(
             "{:<24} {:>10.2} ns/event  {:>12.0} events/sec",
             b.name,
             b.ns_per_event,
             b.events_per_sec()
         );
+        match b.parallel {
+            Some((threads, speedup, cpus)) => {
+                println!("  speedup x{threads}: {speedup:.2} (host_cpus={cpus})");
+            }
+            None => println!(),
+        }
     }
     json.push_str("  ]\n}\n");
     std::fs::write(out, json).unwrap_or_else(|e| {

@@ -57,7 +57,7 @@ pub struct HostSpec {
 }
 
 /// What a VM runs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmRole {
     /// HDFS client (the first client VM also hosts the namenode).
     Client,
@@ -163,6 +163,16 @@ impl WorkloadBinding {
             kind,
         }
     }
+}
+
+/// An armed concurrent workload: its registered job plus the labels the
+/// per-workload report needs once the run finishes.
+struct Armed {
+    kind: &'static str,
+    client: String,
+    start_ms: u64,
+    job: JobHandle,
+    netperf_s: Option<f64>,
 }
 
 /// A whole scenario.
@@ -620,6 +630,92 @@ impl ScenarioSpec {
     /// Returns [`SpecError`] when names don't resolve or the combination
     /// is invalid (no client VM, unknown path, …).
     pub fn run(&self) -> Result<ScenarioReport, SpecError> {
+        let mut d = self.deploy()?;
+        let bound = self.bind(&d)?;
+        let cap = SimDuration::from_secs(3_000);
+        if let [(client_vm, _, binding)] = bound.as_slice() {
+            self.run_single(&mut d, *client_vm, binding, cap)
+        } else {
+            let armed = self.arm_multi(&mut d, &bound)?;
+            if !run_jobs(&mut d.w, cap) {
+                return Err(SpecError::Invalid("workload did not finish".to_owned()));
+            }
+            self.aggregate_multi(&mut d, &armed)
+        }
+    }
+
+    /// Like [`ScenarioSpec::run`], but drives the scenario's world through
+    /// the conservative parallel engine's worker pool
+    /// (`vread_sim::par::run_sharded`) when `threads > 1`.
+    ///
+    /// A scenario's hosts are causally fused — every datanode talks to the
+    /// single HDFS namenode and cross-host connections exchange messages
+    /// at actor granularity — so the deployment executes as **one shard**;
+    /// the windowed drive is byte-identical to the sequential
+    /// `run_jobs_for` by construction, and the report therefore matches
+    /// `--engine-threads 1` exactly. Single-workload scenarios use the
+    /// legacy slice-aligned measurement drive and always run sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ScenarioSpec::run`].
+    pub fn run_with_engine(&self, threads: usize) -> Result<ScenarioReport, SpecError> {
+        if threads <= 1 || self.workloads.len() <= 1 {
+            return self.run();
+        }
+        let cap = SimDuration::from_secs(3_000);
+        let spec = self.clone();
+        let shard = Shard::staged("scenario", move || spec.stage_for_engine());
+        let mut out = run_sharded(
+            EngineOpts {
+                threads,
+                lookahead: None,
+                cap,
+            },
+            vec![shard],
+        );
+        out.pop().expect("one shard, one report")
+    }
+
+    /// Build half of the engine-pool drive: deploy, bind and arm on the
+    /// owning worker thread, handing the world to the window runner and a
+    /// finish closure (capturing the non-`Send` deployment sidecar) that
+    /// aggregates once the run completes. Setup errors surface through the
+    /// finish closure of an empty world.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn stage_for_engine(
+        self,
+    ) -> (
+        World,
+        Box<dyn FnOnce(World) -> Result<ScenarioReport, SpecError>>,
+    ) {
+        let staged = (|| {
+            let mut d = self.deploy()?;
+            let bound = self.bind(&d)?;
+            let armed = self.arm_multi(&mut d, &bound)?;
+            Ok((d, armed))
+        })();
+        match staged {
+            Err(e) => (World::new(0), Box::new(move |_| Err(e))),
+            Ok((mut d, armed)) => {
+                let w = std::mem::replace(&mut d.w, World::new(0));
+                (
+                    w,
+                    Box::new(move |w: World| {
+                        d.w = w;
+                        if d.w.jobs.pending() > 0 {
+                            return Err(SpecError::Invalid("workload did not finish".to_owned()));
+                        }
+                        self.aggregate_multi(&mut d, &armed)
+                    }),
+                )
+            }
+        }
+    }
+
+    /// Resolves the topology into a deployment and validates it has a
+    /// client and at least one datanode.
+    fn deploy(&self) -> Result<Deployment, SpecError> {
         let plan = DeployPlan {
             seed: self.seed,
             path: self.path,
@@ -629,15 +725,17 @@ impl ScenarioSpec {
             vms: self.vms.clone(),
             files: self.files.clone(),
         };
-        let mut d = Deployment::build(plan)?;
+        let d = Deployment::build(plan)?;
         d.first_client()?;
         if d.datanode_vms.is_empty() {
             return Err(SpecError::Invalid("no datanode VM".to_owned()));
         }
+        Ok(d)
+    }
 
-        // bind every workload to its client VM before creating anything
-        let bound: Vec<(VmId, String, &WorkloadBinding)> = self
-            .workloads
+    /// Binds every workload to its client VM before creating anything.
+    fn bind(&self, d: &Deployment) -> Result<Vec<(VmId, String, WorkloadBinding)>, SpecError> {
+        self.workloads
             .iter()
             .map(|b| {
                 let vm = d.client_vm(b.client.as_deref())?;
@@ -645,16 +743,9 @@ impl ScenarioSpec {
                     Some(n) => n.clone(),
                     None => d.clients[0].0.clone(),
                 };
-                Ok((vm, name, b))
+                Ok((vm, name, b.clone()))
             })
-            .collect::<Result<_, SpecError>>()?;
-
-        let cap = SimDuration::from_secs(3_000);
-        if let [(client_vm, _, binding)] = bound.as_slice() {
-            self.run_single(&mut d, *client_vm, binding, cap)
-        } else {
-            self.run_multi(&mut d, &bound, cap)
-        }
+            .collect()
     }
 
     /// Drives a single workload with the legacy measurement math (the
@@ -767,23 +858,14 @@ impl ScenarioSpec {
         Ok(self.finish_report(d, elapsed_s, bytes, rate, Vec::new()))
     }
 
-    /// Drives two or more workloads concurrently: every job registers a
-    /// completion token, the engine runs until all of them finish, and
-    /// the aggregates come from the job table (per-job figures land in
-    /// `per_workload`).
-    fn run_multi(
+    /// Arms two or more concurrent workloads: every job registers a
+    /// completion token so the drive (sequential `run_jobs` or the
+    /// engine-pool window runner) can stop once all of them finish.
+    fn arm_multi(
         &self,
         d: &mut Deployment,
-        bound: &[(VmId, String, &WorkloadBinding)],
-        cap: SimDuration,
-    ) -> Result<ScenarioReport, SpecError> {
-        struct Armed {
-            kind: &'static str,
-            client: String,
-            start_ms: u64,
-            job: JobHandle,
-            netperf_s: Option<f64>,
-        }
+        bound: &[(VmId, String, WorkloadBinding)],
+    ) -> Result<Vec<Armed>, SpecError> {
         let mut armed: Vec<Armed> = Vec::new();
         for (vm, cname, b) in bound {
             let start_delay = SimDuration::from_millis(b.start_ms);
@@ -882,17 +964,22 @@ impl ScenarioSpec {
         }
         d.start_background();
         d.arm_faults(&self.faults)?;
+        Ok(armed)
+    }
 
-        if !run_jobs(&mut d.w, cap) {
-            return Err(SpecError::Invalid("workload did not finish".to_owned()));
-        }
-
+    /// Aggregates a finished multi-workload run from the job table
+    /// (per-job figures land in `per_workload`).
+    fn aggregate_multi(
+        &self,
+        d: &mut Deployment,
+        armed: &[Armed],
+    ) -> Result<ScenarioReport, SpecError> {
         let mut first_start: Option<SimTime> = None;
         let mut last_done: Option<SimTime> = None;
         let mut total_bytes = 0u64;
         let mut total_ops = 0u64;
         let mut per_workload = Vec::new();
-        for a in &armed {
+        for a in armed {
             let started = d.w.jobs.started_at(a.job).expect("job started");
             let done = d.w.jobs.completed_at(a.job).expect("job completed");
             first_start = Some(first_start.map_or(started, |t| t.min(started)));

@@ -49,6 +49,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "f64 reduction idioms (sum::<f64>, fold(0.0, ..)) are \
                   order-sensitive; the iteration source must have a fixed order.",
     },
+    RuleInfo {
+        id: "threading",
+        summary: "ad-hoc OS threading and shared state (thread::spawn/scope, \
+                  channels, locks, atomics) fragments the determinism story; \
+                  route parallelism through the vread_sim::par worker pool.",
+    },
 ];
 
 /// Ids of the non-suppressible meta rules (violations about the
@@ -93,6 +99,7 @@ pub fn check_all(path: &str, code: &[Tok<'_>]) -> Vec<Candidate> {
         checked_cast(code, &mut out);
     }
     float_accum(code, &mut out);
+    threading(code, &mut out);
     out
 }
 
@@ -368,6 +375,79 @@ fn checked_cast(code: &[Tok<'_>], out: &mut Vec<Candidate>) {
                     ));
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// threading
+// ---------------------------------------------------------------------------
+
+/// Shared-state type and module names whose bare mention marks ad-hoc
+/// concurrency. The bare ident `thread` is *not* in this list: the sim's
+/// own vocabulary (ThreadId fields, `thread_host`, …) uses it heavily,
+/// and `use std::thread;` alone does nothing — only the spawning tails
+/// below actually create OS threads.
+const THREADING_IDENTS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "mpsc",
+    "rayon",
+    "crossbeam",
+];
+
+/// `thread::…` path tails that create OS threads. Benign tails like
+/// `thread::available_parallelism` stay unflagged.
+const THREAD_SPAWN_TAILS: &[&str] = &["spawn", "scope", "Builder"];
+
+fn threading(code: &[Tok<'_>], out: &mut Vec<Candidate>) {
+    for (i, t) in code.iter().enumerate() {
+        // `thread::spawn` / `thread::scope` / `thread::Builder` paths.
+        if t.is_ident("thread")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 3),
+                Some(n) if n.kind == TokKind::Ident && THREAD_SPAWN_TAILS.contains(&n.text))
+        {
+            out.push(cand(
+                "threading",
+                t,
+                format!(
+                    "`thread::{}` starts OS threads outside the sanctioned worker \
+                     pool; route parallelism through vread_sim::par",
+                    code[i + 3].text
+                ),
+            ));
+        }
+        // `.spawn(` method calls — scoped-thread and builder handles.
+        if t.is_ident("spawn")
+            && matches!(i.checked_sub(1).and_then(|p| code.get(p)), Some(p) if p.is_punct('.'))
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+        {
+            out.push(cand(
+                "threading",
+                t,
+                "`.spawn(…)` starts an OS thread outside the sanctioned worker \
+                 pool; route parallelism through vread_sim::par"
+                    .to_owned(),
+            ));
+        }
+        // Shared-state primitives and concurrency crates by name.
+        if t.kind == TokKind::Ident
+            && (THREADING_IDENTS.contains(&t.text)
+                || (t.text.starts_with("Atomic") && t.text.len() > "Atomic".len()))
+        {
+            out.push(cand(
+                "threading",
+                t,
+                format!(
+                    "`{}` is cross-thread shared state; sim results must flow \
+                     through vread_sim::par message passing instead",
+                    t.text
+                ),
+            ));
         }
     }
 }

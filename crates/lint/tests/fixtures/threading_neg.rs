@@ -1,0 +1,28 @@
+// Fixture: the sim's own "thread" vocabulary and benign std::thread
+// tails must not fire — only constructs that actually create OS threads
+// or share state across them.
+use std::thread;
+
+struct Stage {
+    thread: ThreadId,
+    cycles: u64,
+}
+
+fn ok() -> usize {
+    // Capacity probing reads a count; it does not spawn anything.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = ThreadId::from_raw(0);
+    let s = Stage { thread: t, cycles: 7 };
+    let _ = s.thread;
+    cpus
+}
+
+fn wake_thread(thread: ThreadId) -> ThreadId {
+    // Parameter named `thread` is sim vocabulary, not std::thread.
+    thread
+}
+
+fn cmp_order(a: u32, b: u32) -> std::cmp::Ordering {
+    // `Ordering` alone is ambiguous with std::cmp and stays unflagged.
+    a.cmp(&b)
+}

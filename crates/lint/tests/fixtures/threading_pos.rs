@@ -1,0 +1,23 @@
+// Fixture: every marked line must produce exactly the marked rule.
+use std::sync::mpsc; //~ threading
+use std::sync::Mutex; //~ threading
+use std::sync::atomic::{AtomicU64, Ordering}; //~ threading
+
+fn fan_out() -> u32 {
+    let lock = Mutex::new(0u32); //~ threading
+    let count = AtomicU64::new(0); //~ threading
+    let guard = RwLock::new(Vec::<u8>::new()); //~ threading
+    let h = std::thread::spawn(move || 1u32); //~ threading
+    std::thread::scope(|s| { //~ threading
+        s.spawn(|| ()); //~ threading
+    });
+    let b = thread::Builder::new(); //~ threading
+    let _ = (lock, count, guard, b);
+    h.join().unwrap_or(0)
+}
+
+fn sanctioned() {
+    // A correctly annotated site is suppressed, not reported.
+    let (tx, rx) = mpsc::channel::<u32>(); // vread-lint: allow(threading, "fixture: sanctioned pool")
+    let _ = (tx, rx);
+}

@@ -85,6 +85,12 @@ fn checked_cast_out_of_scope_is_silent() {
 }
 
 #[test]
+fn threading_fixtures() {
+    check("threading_pos.rs", "crates/core/src/fixture.rs");
+    check("threading_neg.rs", "crates/core/src/fixture.rs");
+}
+
+#[test]
 fn float_accum_fixtures() {
     check("float_accum_pos.rs", "crates/core/src/fixture.rs");
     check("float_accum_neg.rs", "crates/core/src/fixture.rs");

@@ -1,0 +1,65 @@
+//! Link-horizon export for the conservative parallel engine.
+//!
+//! A sharded run (see `vread_sim::par`) may only execute events up to
+//! `min(next event) + lookahead` between barriers, where the lookahead is
+//! the smallest delay any cross-shard interaction can incur. In this
+//! codebase cross-host traffic travels exclusively over [`Link`]s, whose
+//! one-way propagation `latency` is exactly that bound: nothing a shard
+//! does at time `t` can affect a remote shard before `t + latency`. This
+//! module computes the fleet-wide horizon from a set of inter-shard links.
+
+use vread_sim::resources::Link;
+use vread_sim::{LinkId, SimDuration, World};
+
+/// The conservative lookahead granted by a set of inter-shard links: the
+/// minimum one-way latency among them. Returns `None` for an empty set
+/// (fully isolated shards — the engine then runs each shard to the cap in
+/// a single window).
+pub fn link_horizon<'a>(links: impl IntoIterator<Item = &'a Link>) -> Option<SimDuration> {
+    links
+        .into_iter()
+        .map(Link::lookahead)
+        .min()
+        .filter(|la| *la > SimDuration::ZERO)
+}
+
+/// [`link_horizon`] over link ids resolved against a [`World`] — the
+/// common case when a deploy plan knows which NIC links cross shard
+/// boundaries.
+pub fn world_horizon(w: &World, ids: &[LinkId]) -> Option<SimDuration> {
+    link_horizon(ids.iter().map(|id| w.link(*id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_is_min_latency() {
+        let a = Link::from_gbps(10.0, SimDuration::from_micros(30));
+        let b = Link::from_gbps(40.0, SimDuration::from_micros(5));
+        assert_eq!(link_horizon([&a, &b]), Some(SimDuration::from_micros(5)));
+        assert_eq!(link_horizon([]), None);
+    }
+
+    #[test]
+    fn zero_latency_link_yields_no_horizon() {
+        // A zero-latency link means the hosts are causally fused: no
+        // positive lookahead exists and they must share a shard.
+        let a = Link::from_gbps(10.0, SimDuration::ZERO);
+        let b = Link::from_gbps(10.0, SimDuration::from_micros(30));
+        assert_eq!(link_horizon([&a, &b]), None);
+    }
+
+    #[test]
+    fn world_horizon_resolves_ids() {
+        let mut w = World::new(1);
+        let l1 = w.add_link(Link::from_gbps(10.0, SimDuration::from_micros(30)));
+        let l2 = w.add_link(Link::from_gbps(10.0, SimDuration::from_micros(12)));
+        assert_eq!(
+            world_horizon(&w, &[l1, l2]),
+            Some(SimDuration::from_micros(12))
+        );
+        assert_eq!(world_horizon(&w, &[]), None);
+    }
+}

@@ -58,6 +58,7 @@ pub mod ids;
 pub mod job;
 pub mod metrics;
 pub mod msg;
+pub mod par;
 pub mod resources;
 pub mod rng;
 pub mod sched;
@@ -70,10 +71,11 @@ pub use chain::{Stage, StageList};
 pub use cpu::{CpuAccounting, CpuCategory};
 pub use engine::{Actor, Ctx, World};
 pub use fault::{schedule_faults, FaultAction, FaultScheduler, FaultTrace, SlowDisk, StallThread};
-pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ShardId, ThreadId};
 pub use job::{JobHandle, Jobs};
 pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Samples};
 pub use msg::{downcast, BoxMsg, Start};
+pub use par::{run_indexed, run_indexed_streamed, run_sharded, EngineOpts, Shard};
 pub use rng::SimRng;
 pub use sched::SchedParams;
 pub use span::{Span, SpanId, SpanMark, SpanRecorder, SpanReport};
@@ -86,10 +88,11 @@ pub mod prelude {
     pub use crate::cpu::{CpuAccounting, CpuCategory};
     pub use crate::engine::{Actor, Ctx, World};
     pub use crate::fault::{schedule_faults, FaultAction, FaultTrace};
-    pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ThreadId};
+    pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ShardId, ThreadId};
     pub use crate::job::JobHandle;
     pub use crate::metrics::{CounterId, LazyCounter, LazySamples, SampleId};
     pub use crate::msg::{downcast, BoxMsg, Start};
+    pub use crate::par::{run_indexed, run_indexed_streamed, run_sharded, EngineOpts, Shard};
     pub use crate::rng::SimRng;
     pub use crate::sched::SchedParams;
     pub use crate::span::{SpanId, SpanRecorder};

@@ -51,6 +51,14 @@ impl Link {
     pub fn free_at(&self) -> SimTime {
         self.free_at
     }
+
+    /// The conservative lookahead this link grants a sharded run: no
+    /// message travelling over it can arrive at the far side sooner than
+    /// its one-way propagation latency, so the parallel engine (see
+    /// [`crate::par`]) may execute that far ahead between barriers.
+    pub fn lookahead(&self) -> SimDuration {
+        self.latency
+    }
 }
 
 /// A queued block device (SSD).
