@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--json DIR] [--jobs N] [--engine-threads N] <experiment>... | all | list
 //! repro scenario <file.json> [--spans] [--jobs N] [--engine-threads N]
-//! repro trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N] [--engine-threads N]
+//! repro trace [vanilla|vread-rdma|vread-tcp|cas-dedup|all] [--trace-out FILE] [--jobs N] [--engine-threads N]
 //! repro fault-matrix [--jobs N] [--engine-threads N]
 //! repro bench-engine [--out FILE]
 //! repro lint [--format human|json]
@@ -71,7 +71,7 @@ fn main() {
                 }
                 println!("scenario <file.json> [--spans] [--jobs N] [--engine-threads N]");
                 println!(
-                    "trace [vanilla|vread-rdma|vread-tcp|all] [--trace-out FILE] [--jobs N] \
+                    "trace [vanilla|vread-rdma|vread-tcp|cas-dedup|all] [--trace-out FILE] [--jobs N] \
                      [--engine-threads N]"
                 );
                 println!("fault-matrix [--jobs N] [--engine-threads N]");
@@ -142,7 +142,7 @@ fn main() {
                 return;
             }
             "trace" => {
-                let mut which: Vec<vread_bench::ReadPath> = Vec::new();
+                let mut which: Vec<TraceCell> = Vec::new();
                 let mut trace_out: Option<String> = None;
                 let mut t_jobs = jobs;
                 let mut t_engine = engine_threads;
@@ -175,13 +175,17 @@ fn main() {
                                 }
                             }
                         }
-                        "all" => which.extend(vread_bench::ReadPath::ALL),
+                        "all" => {
+                            which.extend(vread_bench::ReadPath::ALL.map(TraceCell::Path));
+                            which.push(TraceCell::CasDedup);
+                        }
+                        "cas-dedup" => which.push(TraceCell::CasDedup),
                         other => match vread_bench::ReadPath::parse(other) {
-                            Some(p) => which.push(p),
+                            Some(p) => which.push(TraceCell::Path(p)),
                             None => {
                                 eprintln!(
                                     "trace: unknown path {other:?} \
-                                     (expected vanilla|vread-rdma|vread-tcp|all)"
+                                     (expected vanilla|vread-rdma|vread-tcp|cas-dedup|all)"
                                 );
                                 std::process::exit(2);
                             }
@@ -189,7 +193,8 @@ fn main() {
                     }
                 }
                 if which.is_empty() {
-                    which.extend(vread_bench::ReadPath::ALL);
+                    which.extend(vread_bench::ReadPath::ALL.map(TraceCell::Path));
+                    which.push(TraceCell::CasDedup);
                 }
                 trace_cmd(&which, trace_out.as_deref(), t_jobs.unwrap_or(1), t_engine);
                 return;
@@ -416,6 +421,23 @@ fn run_lint(format: &str) {
 // optionally exports Chrome trace-event JSON for Perfetto.
 // ---------------------------------------------------------------------------
 
+/// One cell of the trace gate: a read path's standard co-located
+/// reader, or the content-addressed dedup demonstration.
+#[derive(Clone, Copy)]
+enum TraceCell {
+    Path(vread_bench::ReadPath),
+    CasDedup,
+}
+
+impl TraceCell {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceCell::Path(p) => p.as_str(),
+            TraceCell::CasDedup => "cas-dedup",
+        }
+    }
+}
+
 /// The standard trace scenario: two hosts, client + dn1 on h1, data
 /// co-located with the client, 16 MB read in 1 MB requests.
 fn trace_spec(path: vread_bench::ReadPath) -> vread_bench::ScenarioSpec {
@@ -437,9 +459,13 @@ fn trace_spec(path: vread_bench::ReadPath) -> vread_bench::ScenarioSpec {
         .expect("trace scenario is statically valid")
 }
 
-/// Runs one path's trace cell: returns (pass, report text, chrome JSON).
-fn trace_one(path: vread_bench::ReadPath, engine_threads: usize) -> (bool, String, String) {
+/// Runs one trace cell: returns (pass, report text, chrome JSON).
+fn trace_one(cell: TraceCell, engine_threads: usize) -> (bool, String, String) {
     use std::fmt::Write as _;
+    let path = match cell {
+        TraceCell::Path(p) => p,
+        TraceCell::CasDedup => return trace_cas_one(),
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -476,6 +502,100 @@ fn trace_one(path: vread_bench::ReadPath, engine_threads: usize) -> (bool, Strin
     (ok, out, sp.report.chrome_trace_json())
 }
 
+/// The cas-dedup trace cell: two co-located tenants over a 2-way
+/// replicated file through the content-addressed host store
+/// (DESIGN.md §15). Tenant 1 reads cold through the ring (2
+/// copies/read); every block's replica list is then rotated and tenant
+/// 2 reads through the *sibling* replicas, which the store recognizes
+/// as resident content and serves by page mapping — the ledger must
+/// show those reads at 1 copy/read, strictly below vread-local's 2.
+fn trace_cas_one() -> (bool, String, String) {
+    use std::fmt::Write as _;
+    use vread_apps::driver::run_jobs_settled;
+    use vread_apps::java_reader::{JavaReader, ReaderMode};
+    use vread_bench::spec::{FileSpec, HostCacheSpec, VmRole};
+    use vread_bench::SpanSummary;
+    use vread_hdfs::HdfsMeta;
+    use vread_host::cluster::HostCacheMode;
+
+    const FILE: u64 = 16 << 20;
+    fn pass(d: &mut vread_bench::Deployment, client: ActorId, vm: vread_host::cluster::VmId) {
+        let job = d.w.register_job("reader");
+        let rdr = JavaReader::new(
+            vm,
+            ReaderMode::Dfs {
+                client,
+                path: "/f".to_owned(),
+            },
+            1 << 20,
+            FILE,
+        )
+        .with_job(job);
+        let a = d.w.add_actor("reader", rdr);
+        d.w.send_now(a, Start);
+        let ok = run_jobs_settled(
+            &mut d.w,
+            SimDuration::from_secs(3_000),
+            SimDuration::from_millis(50),
+        );
+        assert!(ok, "cas trace pass did not finish within the cap");
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== trace cas-dedup — two tenants, 2-way co-located replicas, 16 MB reads =="
+    );
+    let plan = vread_bench::DeployPlan::new(42)
+        .path(vread_bench::ReadPath::VreadRdma)
+        .spans(true)
+        .host("h1", 8, 2.0)
+        .vm("t1", "h1", VmRole::Client, None)
+        .vm("t2", "h1", VmRole::Client, None)
+        .vm("dn1", "h1", VmRole::Datanode, None)
+        .vm("dn2", "h1", VmRole::Datanode, None)
+        .file(FileSpec {
+            path: "/f".to_owned(),
+            mb: FILE >> 20,
+            placement: vec!["dn1".to_owned(), "dn2".to_owned()],
+            replicate: true,
+        })
+        .host_cache(HostCacheSpec {
+            mode: HostCacheMode::Cas,
+            capacity_mb: None,
+            chunk_kb: None,
+        });
+    let mut d = vread_bench::Deployment::build(plan).expect("cas trace deploys");
+    let vm1 = d.client_vm(Some("t1")).expect("t1 exists");
+    let vm2 = d.client_vm(Some("t2")).expect("t2 exists");
+    let c1 = d.make_client(vm1);
+    let c2 = d.add_client_on(vm2);
+    pass(&mut d, c1, vm1);
+    // Send tenant 2's reads to each block's sibling replica — the
+    // other image holding the same bytes.
+    let meta = d.w.ext.get_mut::<HdfsMeta>().expect("meta");
+    for f in meta.files.values_mut() {
+        for b in &mut f.blocks {
+            b.replicas.rotate_left(1);
+        }
+    }
+    pass(&mut d, c2, vm2);
+    let sp = SpanSummary::collect(&mut d.w);
+    out.push_str(&sp.render());
+    let agg = sp.reads();
+    let ok = agg.reads > 0
+        && (agg.min_copies_per_read - 1.0).abs() < 1e-9
+        && (agg.max_copies_per_read - 2.0).abs() < 1e-9
+        && agg.mapped_bytes > 0
+        && sp.conserves_cycles();
+    let _ = writeln!(
+        out,
+        "copy ledger [expected dedup serves =1 copy/read, cold =2]: {}",
+        if ok { "PASS" } else { "FAIL" },
+    );
+    (ok, out, sp.report.chrome_trace_json())
+}
+
 /// `--trace-out` file name for one path: the base name as-is for a
 /// single-path run, `<stem>-<path>.<ext>` when tracing several.
 fn trace_out_name(base: &str, path: &str, multi: bool) -> String {
@@ -488,12 +608,7 @@ fn trace_out_name(base: &str, path: &str, multi: bool) -> String {
     }
 }
 
-fn trace_cmd(
-    which: &[vread_bench::ReadPath],
-    trace_out: Option<&str>,
-    jobs: usize,
-    engine_threads: usize,
-) {
+fn trace_cmd(which: &[TraceCell], trace_out: Option<&str>, jobs: usize, engine_threads: usize) {
     let n = which.len();
     let cells = run_indexed(n, jobs, |i| trace_one(which[i], engine_threads));
     let mut failed = 0usize;
@@ -702,6 +817,9 @@ struct BenchResult {
     /// measured wall-clock speedup at that thread count, and the host's
     /// CPU count for context (speedup is bounded by real cores).
     parallel: Option<(usize, f64, usize)>,
+    /// Extra deterministic figures appended to the JSON entry (simulated
+    /// quantities, not wall time — safe to compare across CI runs).
+    extras: Vec<(&'static str, f64)>,
 }
 
 impl BenchResult {
@@ -723,6 +841,9 @@ impl BenchResult {
                 ",\n      \"threads\": {threads},\n      \"speedup_x{threads}\": {speedup:.2},\n      \
                  \"host_cpus\": {host_cpus}"
             ));
+        }
+        for (k, v) in &self.extras {
+            s.push_str(&format!(",\n      \"{k}\": {v:.2}"));
         }
         s.push_str("\n    }");
         s
@@ -767,6 +888,66 @@ fn measure_fanout(reps: usize, threads: usize) -> (Vec<String>, u64, f64) {
     (reports, events, best)
 }
 
+/// One cold reader pass over a 2-way co-located replicated file through
+/// the content-addressed host store at hash rate `hash`; returns
+/// (engine events, simulated seconds). Mirrors the `ablate-cas`
+/// experiment's topology at bench scale.
+fn cas_cold_run(hash: f64) -> (u64, f64) {
+    use vread_apps::driver::run_jobs_settled;
+    use vread_apps::java_reader::{JavaReader, ReaderMode};
+    use vread_bench::spec::{FileSpec, HostCacheSpec, VmRole};
+    use vread_host::cluster::HostCacheMode;
+    use vread_host::costs::Costs;
+
+    const FILE: u64 = 64 << 20;
+    let costs = Costs {
+        cas_hash_cyc_per_byte: hash,
+        ..Default::default()
+    };
+    let plan = vread_bench::DeployPlan::new(42)
+        .path(vread_bench::ReadPath::VreadRdma)
+        .costs(costs)
+        .host("h1", 8, 2.0)
+        .vm("client", "h1", VmRole::Client, None)
+        .vm("dn1", "h1", VmRole::Datanode, None)
+        .vm("dn2", "h1", VmRole::Datanode, None)
+        .file(FileSpec {
+            path: "/f".to_owned(),
+            mb: FILE >> 20,
+            placement: vec!["dn1".to_owned(), "dn2".to_owned()],
+            replicate: true,
+        })
+        .host_cache(HostCacheSpec {
+            mode: HostCacheMode::Cas,
+            capacity_mb: None,
+            chunk_kb: None,
+        });
+    let mut d = vread_bench::Deployment::build(plan).expect("cas bench deploys");
+    let vm = d.first_client().expect("client VM");
+    let client = d.make_client(vm);
+    let job = d.w.register_job("reader");
+    let rdr = JavaReader::new(
+        vm,
+        ReaderMode::Dfs {
+            client,
+            path: "/f".to_owned(),
+        },
+        1 << 20,
+        FILE,
+    )
+    .with_job(job);
+    let a = d.w.add_actor("reader", rdr);
+    d.w.send_now(a, Start);
+    let ok = run_jobs_settled(
+        &mut d.w,
+        SimDuration::from_secs(3_000),
+        SimDuration::from_millis(50),
+    );
+    assert!(ok, "cas cold pass did not finish within the cap");
+    let secs = d.w.metrics.mean("reader_done_at_s") - d.w.metrics.mean("reader_start_at_s");
+    (d.w.events_processed(), secs)
+}
+
 fn bench_engine(out: &str) {
     let (events, ns) = measure(20, || {
         let mut w = World::new(1);
@@ -779,6 +960,7 @@ fn bench_engine(out: &str) {
         events,
         ns_per_event: ns,
         parallel: None,
+        extras: Vec::new(),
     };
 
     let (events, ns) = measure(20, || {
@@ -800,6 +982,7 @@ fn bench_engine(out: &str) {
         events,
         ns_per_event: ns,
         parallel: None,
+        extras: Vec::new(),
     };
 
     // Multi-host parallel bench: 8 independent host shards on the engine
@@ -819,9 +1002,41 @@ fn bench_engine(out: &str) {
         events,
         ns_per_event: wall1 / events as f64,
         parallel: Some((4, wall1 / wall4, host_cpus)),
+        extras: Vec::new(),
     };
 
-    let benches = [&pingpong, &chain, &cluster];
+    // CAS dedup ablation cell: the wall cost of driving a cold read
+    // through the content-addressed host store, plus the *simulated*
+    // hash-admission overhead (slowdown of the cold pass at the default
+    // hash rate vs free hashing) — a deterministic number BENCH files
+    // can track across commits.
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    let mut secs_hashed = 0.0;
+    for _ in 0..3 {
+        // vread-lint: allow(wall-clock, "bench-engine measures real host wall time of the run; the sim itself stays virtual-time only")
+        let t0 = std::time::Instant::now();
+        let (e, s) = cas_cold_run(0.45);
+        let dt = t0.elapsed().as_nanos() as f64;
+        events = e;
+        secs_hashed = s;
+        if dt < best {
+            best = dt;
+        }
+    }
+    let (_, secs_free) = cas_cold_run(0.0);
+    let cas = BenchResult {
+        name: "cas_dedup_cold_pass",
+        events,
+        ns_per_event: best / events as f64,
+        parallel: None,
+        extras: vec![(
+            "hash_overhead_pct",
+            (secs_hashed - secs_free) / secs_free * 100.0,
+        )],
+    };
+
+    let benches = [&pingpong, &chain, &cluster, &cas];
     let mut json = String::from("{\n  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
         json.push_str(&b.to_json_entry());

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::faults::{build_fault_actions, plan_window, FaultSpec, FaultTargets};
 use crate::scenarios::ReadPath;
-use crate::spec::{FileSpec, HostSpec, SpecError, VmRole, VmSpec};
+use crate::spec::{FileSpec, HostCacheSpec, HostSpec, SpecError, VmRole, VmSpec};
 
 use vread_apps::lookbusy::{llc_pressure, Lookbusy};
 use vread_core::daemon::{deploy_vread, RemoteTransport};
@@ -53,6 +53,8 @@ pub struct DeployPlan {
     pub vms: Vec<VmSpec>,
     /// HDFS files to pre-populate (requires datanode VMs).
     pub files: Vec<FileSpec>,
+    /// Host block-store configuration (default: per-host LRU).
+    pub host_cache: HostCacheSpec,
 }
 
 impl DeployPlan {
@@ -67,6 +69,7 @@ impl DeployPlan {
             hosts: Vec::new(),
             vms: Vec::new(),
             files: Vec::new(),
+            host_cache: HostCacheSpec::default(),
         }
     }
 
@@ -112,6 +115,12 @@ impl DeployPlan {
     /// Adds a pre-populated file.
     pub fn file(mut self, spec: FileSpec) -> Self {
         self.files.push(spec);
+        self
+    }
+
+    /// Configures the host block store.
+    pub fn host_cache(mut self, cache: HostCacheSpec) -> Self {
+        self.host_cache = cache;
         self
     }
 }
@@ -177,7 +186,16 @@ impl Deployment {
             // invariant covers deploy/populate work too.
             w.spans.enable();
         }
-        let mut cl = Cluster::new(plan.costs);
+        let mut costs = plan.costs;
+        if let Some(mb) = plan.host_cache.capacity_mb {
+            costs.host_cache_bytes = mb << 20;
+        }
+        if let Some(kb) = plan.host_cache.chunk_kb {
+            costs.cache_chunk_bytes = kb << 10;
+        }
+        let mut cl = Cluster::new(costs);
+        // Before any add_host: each host's store is built at creation.
+        cl.set_host_cache_mode(plan.host_cache.mode);
 
         let mut host_ix = HashMap::new();
         for h in &plan.hosts {

@@ -189,6 +189,7 @@ pub fn partition(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             workloads: Vec::new(),
             faults: Vec::new(),
             spans: spec.spans,
+            host_cache: spec.host_cache.clone(),
         })
         .collect();
     for (h, host) in spec.hosts.iter().enumerate() {
@@ -306,6 +307,7 @@ pub fn cluster_fanout_spec(n: usize) -> ScenarioSpec {
         workloads: Vec::new(),
         faults: Vec::new(),
         spans: false,
+        host_cache: crate::spec::HostCacheSpec::default(),
     };
     for i in 0..n {
         spec.hosts.push(HostSpec {

@@ -4,17 +4,27 @@
 //! * host-filesystem bypass — §6's "direct read bypassing the file
 //!   system in the host" alternative, which forfeits the host page cache;
 //! * HVE topology awareness — replica choice with and without the
-//!   co-located preference.
+//!   co-located preference;
+//! * content-addressed host store — dedup across co-located replicas vs
+//!   the per-VM LRU page cache, sweeping the hash admission cost.
 
+use vread_apps::driver::run_jobs_settled;
+use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_core::daemon::SetBypassHostFs;
 use vread_core::VreadRegistry;
 use vread_hdfs::populate::{populate_file, Placement};
+use vread_hdfs::HdfsMeta;
+use vread_host::cluster::HostCacheMode;
 use vread_host::costs::Costs;
+use vread_sim::prelude::*;
 
+use crate::deploy::{DeployPlan, Deployment};
 use crate::report::Table;
 use crate::scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
+use crate::spans::SpanSummary;
+use crate::spec::{FileSpec, HostCacheReport, HostCacheSpec, VmRole};
 
-use super::reader_pass;
+use super::{reader_pass, CAP};
 
 const FILE: u64 = 128 << 20;
 const REQUEST: u64 = 1 << 20;
@@ -120,6 +130,111 @@ pub fn run_sriov() -> Vec<Table> {
         t.row(label, vec![remote, colocated]);
     }
     t.note("SR-IOV speeds up the remote vanilla path but cannot touch the co-located inter-VM flow (paper §6)");
+    vec![t]
+}
+
+const CAS_FILE: u64 = 128 << 20;
+
+/// One reader pass over `path` on a raw [`Deployment`]; returns MB/s.
+fn deployment_read_mbps(
+    d: &mut Deployment,
+    client: ActorId,
+    client_vm: vread_host::cluster::VmId,
+    path: &str,
+) -> f64 {
+    d.w.metrics.reset();
+    let job = d.w.register_job("reader");
+    let reader = JavaReader::new(
+        client_vm,
+        ReaderMode::Dfs {
+            client,
+            path: path.to_owned(),
+        },
+        REQUEST,
+        CAS_FILE,
+    )
+    .with_job(job);
+    let a = d.w.add_actor("reader", reader);
+    d.w.send_now(a, Start);
+    let ok = run_jobs_settled(&mut d.w, CAP, SimDuration::from_millis(50));
+    assert!(ok, "cas reader pass did not finish within the cap");
+    let secs = d.w.metrics.mean("reader_done_at_s") - d.w.metrics.mean("reader_start_at_s");
+    CAS_FILE as f64 / 1e6 / secs
+}
+
+/// Content-addressed host store vs per-VM LRU, sweeping the hash
+/// admission cost (DESIGN.md §15).
+///
+/// Topology: one host carrying *two* client VMs and *two* datanode VMs,
+/// a 2-way replicated file across both datanodes — the multi-tenant
+/// shape where two co-located images hold byte-identical blocks. Tenant
+/// 1 reads cold through the rotating primaries; then every block's
+/// replica list is rotated and tenant 2 (its own vfd table) re-reads
+/// through the *sibling* replicas. A content-addressed store serves
+/// tenant 2 from already-resident content (zero-copy map, one copy per
+/// read); the LRU store keys by image object and goes back to disk.
+pub fn run_cas() -> Vec<Table> {
+    let mut t = Table::new(
+        "ablate-cas",
+        "content-addressed host store vs per-VM LRU (2-way co-located replicas; MB/s, copies, capacity)",
+        &["store", "cold", "sibling re-read", "copies/read", "capacity_x"],
+    );
+    let mut run = |label: &str, mode: HostCacheMode, hash: f64| {
+        let costs = Costs {
+            cas_hash_cyc_per_byte: hash,
+            ..Default::default()
+        };
+        let plan = DeployPlan::new(42)
+            .path(ReadPath::VreadRdma)
+            .spans(true)
+            .costs(costs)
+            .host("h1", 8, 2.0)
+            .vm("client", "h1", VmRole::Client, None)
+            .vm("client2", "h1", VmRole::Client, None)
+            .vm("dn1", "h1", VmRole::Datanode, None)
+            .vm("dn2", "h1", VmRole::Datanode, None)
+            .file(FileSpec {
+                path: "/f".to_owned(),
+                mb: CAS_FILE >> 20,
+                placement: vec!["dn1".to_owned(), "dn2".to_owned()],
+                replicate: true,
+            })
+            .host_cache(HostCacheSpec {
+                mode,
+                capacity_mb: None,
+                chunk_kb: None,
+            });
+        let mut d = Deployment::build(plan).expect("cas ablation deploys");
+        let vm1 = d.client_vm(Some("client")).expect("client VM");
+        let vm2 = d.client_vm(Some("client2")).expect("client2 VM");
+        let client1 = d.make_client(vm1);
+        let client2 = d.add_client_on(vm2);
+        let cold = deployment_read_mbps(&mut d, client1, vm1, "/f");
+        // Isolate tenant 2 in the flight recorder, then send every
+        // block's read to its sibling replica.
+        let _ = d.w.spans.drain();
+        let meta = d.w.ext.get_mut::<HdfsMeta>().expect("meta");
+        for f in meta.files.values_mut() {
+            for b in &mut f.blocks {
+                b.replicas.rotate_left(1);
+            }
+        }
+        let sibling = deployment_read_mbps(&mut d, client2, vm2, "/f");
+        let spans = SpanSummary::collect(&mut d.w);
+        let copies = spans.reads().copies_per_read();
+        let cl =
+            d.w.ext
+                .get::<vread_host::cluster::Cluster>()
+                .expect("cluster");
+        let capacity_x = HostCacheReport::collect(cl).effective_capacity_x;
+        t.row(label, vec![cold, sibling, copies, capacity_x]);
+    };
+    run("lru", HostCacheMode::Lru, 0.45);
+    run("cas hash=0", HostCacheMode::Cas, 0.0);
+    run("cas hash=0.45 (default)", HostCacheMode::Cas, 0.45);
+    run("cas hash=2", HostCacheMode::Cas, 2.0);
+    run("cas hash=8", HostCacheMode::Cas, 8.0);
+    t.note("sibling re-reads hit content another image admitted: served by page mapping (1 copy/read) at 2x effective capacity; the hash cost taxes only cold admissions");
     vec![t]
 }
 

@@ -46,6 +46,7 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("ablate-bypass", ablate::run_bypass),
         ("ablate-hve", ablate::run_hve),
         ("ablate-sriov", ablate::run_sriov),
+        ("ablate-cas", ablate::run_cas),
     ]
 }
 

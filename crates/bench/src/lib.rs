@@ -31,6 +31,6 @@ pub use report::{improvement_pct, reduction_pct, Row, Table};
 pub use scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 pub use spans::{ReadAggregate, SpanSummary};
 pub use spec::{
-    ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError, WorkloadBinding, WorkloadReport,
-    WorkloadSpec,
+    HostCacheReport, HostCacheSpec, ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError,
+    WorkloadBinding, WorkloadReport, WorkloadSpec,
 };

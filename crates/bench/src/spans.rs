@@ -37,6 +37,11 @@ pub struct ReadAggregate {
     pub copy_bytes: u64,
     /// Copy operations over all reads' subtrees.
     pub copies: u64,
+    /// Bytes served by zero-copy mappings over all reads' subtrees
+    /// (content-addressed dedup hits; 0 on copy-only paths).
+    pub mapped_bytes: u64,
+    /// Mapping operations over all reads' subtrees.
+    pub maps: u64,
     /// Smallest per-read `copy_bytes / payload_bytes`.
     pub min_copies_per_read: f64,
     /// Largest per-read `copy_bytes / payload_bytes`.
@@ -78,6 +83,8 @@ impl SpanSummary {
             payload_bytes: 0,
             copy_bytes: 0,
             copies: 0,
+            mapped_bytes: 0,
+            maps: 0,
             min_copies_per_read: f64::INFINITY,
             max_copies_per_read: 0.0,
         };
@@ -86,6 +93,8 @@ impl SpanSummary {
             agg.payload_bytes += r.payload_bytes;
             agg.copy_bytes += r.copy_bytes;
             agg.copies += r.copies;
+            agg.mapped_bytes += r.mapped_bytes;
+            agg.maps += r.maps;
             agg.min_copies_per_read = agg.min_copies_per_read.min(r.copies_per_read);
             agg.max_copies_per_read = agg.max_copies_per_read.max(r.copies_per_read);
         }
@@ -138,6 +147,14 @@ impl SpanSummary {
             agg.min_copies_per_read,
             agg.max_copies_per_read,
         );
+        if agg.mapped_bytes > 0 || agg.maps > 0 {
+            let _ = writeln!(
+                out,
+                "mapped: {:.1} MB in {} mappings (zero-copy dedup serves)",
+                agg.mapped_bytes as f64 / 1e6,
+                agg.maps,
+            );
+        }
         let _ = writeln!(
             out,
             "cycles: spans {:.0} + unattributed {:.0} vs engine {:.0} ({})",
@@ -183,20 +200,24 @@ impl SpanSummary {
                 .collect(),
         );
         let agg = self.reads();
+        let mut read_fields = vec![
+            ("count", n(agg.reads as f64)),
+            ("payload_bytes", n(agg.payload_bytes as f64)),
+            ("copy_bytes", n(agg.copy_bytes as f64)),
+            ("copies", n(agg.copies as f64)),
+        ];
+        if agg.mapped_bytes > 0 || agg.maps > 0 {
+            // Only content-addressed runs move mapped bytes; copy-only
+            // reports keep their exact historical serialization.
+            read_fields.push(("mapped_bytes", n(agg.mapped_bytes as f64)));
+            read_fields.push(("maps", n(agg.maps as f64)));
+        }
+        read_fields.push(("copies_per_read", n(agg.copies_per_read())));
+        read_fields.push(("min_copies_per_read", n(agg.min_copies_per_read)));
+        read_fields.push(("max_copies_per_read", n(agg.max_copies_per_read)));
         obj(vec![
             ("layers", layers),
-            (
-                "reads",
-                obj(vec![
-                    ("count", n(agg.reads as f64)),
-                    ("payload_bytes", n(agg.payload_bytes as f64)),
-                    ("copy_bytes", n(agg.copy_bytes as f64)),
-                    ("copies", n(agg.copies as f64)),
-                    ("copies_per_read", n(agg.copies_per_read())),
-                    ("min_copies_per_read", n(agg.min_copies_per_read)),
-                    ("max_copies_per_read", n(agg.max_copies_per_read)),
-                ]),
-            ),
+            ("reads", obj(read_fields)),
             ("span_cycles", n(self.report.total_cycles())),
             ("unattributed_cycles", n(self.report.unattributed_cycles)),
             ("acct_cycles", n(self.acct_cycles)),

@@ -41,7 +41,7 @@ use vread_apps::driver::{complete_job_after, run_jobs, run_jobs_settled};
 use vread_apps::java_reader::{JavaReader, ReaderMode};
 use vread_apps::netperf::{deploy_netperf, deploy_netperf_with_job};
 use vread_hdfs::HdfsMeta;
-use vread_host::cluster::VmId;
+use vread_host::cluster::{Cluster, HostCacheMode, VmId};
 use vread_host::costs::Costs;
 use vread_sim::prelude::*;
 
@@ -95,6 +95,21 @@ pub struct FileSpec {
     /// primaries) instead of round-robining — the 3-way-replication
     /// layout fault scenarios fail over inside.
     pub replicate: bool,
+}
+
+/// Host block-store configuration (the scenario's `"host_cache"`
+/// block). Absent from the JSON it defaults to the per-host LRU page
+/// cache with the cost model's capacity — existing scenarios and their
+/// reports stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostCacheSpec {
+    /// `"lru"` (default) or `"cas"` — the content-addressed store that
+    /// dedups identical blocks across co-located VMs.
+    pub mode: HostCacheMode,
+    /// Per-host store capacity override in MiB (default: cost model).
+    pub capacity_mb: Option<u64>,
+    /// Store chunk size override in KiB (default: cost model).
+    pub chunk_kb: Option<u64>,
 }
 
 /// The measured workload.
@@ -214,6 +229,8 @@ pub struct ScenarioSpec {
     /// Enable the span flight recorder (default false). Adds a
     /// [`SpanSummary`] to the report; off-path runs serialize unchanged.
     pub spans: bool,
+    /// Host block-store configuration (default: per-host LRU).
+    pub host_cache: HostCacheSpec,
 }
 
 /// Per-workload results (multi-workload scenarios only).
@@ -257,6 +274,68 @@ pub struct ScenarioReport {
     pub faults: Option<FaultReport>,
     /// Span rollups — present only when the scenario enabled tracing.
     pub spans: Option<SpanSummary>,
+    /// Host block-store summary — present only when the scenario ran the
+    /// content-addressed store, so LRU reports serialize exactly as
+    /// before.
+    pub host_cache: Option<HostCacheReport>,
+}
+
+/// End-of-run host block-store figures, summed over all hosts
+/// (content-addressed scenarios only).
+#[derive(Debug, Clone, Copy)]
+pub struct HostCacheReport {
+    /// Physical bytes resident across all host stores.
+    pub used_bytes: u64,
+    /// Logical bytes those physical bytes back (≥ used when replicas
+    /// share chunks).
+    pub logical_bytes: u64,
+    /// `logical / used` — the effective capacity multiplier dedup buys
+    /// at this byte budget (1.0 when nothing is shared or stores are
+    /// empty).
+    pub effective_capacity_x: f64,
+    /// Lookup ranges fully resident (including dedup hits).
+    pub hits: u64,
+    /// Lookup ranges with at least one absent chunk.
+    pub misses: u64,
+    /// Hits served from chunks another VM's image admitted.
+    pub dedup_hits: u64,
+}
+
+impl HostCacheReport {
+    /// Sums the per-host store figures over a deployed cluster.
+    pub fn collect(cl: &Cluster) -> HostCacheReport {
+        let mut r = HostCacheReport {
+            used_bytes: 0,
+            logical_bytes: 0,
+            effective_capacity_x: 1.0,
+            hits: 0,
+            misses: 0,
+            dedup_hits: 0,
+        };
+        for h in &cl.hosts {
+            r.used_bytes += h.cache.used_bytes();
+            r.logical_bytes += h.cache.logical_bytes();
+            let st = h.cache.stats();
+            r.hits += st.hits;
+            r.misses += st.misses;
+            r.dedup_hits += st.dedup_hits;
+        }
+        if r.used_bytes > 0 {
+            r.effective_capacity_x = r.logical_bytes as f64 / r.used_bytes as f64;
+        }
+        r
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("used_bytes", n(self.used_bytes as f64)),
+            ("logical_bytes", n(self.logical_bytes as f64)),
+            ("effective_capacity_x", n(self.effective_capacity_x)),
+            ("hits", n(self.hits as f64)),
+            ("misses", n(self.misses as f64)),
+            ("dedup_hits", n(self.dedup_hits as f64)),
+        ])
+    }
 }
 
 /// Errors building/running a scenario.
@@ -325,6 +404,9 @@ impl ScenarioReport {
         if let Some(sp) = &self.spans {
             fields.push(("spans", sp.to_json()));
         }
+        if let Some(hc) = &self.host_cache {
+            fields.push(("host_cache", hc.to_json()));
+        }
         obj(fields).pretty()
     }
 }
@@ -385,10 +467,11 @@ pub(crate) fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, Sp
 
 /// Top-level scenario keys the parser understands; anything else is a
 /// typo and gets rejected rather than silently ignored.
-const TOP_LEVEL_KEYS: [&str; 9] = [
+const TOP_LEVEL_KEYS: [&str; 10] = [
     "seed",
     "path",
     "spans",
+    "host_cache",
     "hosts",
     "vms",
     "files",
@@ -396,6 +479,58 @@ const TOP_LEVEL_KEYS: [&str; 9] = [
     "workloads",
     "faults",
 ];
+
+/// Keys the `"host_cache"` block understands (same strictness as the
+/// top level: a typo is rejected, not ignored).
+const HOST_CACHE_KEYS: [&str; 3] = ["mode", "capacity_mb", "chunk_kb"];
+
+fn host_cache_from_json(j: &Json) -> Result<HostCacheSpec, SpecError> {
+    if let Json::Obj(members) = j {
+        for (k, _) in members {
+            if !HOST_CACHE_KEYS.contains(&k.as_str()) {
+                return Err(parse_err(format!(
+                    "host_cache: unknown field {k:?} (known fields: {})",
+                    HOST_CACHE_KEYS.join(", ")
+                )));
+            }
+        }
+    } else {
+        return Err(parse_err(
+            "scenario: field \"host_cache\" must be an object",
+        ));
+    }
+    let mode = match req_str(j, "mode", "host_cache")?.as_str() {
+        "lru" => HostCacheMode::Lru,
+        "cas" => HostCacheMode::Cas,
+        other => {
+            return Err(parse_err(format!(
+                "host_cache: unknown mode {other:?} (known modes: lru, cas)"
+            )))
+        }
+    };
+    let opt = |key: &str| -> Result<Option<u64>, SpecError> {
+        match j.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                parse_err(format!(
+                    "host_cache: field {key:?} must be a non-negative integer"
+                ))
+            }),
+        }
+    };
+    let spec = HostCacheSpec {
+        mode,
+        capacity_mb: opt("capacity_mb")?,
+        chunk_kb: opt("chunk_kb")?,
+    };
+    if spec.capacity_mb == Some(0) {
+        return Err(parse_err("host_cache: \"capacity_mb\" must be positive"));
+    }
+    if spec.chunk_kb == Some(0) {
+        return Err(parse_err("host_cache: \"chunk_kb\" must be positive"));
+    }
+    Ok(spec)
+}
 
 /// Rejects duplicate host names, VM names or file paths — a duplicate
 /// would silently shadow its namesake in every later by-name lookup.
@@ -603,6 +738,11 @@ impl ScenarioSpec {
                 .ok_or_else(|| parse_err("scenario: field \"spans\" must be a boolean"))?,
         };
 
+        let host_cache = match j.get("host_cache") {
+            None | Some(Json::Null) => HostCacheSpec::default(),
+            Some(hc) => host_cache_from_json(hc)?,
+        };
+
         check_unique_names(&hosts, &vms, &files)?;
 
         Ok(ScenarioSpec {
@@ -614,6 +754,7 @@ impl ScenarioSpec {
             workloads,
             faults,
             spans,
+            host_cache,
         })
     }
 
@@ -724,6 +865,7 @@ impl ScenarioSpec {
             hosts: self.hosts.clone(),
             vms: self.vms.clone(),
             files: self.files.clone(),
+            host_cache: self.host_cache.clone(),
         };
         let d = Deployment::build(plan)?;
         d.first_client()?;
@@ -1067,6 +1209,12 @@ impl ScenarioSpec {
             .collect();
         sort_busy_desc(&mut thread_busy_ms);
 
+        let host_cache = if self.host_cache.mode == HostCacheMode::Cas {
+            w.ext.get::<Cluster>().map(HostCacheReport::collect)
+        } else {
+            None
+        };
+
         ScenarioReport {
             elapsed_s,
             bytes,
@@ -1080,6 +1228,7 @@ impl ScenarioSpec {
                 Some(collect_fault_report(w))
             },
             spans,
+            host_cache,
         }
     }
 }
@@ -1149,6 +1298,7 @@ pub struct ScenarioBuilder {
     workloads: Vec<WorkloadBinding>,
     faults: Vec<FaultSpec>,
     spans: bool,
+    host_cache: HostCacheSpec,
 }
 
 impl Default for ScenarioBuilder {
@@ -1162,6 +1312,7 @@ impl Default for ScenarioBuilder {
             workloads: Vec::new(),
             faults: Vec::new(),
             spans: false,
+            host_cache: HostCacheSpec::default(),
         }
     }
 }
@@ -1265,6 +1416,13 @@ impl ScenarioBuilder {
     /// Enables the span flight recorder (default off).
     pub fn spans(mut self, spans: bool) -> Self {
         self.spans = spans;
+        self
+    }
+
+    /// Configures the host block store (default: per-host LRU with the
+    /// cost model's capacity).
+    pub fn host_cache(mut self, cache: HostCacheSpec) -> Self {
+        self.host_cache = cache;
         self
     }
 
@@ -1374,6 +1532,16 @@ impl ScenarioBuilder {
                 }
             }
         }
+        if self.host_cache.capacity_mb == Some(0) {
+            return Err(SpecError::Invalid(
+                "host_cache capacity_mb must be positive".to_owned(),
+            ));
+        }
+        if self.host_cache.chunk_kb == Some(0) {
+            return Err(SpecError::Invalid(
+                "host_cache chunk_kb must be positive".to_owned(),
+            ));
+        }
         Ok(ScenarioSpec {
             seed: self.seed,
             path: self.path,
@@ -1383,6 +1551,7 @@ impl ScenarioBuilder {
             workloads: self.workloads,
             faults: self.faults,
             spans: self.spans,
+            host_cache: self.host_cache,
         })
     }
 }
@@ -1743,6 +1912,66 @@ mod tests {
         // deterministic: a second run serializes byte-identically
         let again = ScenarioSpec::from_json(MULTI).unwrap().run().unwrap();
         assert_eq!(again.to_json(), j);
+    }
+
+    #[test]
+    fn host_cache_block_parses_and_validates() {
+        // absent → the per-host LRU default; no report block either
+        let spec = ScenarioSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.host_cache, HostCacheSpec::default());
+        assert_eq!(spec.host_cache.mode, HostCacheMode::Lru);
+
+        const BLOCK: &str = "{ \"mode\": \"cas\", \"capacity_mb\": 256, \"chunk_kb\": 64 }";
+        let with = SPEC.replacen("\"path\"", &format!("\"host_cache\": {BLOCK}, \"path\""), 1);
+        let spec = ScenarioSpec::from_json(&with).unwrap();
+        assert_eq!(spec.host_cache.mode, HostCacheMode::Cas);
+        assert_eq!(spec.host_cache.capacity_mb, Some(256));
+        assert_eq!(spec.host_cache.chunk_kb, Some(64));
+
+        // unknown keys inside the block are rejected by name
+        let bad = with.replace("\"chunk_kb\"", "\"chunk_bk\"");
+        match ScenarioSpec::from_json(&bad).unwrap_err() {
+            SpecError::Parse(msg) => assert!(msg.contains("chunk_bk"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // unknown mode
+        let bad = with.replace("\"cas\"", "\"arc\"");
+        assert!(matches!(
+            ScenarioSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+        // zero sizes are rejected
+        for zeroed in [with.replace("256", "0"), with.replace("64", "0")] {
+            assert!(matches!(
+                ScenarioSpec::from_json(&zeroed),
+                Err(SpecError::Parse(_))
+            ));
+        }
+        // the block must be an object
+        let bad = with.replace(BLOCK, "\"cas\"");
+        assert!(matches!(
+            ScenarioSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn lru_report_json_is_unchanged_and_cas_adds_host_cache_block() {
+        let spec = ScenarioSpec::from_json(SPEC).unwrap();
+        let lru = spec.run().unwrap();
+        assert!(lru.host_cache.is_none());
+        assert!(!lru.to_json().contains("host_cache"));
+
+        let with = SPEC.replacen(
+            "\"path\"",
+            "\"host_cache\": { \"mode\": \"cas\" }, \"path\"",
+            1,
+        );
+        let cas = ScenarioSpec::from_json(&with).unwrap().run().unwrap();
+        assert_eq!(cas.bytes, lru.bytes, "payload is store-independent");
+        assert!(cas.to_json().contains("effective_capacity_x"));
+        let hc = cas.host_cache.expect("cas run reports its store");
+        assert!(hc.effective_capacity_x >= 1.0);
     }
 
     #[test]

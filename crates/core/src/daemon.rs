@@ -32,6 +32,15 @@ use crate::ring::RingSpec;
 /// Chunks a daemon keeps in flight per read stream.
 const DAEMON_WINDOW: usize = 4;
 
+/// What the host block store said about one image-read range: how many
+/// bytes had to come from disk and how many were served from chunks
+/// another VM's image admitted (content-addressed dedup hits).
+#[derive(Debug, Default, Clone, Copy)]
+struct ImageReadOutcome {
+    miss_bytes: u64,
+    dedup_bytes: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Client ↔ daemon protocol (carried over the shared-memory ring)
 // ---------------------------------------------------------------------------
@@ -420,7 +429,9 @@ impl VreadDaemon {
     }
 
     /// Stage list for the daemon reading `len` bytes at `offset` of a
-    /// mounted image file (loop device + host page cache + SSD).
+    /// mounted image file (loop device + host block store + SSD), plus
+    /// what the host store said about the range — `pump_local` uses the
+    /// outcome to pick the map-serve fast path for pure dedup hits.
     fn image_read_stages(
         &self,
         ctx: &mut Ctx<'_>,
@@ -428,12 +439,13 @@ impl VreadDaemon {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Vec<Stage> {
+    ) -> (Vec<Stage>, ImageReadOutcome) {
         let thread = self.thread;
         let bypass = self.bypass_host_fs;
         with_cluster(ctx.world, |cl, _w| {
             let c = cl.costs.clone();
             let mut st = Vec::with_capacity(6);
+            let mut out = ImageReadOutcome::default();
             st.push(Stage::cpu(
                 thread,
                 c.loop_request_cycles + c.daemon_lookup_cycles,
@@ -457,20 +469,29 @@ impl VreadDaemon {
                     ));
                     st.push(Stage::cpu(thread, c.blk_host_cycles, CpuCategory::DiskRead));
                     st.push(Stage::disk(cl.hosts[host.0].dev, e.len));
+                    out.miss_bytes += e.len;
                 } else {
-                    let missing = cl.hosts[host.0]
-                        .cache
-                        .missing_bytes(obj, e.image_offset, e.len);
-                    if missing > 0 {
+                    let store = &mut cl.hosts[host.0].cache;
+                    let look = store.lookup(obj, e.image_offset, e.len);
+                    out.miss_bytes += look.miss_bytes;
+                    out.dedup_bytes += look.dedup_bytes;
+                    if look.miss_bytes > 0 {
                         st.push(Stage::cpu(thread, c.blk_host_cycles, CpuCategory::DiskRead));
-                        st.push(Stage::disk(cl.hosts[host.0].dev, missing));
+                        st.push(Stage::disk(cl.hosts[host.0].dev, look.miss_bytes));
+                        if cl.hosts[host.0].cache.content_addressed() {
+                            // Content-addressed admission fingerprints the
+                            // bytes it pulls from disk.
+                            st.push(Stage::cpu(
+                                thread,
+                                (look.miss_bytes as f64 * c.cas_hash_cyc_per_byte).round() as u64,
+                                CpuCategory::Daemon,
+                            ));
+                        }
                     }
-                    cl.hosts[host.0]
-                        .cache
-                        .insert_range(obj, e.image_offset, e.len);
+                    cl.hosts[host.0].cache.admit(obj, e.image_offset, e.len);
                 }
             }
-            st
+            (st, out)
         })
     }
 
@@ -499,8 +520,15 @@ impl VreadDaemon {
                 r.inflight += 1;
                 (r.dn_vm, r.file, off, take, r.client_vm, r.span)
             };
-            let mut stages = self.image_read_stages(ctx, dn_vm, file, offset, take);
-            stages.extend(ring.daemon_push_stages(&costs, self.thread, take));
+            let (mut stages, outcome) = self.image_read_stages(ctx, dn_vm, file, offset, take);
+            if outcome.miss_bytes == 0 && outcome.dedup_bytes > 0 {
+                // Pure dedup hit in a content-addressed host store: the
+                // daemon maps the resident pages into the ring instead of
+                // copying — one copy per read (the guest pop) remains.
+                stages.extend(ring.daemon_map_stages(&costs, self.thread, take));
+            } else {
+                stages.extend(ring.daemon_push_stages(&costs, self.thread, take));
+            }
             let vcpu = {
                 let cl = ctx.world.ext.get::<Cluster>().expect("cluster");
                 cl.vm(client_vm).vcpu
@@ -537,7 +565,7 @@ impl VreadDaemon {
                 s.inflight += 1;
                 (s.dn_vm, s.file, off, take, s.span)
             };
-            let mut stages = self.image_read_stages(ctx, dn_vm, file, offset, take);
+            let (mut stages, _outcome) = self.image_read_stages(ctx, dn_vm, file, offset, take);
             if transport == RemoteTransport::Rdma {
                 // Copy into the registered memory region the NIC pushes
                 // from (the paper's "active model" on the datanode side).

@@ -68,6 +68,24 @@ impl RingSpec {
         ]
     }
 
+    /// Stages: the daemon serves a fully-resident dedup hit by *mapping*
+    /// the content-addressed store's pages into the ring region instead
+    /// of copying them (page-table update per slot, then the doorbell).
+    /// Replaces [`RingSpec::daemon_push_stages`] on the map-serve fast
+    /// path, eliminating the daemon-side copy — dedup hits land at one
+    /// copy per read (the guest pop).
+    pub fn daemon_map_stages(&self, c: &Costs, daemon: ThreadId, bytes: u64) -> Vec<Stage> {
+        vec![
+            Stage::map(
+                daemon,
+                self.slots_for(bytes) * c.cas_map_cycles + self.slot_cycles(c, bytes),
+                CpuCategory::Daemon,
+                bytes,
+            ),
+            Stage::cpu(daemon, c.eventfd_cycles, CpuCategory::Daemon),
+        ]
+    }
+
     /// Stages: the guest driver turns the eventfd into a virtual
     /// interrupt and libvread copies the payload out of the ring into the
     /// application buffer.
@@ -139,6 +157,34 @@ mod tests {
             slot_bytes: 4096,
         };
         assert_eq!(tiny.max_chunk_for_window(8), 4096);
+    }
+
+    #[test]
+    fn map_stages_move_no_copy_bytes_and_cost_less() {
+        let (r, c) = spec();
+        let d = ThreadId::from_raw(0);
+        let push = r.daemon_push_stages(&c, d, 1 << 20);
+        let map = r.daemon_map_stages(&c, d, 1 << 20);
+        assert_eq!(map.len(), 2);
+        assert!(matches!(map[0], Stage::Map { bytes, .. } if bytes == 1 << 20));
+        assert!(
+            !map.iter().any(|s| matches!(s, Stage::Copy { .. })),
+            "map-serve must not copy"
+        );
+        let cyc = |st: &[Stage]| -> u64 {
+            st.iter()
+                .map(|s| match s {
+                    Stage::Cpu { cycles, .. }
+                    | Stage::Copy { cycles, .. }
+                    | Stage::Map { cycles, .. } => *cycles,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(
+            cyc(&map) < cyc(&push),
+            "mapping 256 slots must beat copying 1 MB"
+        );
     }
 
     #[test]

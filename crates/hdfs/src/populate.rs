@@ -9,6 +9,7 @@
 //! read pass, which warms caches the same way the paper does).
 
 use vread_host::cluster::Cluster;
+use vread_host::store::{BlockStore, ContentId};
 use vread_sim::prelude::*;
 
 use crate::meta::{DatanodeIx, HdfsMeta, LocatedBlock};
@@ -59,11 +60,22 @@ pub fn populate_file(w: &mut World, path: &str, bytes: u64, placement: &Placemen
         let len = block_size.min(bytes - off);
         let replicas = placement.replicas(index);
         let block = meta.alloc_block();
+        // Replicas of one block are byte-identical on every datanode, so
+        // the block path names their shared content; binding each
+        // replica's extents lets a content-addressed host store dedup
+        // them (an LRU store ignores the bindings).
+        let content = ContentId::from_path(&block.path());
         for &dn in &replicas {
             let vm = meta.datanodes[dn.0].vm;
             let fs = &mut cl.vm_mut(vm).fs;
             let file = fs.create(&block.path()).expect("fresh block path collided");
             fs.append(file, len);
+            let extents = fs.resolve(file, 0, len).expect("fresh block resolves");
+            let mut coff = 0u64;
+            for e in extents {
+                cl.bind_content(vm, e.image_offset, e.len, content, coff);
+                coff += e.len;
+            }
         }
         meta.add_block(
             path,
@@ -103,10 +115,8 @@ pub fn warm_file(w: &mut World, path: &str) {
             };
             let host = cl.vm(vm).host;
             for e in &extents {
-                cl.vm_mut(vm).cache.insert_range(obj, e.image_offset, e.len);
-                cl.hosts[host.0]
-                    .cache
-                    .insert_range(obj, e.image_offset, e.len);
+                cl.vm_mut(vm).cache.admit(obj, e.image_offset, e.len);
+                cl.hosts[host.0].cache.admit(obj, e.image_offset, e.len);
             }
         }
     }

@@ -9,10 +9,15 @@
 //! the paper's *read* and *re-read* experiments, and host-cache hits are
 //! why vRead's mounted-image design (§6 "Direct Read Bypassing the File
 //! System in the Host") out-performs a raw-device bypass.
+//!
+//! [`PageCache`] is the [`BlockStore`] used by every guest and, in the
+//! default `lru` host-cache mode, by hosts; the content-addressed
+//! alternative is [`crate::cas::CasStore`].
 
 use std::collections::{BTreeMap, HashMap};
 
 use crate::fs::ObjectId;
+use crate::store::{Admission, BlockStore, CacheStats, Lookup};
 
 /// Key of one cached chunk: `(object, chunk index)`.
 type ChunkKey = (u64, u64);
@@ -22,12 +27,13 @@ type ChunkKey = (u64, u64);
 /// ```rust
 /// use vread_host::cache::PageCache;
 /// use vread_host::fs::ObjectId;
+/// use vread_host::store::BlockStore;
 ///
 /// let mut cache = PageCache::new(1 << 20, 4096);
 /// let img = ObjectId::from_raw(1);
-/// assert_eq!(cache.missing_bytes(img, 0, 8192), 8192); // cold
-/// cache.insert_range(img, 0, 8192);
-/// assert!(cache.covers(img, 0, 8192)); // re-read hits DRAM
+/// assert_eq!(cache.lookup(img, 0, 8192).miss_bytes, 8192); // cold
+/// cache.admit(img, 0, 8192);
+/// assert!(cache.probe(img, 0, 8192)); // re-read hits DRAM
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageCache {
@@ -39,10 +45,7 @@ pub struct PageCache {
     map: HashMap<ChunkKey, u64>,
     /// last-use tick -> chunk (ticks are unique)
     order: BTreeMap<u64, ChunkKey>,
-    /// Statistics: hits/misses observed by [`PageCache::missing_bytes`].
-    pub hits: u64,
-    /// Statistics: miss count.
-    pub misses: u64,
+    stats: CacheStats,
 }
 
 impl PageCache {
@@ -62,8 +65,7 @@ impl PageCache {
             tick: 0,
             map: HashMap::new(),
             order: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -74,79 +76,6 @@ impl PageCache {
         let first = offset / self.chunk;
         let last = (offset + len - 1) / self.chunk;
         first..last + 1
-    }
-
-    /// How many bytes of `[offset, offset+len)` of `obj` are *not* cached
-    /// (whole missing chunks counted in full, which models read-ahead at
-    /// chunk granularity). Updates hit/miss statistics and LRU order of
-    /// present chunks.
-    pub fn missing_bytes(&mut self, obj: ObjectId, offset: u64, len: u64) -> u64 {
-        let mut missing = 0u64;
-        for ci in self.chunks_of(offset, len) {
-            let key = (obj.raw(), ci);
-            if self.map.contains_key(&key) {
-                self.touch(key);
-                self.hits += 1;
-            } else {
-                self.misses += 1;
-                missing += self.chunk;
-            }
-        }
-        missing
-    }
-
-    /// Whether the whole range is cached (does not update statistics).
-    pub fn covers(&self, obj: ObjectId, offset: u64, len: u64) -> bool {
-        self.chunks_of(offset, len)
-            .all(|ci| self.map.contains_key(&(obj.raw(), ci)))
-    }
-
-    /// Inserts (or refreshes) the chunks covering the range, evicting LRU
-    /// chunks as needed.
-    pub fn insert_range(&mut self, obj: ObjectId, offset: u64, len: u64) {
-        for ci in self.chunks_of(offset, len) {
-            let key = (obj.raw(), ci);
-            if self.map.contains_key(&key) {
-                self.touch(key);
-            } else {
-                self.insert_chunk(key);
-            }
-        }
-    }
-
-    /// Drops every cached chunk of `obj` (e.g. `fadvise DONTNEED`).
-    ///
-    /// Walks the ordered LRU index rather than the hash map so the
-    /// drop order is deterministic (and lint-clean by construction).
-    pub fn evict_object(&mut self, obj: ObjectId) {
-        let victims: Vec<(u64, ChunkKey)> = self
-            .order
-            .iter()
-            .filter(|(_, k)| k.0 == obj.raw())
-            .map(|(&tick, &k)| (tick, k))
-            .collect();
-        for (tick, k) in victims {
-            self.order.remove(&tick);
-            self.map.remove(&k).expect("order/map out of sync");
-            self.used -= self.chunk;
-        }
-    }
-
-    /// Empties the cache (the paper's `drop_caches` between runs).
-    pub fn clear(&mut self) {
-        self.map.clear();
-        self.order.clear();
-        self.used = 0;
-    }
-
-    /// Bytes currently cached.
-    pub fn used_bytes(&self) -> u64 {
-        self.used
-    }
-
-    /// Configured capacity in bytes.
-    pub fn capacity_bytes(&self) -> u64 {
-        self.capacity
     }
 
     fn touch(&mut self, key: ChunkKey) {
@@ -171,6 +100,106 @@ impl PageCache {
     }
 }
 
+impl BlockStore for PageCache {
+    /// Classifies residency (whole missing chunks counted in full, which
+    /// models read-ahead at chunk granularity). Updates statistics and
+    /// the LRU order of present chunks. An LRU cache never dedups, so
+    /// `dedup_bytes` is always 0.
+    fn lookup(&mut self, obj: ObjectId, offset: u64, len: u64) -> Lookup {
+        let mut out = Lookup::default();
+        for ci in self.chunks_of(offset, len) {
+            let key = (obj.raw(), ci);
+            if self.map.contains_key(&key) {
+                self.touch(key);
+                self.stats.hits += 1;
+                out.hit_bytes += self.chunk;
+            } else {
+                self.stats.misses += 1;
+                out.miss_bytes += self.chunk;
+            }
+        }
+        out
+    }
+
+    fn probe(&self, obj: ObjectId, offset: u64, len: u64) -> bool {
+        self.chunks_of(offset, len)
+            .all(|ci| self.map.contains_key(&(obj.raw(), ci)))
+    }
+
+    /// Inserts (or refreshes) the chunks covering the range, evicting LRU
+    /// chunks as needed.
+    fn admit(&mut self, obj: ObjectId, offset: u64, len: u64) -> Admission {
+        let mut any_miss = false;
+        for ci in self.chunks_of(offset, len) {
+            let key = (obj.raw(), ci);
+            if self.map.contains_key(&key) {
+                self.touch(key);
+            } else {
+                any_miss = true;
+                self.insert_chunk(key);
+            }
+        }
+        if any_miss {
+            Admission::Miss
+        } else {
+            Admission::Hit
+        }
+    }
+
+    fn evict_to_fit(&mut self, bytes: u64) {
+        let budget = self.capacity.saturating_sub(bytes);
+        while self.used > budget {
+            let Some((&tick, &victim)) = self.order.iter().next() else {
+                return;
+            };
+            self.order.remove(&tick);
+            self.map.remove(&victim);
+            self.used -= self.chunk;
+        }
+    }
+
+    /// Drops every cached chunk of `obj` (e.g. `fadvise DONTNEED`).
+    ///
+    /// Walks the ordered LRU index rather than the hash map so the
+    /// drop order is deterministic (and lint-clean by construction).
+    fn evict_object(&mut self, obj: ObjectId) {
+        let victims: Vec<(u64, ChunkKey)> = self
+            .order
+            .iter()
+            .filter(|(_, k)| k.0 == obj.raw())
+            .map(|(&tick, &k)| (tick, k))
+            .collect();
+        for (tick, k) in victims {
+            self.order.remove(&tick);
+            self.map.remove(&k).expect("order/map out of sync");
+            self.used -= self.chunk;
+        }
+    }
+
+    /// Empties the cache (the paper's `drop_caches` between runs).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,55 +211,111 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = PageCache::new(1 << 20, 4096);
-        assert_eq!(c.missing_bytes(obj(1), 0, 8192), 8192);
-        c.insert_range(obj(1), 0, 8192);
-        assert_eq!(c.missing_bytes(obj(1), 0, 8192), 0);
-        assert!(c.covers(obj(1), 0, 8192));
+        assert_eq!(c.lookup(obj(1), 0, 8192).miss_bytes, 8192);
+        c.admit(obj(1), 0, 8192);
+        let l = c.lookup(obj(1), 0, 8192);
+        assert_eq!(l.miss_bytes, 0);
+        assert_eq!(l.hit_bytes, 8192);
+        assert_eq!(l.dedup_bytes, 0, "LRU never dedups");
+        assert!(c.probe(obj(1), 0, 8192));
         assert_eq!(c.used_bytes(), 8192);
+        assert_eq!(c.logical_bytes(), 8192);
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                dedup_hits: 0
+            }
+        );
     }
 
     #[test]
     fn partial_coverage() {
         let mut c = PageCache::new(1 << 20, 4096);
-        c.insert_range(obj(1), 0, 4096);
+        c.admit(obj(1), 0, 4096);
         // second chunk missing
-        assert_eq!(c.missing_bytes(obj(1), 0, 8192), 4096);
-        assert!(!c.covers(obj(1), 0, 8192));
+        assert_eq!(c.lookup(obj(1), 0, 8192).miss_bytes, 4096);
+        assert!(!c.probe(obj(1), 0, 8192));
+        assert_eq!(c.lookup(obj(1), 0, 8192).admission(), Admission::Miss);
     }
 
     #[test]
     fn unaligned_ranges_cover_their_chunks() {
         let mut c = PageCache::new(1 << 20, 4096);
-        c.insert_range(obj(1), 100, 1); // touches chunk 0
-        assert!(c.covers(obj(1), 0, 10));
-        assert!(!c.covers(obj(1), 4096, 1));
+        c.admit(obj(1), 100, 1); // touches chunk 0
+        assert!(c.probe(obj(1), 0, 10));
+        assert!(!c.probe(obj(1), 4096, 1));
         // range straddling a boundary needs both chunks
-        c.insert_range(obj(1), 4000, 200);
-        assert!(c.covers(obj(1), 4000, 200));
+        c.admit(obj(1), 4000, 200);
+        assert!(c.probe(obj(1), 4000, 200));
         assert_eq!(c.used_bytes(), 2 * 4096);
     }
 
     #[test]
     fn lru_evicts_oldest() {
         let mut c = PageCache::new(3 * 4096, 4096);
-        c.insert_range(obj(1), 0, 4096); // chunk 0
-        c.insert_range(obj(1), 4096, 4096); // chunk 1
-        c.insert_range(obj(1), 8192, 4096); // chunk 2
-                                            // touch chunk 0 so chunk 1 is LRU
-        assert_eq!(c.missing_bytes(obj(1), 0, 4096), 0);
-        c.insert_range(obj(1), 12288, 4096); // chunk 3 evicts chunk 1
-        assert!(c.covers(obj(1), 0, 4096));
-        assert!(!c.covers(obj(1), 4096, 4096));
-        assert!(c.covers(obj(1), 8192, 4096));
-        assert!(c.covers(obj(1), 12288, 4096));
+        c.admit(obj(1), 0, 4096); // chunk 0
+        c.admit(obj(1), 4096, 4096); // chunk 1
+        c.admit(obj(1), 8192, 4096); // chunk 2
+                                     // touch chunk 0 so chunk 1 is LRU
+        assert_eq!(c.lookup(obj(1), 0, 4096).miss_bytes, 0);
+        c.admit(obj(1), 12288, 4096); // chunk 3 evicts chunk 1
+        assert!(c.probe(obj(1), 0, 4096));
+        assert!(!c.probe(obj(1), 4096, 4096));
+        assert!(c.probe(obj(1), 8192, 4096));
+        assert!(c.probe(obj(1), 12288, 4096));
         assert_eq!(c.used_bytes(), 3 * 4096);
+    }
+
+    /// Regression test pinning eviction order exactly: ticks are unique
+    /// (the tick counter increments on every touch/insert), so LRU ties
+    /// are impossible by construction and the eviction sequence is fully
+    /// determined by the access sequence. If `insert_range`-era tie
+    /// behavior ever resurfaces (multiple chunks sharing a tick, order
+    /// then depending on BTreeMap key layout), this test fails.
+    #[test]
+    fn eviction_order_is_pinned_by_unique_ticks() {
+        let mut c = PageCache::new(4 * 4096, 4096);
+        // Admit chunks 0..4 in one call: internal order must be 0,1,2,3.
+        c.admit(obj(1), 0, 4 * 4096);
+        // Touch 1 then 0: LRU order now 2,3,1,0.
+        c.admit(obj(1), 4096, 4096);
+        c.admit(obj(1), 0, 4096);
+        // Each new chunk evicts exactly the predicted victim.
+        let expect_victims = [8192u64, 12288, 4096, 0];
+        for (i, &victim) in expect_victims.iter().enumerate() {
+            let fresh = (4 + i as u64) * 4096;
+            c.admit(obj(1), fresh, 4096);
+            assert!(
+                !c.probe(obj(1), victim, 4096),
+                "admitting chunk {} must evict offset {victim}",
+                4 + i
+            );
+            assert_eq!(c.used_bytes(), 4 * 4096);
+        }
+    }
+
+    #[test]
+    fn evict_to_fit_frees_exactly_enough() {
+        let mut c = PageCache::new(4 * 4096, 4096);
+        c.admit(obj(1), 0, 4 * 4096);
+        c.evict_to_fit(2 * 4096);
+        assert_eq!(c.used_bytes(), 2 * 4096);
+        // Oldest two chunks went first.
+        assert!(!c.probe(obj(1), 0, 4096));
+        assert!(!c.probe(obj(1), 4096, 4096));
+        assert!(c.probe(obj(1), 8192, 2 * 4096));
+        // Asking for more than capacity empties the cache and stops.
+        c.evict_to_fit(1 << 30);
+        assert_eq!(c.used_bytes(), 0);
     }
 
     #[test]
     fn capacity_never_exceeded() {
         let mut c = PageCache::new(10 * 4096, 4096);
         for i in 0..100 {
-            c.insert_range(obj(1), i * 4096, 4096);
+            c.admit(obj(1), i * 4096, 4096);
             assert!(c.used_bytes() <= c.capacity_bytes());
         }
         assert_eq!(c.used_bytes(), 10 * 4096);
@@ -239,28 +324,28 @@ mod tests {
     #[test]
     fn objects_are_disjoint() {
         let mut c = PageCache::new(1 << 20, 4096);
-        c.insert_range(obj(1), 0, 4096);
-        assert_eq!(c.missing_bytes(obj(2), 0, 4096), 4096);
-        c.insert_range(obj(2), 0, 4096);
+        c.admit(obj(1), 0, 4096);
+        assert_eq!(c.lookup(obj(2), 0, 4096).miss_bytes, 4096);
+        c.admit(obj(2), 0, 4096);
         c.evict_object(obj(1));
-        assert!(!c.covers(obj(1), 0, 4096));
-        assert!(c.covers(obj(2), 0, 4096));
+        assert!(!c.probe(obj(1), 0, 4096));
+        assert!(c.probe(obj(2), 0, 4096));
         assert_eq!(c.used_bytes(), 4096);
     }
 
     #[test]
     fn clear_resets() {
         let mut c = PageCache::new(1 << 20, 4096);
-        c.insert_range(obj(1), 0, 65536);
+        c.admit(obj(1), 0, 65536);
         c.clear();
         assert_eq!(c.used_bytes(), 0);
-        assert!(!c.covers(obj(1), 0, 4096));
+        assert!(!c.probe(obj(1), 0, 4096));
     }
 
     #[test]
     fn zero_length_range_is_fully_cached() {
         let mut c = PageCache::new(1 << 20, 4096);
-        assert_eq!(c.missing_bytes(obj(1), 500, 0), 0);
-        assert!(c.covers(obj(1), 500, 0));
+        assert_eq!(c.lookup(obj(1), 500, 0).miss_bytes, 0);
+        assert!(c.probe(obj(1), 500, 0));
     }
 }

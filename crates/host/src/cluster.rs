@@ -5,13 +5,23 @@
 //! the vRead daemon) can consult caches and filesystems synchronously
 //! while building stage chains. Use [`with_cluster`] to borrow it and the
 //! world at the same time.
+//!
+//! Each host owns one [`BlockStore`] shared by all of its VMs' images:
+//! a plain [`PageCache`] in the default [`HostCacheMode::Lru`], or a
+//! content-addressed [`crate::cas::CasStore`] in [`HostCacheMode::Cas`]
+//! (identical blocks resident once, served by mapping). Guest caches are
+//! always per-VM LRU — the guest kernel has no cross-VM visibility.
+
+use std::collections::BTreeMap;
 
 use vread_sim::prelude::*;
 use vread_sim::resources::{BlockDev, Link};
 
 use crate::cache::PageCache;
+use crate::cas::CasStore;
 use crate::costs::Costs;
 use crate::fs::{GuestFs, ObjectId};
+use crate::store::{BlockStore, ContentId};
 
 /// Index of a host within a [`Cluster`] (distinct from the scheduler-level
 /// [`HostId`], which it wraps).
@@ -22,6 +32,26 @@ pub struct HostIx(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub usize);
 
+/// Which [`BlockStore`] implementation hosts use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HostCacheMode {
+    /// Per-image byte-for-byte LRU (the kernel page cache; default).
+    #[default]
+    Lru,
+    /// Content-addressed shared store: identical blocks stored once.
+    Cas,
+}
+
+/// One content binding of an image range, kept cluster-side so it can be
+/// replayed into another host's store on VM migration.
+#[derive(Debug, Clone, Copy)]
+struct ContentBinding {
+    image_offset: u64,
+    len: u64,
+    content: ContentId,
+    content_offset: u64,
+}
+
 /// Hardware state of one physical host.
 #[derive(Debug)]
 pub struct HostHw {
@@ -29,8 +59,9 @@ pub struct HostHw {
     pub host: HostId,
     /// The host's SSD.
     pub dev: BlockDevId,
-    /// Host kernel page cache (caches VM disk-image files).
-    pub cache: PageCache,
+    /// Host block store (caches VM disk-image files; shared by the
+    /// host's VMs).
+    pub cache: Box<dyn BlockStore>,
     /// Egress NIC link towards the LAN (10 GbE, also carries RoCE).
     pub nic: LinkId,
     /// VMs placed on this host.
@@ -64,16 +95,46 @@ pub struct Cluster {
     /// Virtual machines.
     pub vms: Vec<Vm>,
     next_object: u64,
+    host_cache_mode: HostCacheMode,
+    /// image object -> content bindings, for migration replay.
+    bindings: BTreeMap<u64, Vec<ContentBinding>>,
 }
 
 impl Cluster {
-    /// Creates an empty cluster with the given cost model.
+    /// Creates an empty cluster with the given cost model (host caches
+    /// default to [`HostCacheMode::Lru`]).
     pub fn new(costs: Costs) -> Self {
         Cluster {
             costs,
             hosts: Vec::new(),
             vms: Vec::new(),
             next_object: 0,
+            host_cache_mode: HostCacheMode::default(),
+            bindings: BTreeMap::new(),
+        }
+    }
+
+    /// Selects the host block-store implementation. Call before
+    /// [`Cluster::add_host`]; hosts already added keep their store.
+    pub fn set_host_cache_mode(&mut self, mode: HostCacheMode) {
+        self.host_cache_mode = mode;
+    }
+
+    /// The configured host block-store mode.
+    pub fn host_cache_mode(&self) -> HostCacheMode {
+        self.host_cache_mode
+    }
+
+    fn make_host_store(&self) -> Box<dyn BlockStore> {
+        match self.host_cache_mode {
+            HostCacheMode::Lru => Box::new(PageCache::new(
+                self.costs.host_cache_bytes,
+                self.costs.cache_chunk_bytes,
+            )),
+            HostCacheMode::Cas => Box::new(CasStore::new(
+                self.costs.host_cache_bytes,
+                self.costs.cache_chunk_bytes,
+            )),
         }
     }
 
@@ -93,7 +154,7 @@ impl Cluster {
         self.hosts.push(HostHw {
             host,
             dev,
-            cache: PageCache::new(self.costs.host_cache_bytes, self.costs.cache_chunk_bytes),
+            cache: self.make_host_store(),
             nic,
             vms: Vec::new(),
         });
@@ -141,11 +202,42 @@ impl Cluster {
         self.vms[a.0].host == self.vms[b.0].host
     }
 
+    /// Declares that `[image_offset, image_offset+len)` of `vm`'s image
+    /// holds `[content_offset, content_offset+len)` of `content`
+    /// (typically an HDFS block file, identical across replicas). The
+    /// binding is recorded cluster-wide (so migration can replay it) and
+    /// forwarded to the VM's current host store; an LRU store ignores it.
+    pub fn bind_content(
+        &mut self,
+        vm: VmId,
+        image_offset: u64,
+        len: u64,
+        content: ContentId,
+        content_offset: u64,
+    ) {
+        let obj = self.vms[vm.0].fs.image();
+        let host = self.vms[vm.0].host;
+        self.bindings
+            .entry(obj.raw())
+            .or_default()
+            .push(ContentBinding {
+                image_offset,
+                len,
+                content,
+                content_offset,
+            });
+        self.hosts[host.0]
+            .cache
+            .bind(obj, image_offset, len, content, content_offset);
+    }
+
     /// Live-migrates a VM to another host (paper §6: disk images live on
     /// centralized storage — NFS/iSCSI — so any host can serve them).
     /// The VM gets fresh vCPU/vhost threads on the target host; its guest
     /// page cache travels with it (memory is copied by live migration),
-    /// while the target host's page cache starts cold for its image.
+    /// while the target host's page cache starts cold for its image. The
+    /// image's content bindings are replayed into the target host's
+    /// store, so dedup keeps working after migration.
     pub fn migrate_vm(&mut self, w: &mut World, vm: VmId, to: HostIx) {
         let from = self.vms[vm.0].host;
         if from == to {
@@ -161,6 +253,18 @@ impl Cluster {
         v.vhost = vhost;
         self.hosts[from.0].vms.retain(|&x| x != vm);
         self.hosts[to.0].vms.push(vm);
+        let obj = self.vms[vm.0].fs.image();
+        if let Some(binds) = self.bindings.get(&obj.raw()) {
+            for b in binds.clone() {
+                self.hosts[to.0].cache.bind(
+                    obj,
+                    b.image_offset,
+                    b.len,
+                    b.content,
+                    b.content_offset,
+                );
+            }
+        }
     }
 
     /// Clears the guest page cache of a VM (guest `drop_caches`).
@@ -240,10 +344,55 @@ mod tests {
         let h = cl.add_host(&mut w, "h", 2, 2.0);
         let vm = cl.add_vm(&mut w, h, "vm");
         let obj = cl.vm(vm).fs.image();
-        cl.vm_mut(vm).cache.insert_range(obj, 0, 65536);
-        cl.hosts[h.0].cache.insert_range(obj, 0, 65536);
+        cl.vm_mut(vm).cache.admit(obj, 0, 65536);
+        cl.hosts[h.0].cache.admit(obj, 0, 65536);
         cl.clear_all_caches();
         assert_eq!(cl.vm(vm).cache.used_bytes(), 0);
         assert_eq!(cl.hosts[h.0].cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn cas_mode_hosts_dedup_across_images() {
+        let mut w = World::new(1);
+        let mut cl = Cluster::new(Costs::default());
+        cl.set_host_cache_mode(HostCacheMode::Cas);
+        let h = cl.add_host(&mut w, "h", 4, 2.0);
+        let dn1 = cl.add_vm(&mut w, h, "dn1");
+        let dn2 = cl.add_vm(&mut w, h, "dn2");
+        assert!(cl.hosts[h.0].cache.content_addressed());
+        let cid = ContentId::from_path("/hdfs/data/blk_1");
+        cl.bind_content(dn1, 0, 1 << 20, cid, 0);
+        cl.bind_content(dn2, 0, 1 << 20, cid, 0);
+        let o1 = cl.vm(dn1).fs.image();
+        let o2 = cl.vm(dn2).fs.image();
+        cl.hosts[h.0].cache.admit(o1, 0, 1 << 20);
+        let l = cl.hosts[h.0].cache.lookup(o2, 0, 1 << 20);
+        assert_eq!(l.miss_bytes, 0);
+        assert_eq!(l.dedup_bytes, 1 << 20);
+        assert_eq!(cl.hosts[h.0].cache.used_bytes(), 1 << 20);
+        assert_eq!(cl.hosts[h.0].cache.logical_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn migration_replays_content_bindings() {
+        let mut w = World::new(1);
+        let mut cl = Cluster::new(Costs::default());
+        cl.set_host_cache_mode(HostCacheMode::Cas);
+        let h1 = cl.add_host(&mut w, "h1", 4, 2.0);
+        let h2 = cl.add_host(&mut w, "h2", 4, 2.0);
+        let dn1 = cl.add_vm(&mut w, h1, "dn1");
+        let dn2 = cl.add_vm(&mut w, h2, "dn2");
+        let cid = ContentId::from_path("/hdfs/data/blk_9");
+        cl.bind_content(dn1, 0, 65536, cid, 0);
+        cl.bind_content(dn2, 4096, 65536, cid, 0);
+        // dn2's host already holds the content (via dn2's own reads).
+        let o2 = cl.vm(dn2).fs.image();
+        cl.hosts[h2.0].cache.admit(o2, 4096, 65536);
+        // Migrate dn1 to h2; its binding must follow so its reads dedup.
+        cl.migrate_vm(&mut w, dn1, h2);
+        let o1 = cl.vm(dn1).fs.image();
+        let l = cl.hosts[h2.0].cache.lookup(o1, 0, 65536);
+        assert_eq!(l.miss_bytes, 0);
+        assert_eq!(l.dedup_bytes, 65536);
     }
 }

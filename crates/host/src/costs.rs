@@ -88,6 +88,17 @@ pub struct Costs {
     /// vRead daemon hash-table lookup (block → image mapping).
     pub daemon_lookup_cycles: u64,
 
+    // -- content-addressed host store ---------------------------------------------
+    /// Content-hash cost per byte admitted into a content-addressed host
+    /// store (SIMD hash of freshly read data; charged on the daemon
+    /// thread when a miss brings chunks in). Only paid in `cas` mode.
+    pub cas_hash_cyc_per_byte: f64,
+    /// Cost per ring slot of *mapping* resident dedup pages into the
+    /// shared ring region instead of copying them (page-table update +
+    /// reference bookkeeping). The map-serve fast path pays this in
+    /// place of the daemon's payload copy.
+    pub cas_map_cycles: u64,
+
     // -- HDFS application-side costs (Java stack) --------------------------------
     /// Datanode per byte streamed (checksum, packetization, DataXceiver).
     pub datanode_cyc_per_byte: f64,
@@ -187,6 +198,8 @@ impl Default for Costs {
             fs_lookup_cycles: 2_000,
             mount_refresh_cycles: 18_000,
             daemon_lookup_cycles: 400,
+            cas_hash_cyc_per_byte: 0.45,
+            cas_map_cycles: 500,
             datanode_cyc_per_byte: 5.8,
             datanode_packet_cycles: 26_000,
             client_cyc_per_byte: 2.0,

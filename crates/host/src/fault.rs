@@ -39,6 +39,7 @@ mod tests {
     use super::*;
     use crate::cluster::Cluster;
     use crate::costs::Costs;
+    use crate::store::BlockStore;
     use vread_sim::fault::schedule_faults;
     use vread_sim::time::SimTime;
 
@@ -49,8 +50,8 @@ mod tests {
         let h = cl.add_host(&mut w, "h", 4, 2.0);
         let vm = cl.add_vm(&mut w, h, "vm");
         let obj = cl.vm(vm).fs.image();
-        cl.vm_mut(vm).cache.insert_range(obj, 0, 1 << 20);
-        cl.hosts[h.0].cache.insert_range(obj, 0, 1 << 20);
+        cl.vm_mut(vm).cache.admit(obj, 0, 1 << 20);
+        cl.hosts[h.0].cache.admit(obj, 0, 1 << 20);
         w.ext.insert(cl);
         schedule_faults(
             &mut w,

@@ -9,8 +9,13 @@
 //! * [`costs::Costs`] — the single source of truth for every per-operation
 //!   CPU cost (memcpy cycles/byte, VM exits, virtio kicks, interrupt
 //!   injection, TCP segment processing, RDMA verbs, …);
+//! * [`store::BlockStore`] — the typed block-store API (lookup/admit with
+//!   [`store::Admission`] outcomes, [`store::CacheStats`] counters);
 //! * [`cache::PageCache`] — byte-capacity LRU page caches (guest and host),
 //!   which is what makes *read* and *re-read* behave differently;
+//! * [`cas::CasStore`] — the content-addressed shared host store: ranges
+//!   bound to a [`store::ContentId`] (HDFS replicas, shared files) occupy
+//!   physical capacity once and dedup hits are served by mapping;
 //! * [`fs::GuestFs`] — a small extent-based filesystem inside each VM's
 //!   disk image, plus [`fs::FsSnapshot`], the hypervisor-side mounted view
 //!   whose staleness/refresh implements the paper's `vRead_update`
@@ -25,14 +30,18 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod cas;
 pub mod cluster;
 pub mod costs;
 pub mod fault;
 pub mod fs;
+pub mod store;
 pub mod virtio;
 
 pub use cache::PageCache;
-pub use cluster::{with_cluster, Cluster, HostIx, Vm, VmId};
+pub use cas::CasStore;
+pub use cluster::{with_cluster, Cluster, HostCacheMode, HostIx, Vm, VmId};
 pub use costs::Costs;
 pub use fault::DropHostCache;
 pub use fs::{FileId, FsError, FsSnapshot, GuestFs, ObjectId};
+pub use store::{Admission, BlockStore, CacheStats, ContentId, Lookup};

@@ -18,6 +18,7 @@
 use vread_sim::prelude::*;
 
 use crate::cluster::{Cluster, VmId};
+use crate::store::BlockStore;
 
 /// Builds the stage chain for a guest application reading
 /// `[offset, offset+len)` of its VM's disk image.
@@ -35,7 +36,7 @@ pub fn guest_disk_read(
 ) -> Vec<Stage> {
     let costs = cl.costs.clone();
     let obj = cl.vms[vm.0].fs.image();
-    let guest_missing = cl.vms[vm.0].cache.missing_bytes(obj, offset, len);
+    let guest_missing = cl.vms[vm.0].cache.lookup(obj, offset, len).miss_bytes;
     let vcpu = cl.vms[vm.0].vcpu;
     let vhost = cl.vms[vm.0].vhost;
     let mut stages = Vec::with_capacity(8);
@@ -66,11 +67,14 @@ pub fn guest_disk_read(
 
     // Physical disk access for whatever the host page cache lacks.
     let host_ix = cl.vms[vm.0].host;
-    let host_missing = cl.hosts[host_ix.0].cache.missing_bytes(obj, offset, len);
+    let host_missing = cl.hosts[host_ix.0]
+        .cache
+        .lookup(obj, offset, len)
+        .miss_bytes;
     if host_missing > 0 {
         stages.push(Stage::disk(cl.hosts[host_ix.0].dev, host_missing));
     }
-    cl.hosts[host_ix.0].cache.insert_range(obj, offset, len);
+    cl.hosts[host_ix.0].cache.admit(obj, offset, len);
 
     // The virtio-vqueue copy: host memory -> guest vring buffers, then the
     // completion interrupt.
@@ -93,7 +97,7 @@ pub fn guest_disk_read(
         len,
     ));
 
-    cl.vms[vm.0].cache.insert_range(obj, offset, len);
+    cl.vms[vm.0].cache.admit(obj, offset, len);
     stages
 }
 
@@ -115,8 +119,8 @@ pub fn guest_disk_write(
     let dev = cl.hosts[host_ix.0].dev;
 
     // Writes land in both caches (the data is hot afterwards).
-    cl.vms[vm.0].cache.insert_range(obj, offset, len);
-    cl.hosts[host_ix.0].cache.insert_range(obj, offset, len);
+    cl.vms[vm.0].cache.admit(obj, offset, len);
+    cl.hosts[host_ix.0].cache.admit(obj, offset, len);
 
     // Scale the device request so the single-bandwidth device model
     // reflects the (slower) effective write bandwidth.

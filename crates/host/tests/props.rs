@@ -5,7 +5,9 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use vread_host::cache::PageCache;
+use vread_host::cas::CasStore;
 use vread_host::fs::{FsError, GuestFs, ObjectId};
+use vread_host::store::BlockStore;
 
 #[derive(Debug, Clone)]
 enum CacheOp {
@@ -54,7 +56,7 @@ proptest! {
         for op in &ops {
             match *op {
                 CacheOp::Insert { obj, off, len } => {
-                    cache.insert_range(ObjectId::from_raw(obj), off, len);
+                    cache.admit(ObjectId::from_raw(obj), off, len);
                     for c in chunks(off, len) {
                         reference.insert((obj, c));
                     }
@@ -63,7 +65,7 @@ proptest! {
                     }
                 }
                 CacheOp::Query { obj, off, len } => {
-                    let covered = cache.covers(ObjectId::from_raw(obj), off, len);
+                    let covered = cache.probe(ObjectId::from_raw(obj), off, len);
                     if !overflowed {
                         let expect = chunks(off, len).all(|c| reference.contains(&(obj, c)));
                         prop_assert_eq!(covered, expect, "query divergence before overflow");
@@ -85,6 +87,43 @@ proptest! {
                 }
             }
             prop_assert!(cache.used_bytes() <= CAP, "capacity exceeded");
+        }
+    }
+
+    /// Without content bindings, the CAS store is observationally
+    /// identical to the LRU cache: same lookup outcomes, same coverage,
+    /// same residency and statistics, for any op sequence. (Bound-range
+    /// behavior is covered by the unit tests and the scenario-level
+    /// equivalence test in `vread-bench`.)
+    #[test]
+    fn unbound_cas_store_matches_lru(ops in proptest::collection::vec(cache_op(), 1..60)) {
+        const CHUNK: u64 = 4096;
+        const CAP: u64 = 64 * CHUNK;
+        let mut lru = PageCache::new(CAP, CHUNK);
+        let mut cas = CasStore::new(CAP, CHUNK);
+        for op in &ops {
+            match *op {
+                CacheOp::Insert { obj, off, len } => {
+                    let o = ObjectId::from_raw(obj);
+                    prop_assert_eq!(lru.admit(o, off, len), cas.admit(o, off, len));
+                }
+                CacheOp::Query { obj, off, len } => {
+                    let o = ObjectId::from_raw(obj);
+                    prop_assert_eq!(lru.lookup(o, off, len), cas.lookup(o, off, len));
+                    prop_assert_eq!(lru.probe(o, off, len), cas.probe(o, off, len));
+                }
+                CacheOp::EvictObj { obj } => {
+                    lru.evict_object(ObjectId::from_raw(obj));
+                    cas.evict_object(ObjectId::from_raw(obj));
+                }
+                CacheOp::Clear => {
+                    lru.clear();
+                    cas.clear();
+                }
+            }
+            prop_assert_eq!(lru.used_bytes(), cas.used_bytes());
+            prop_assert_eq!(lru.logical_bytes(), cas.logical_bytes());
+            prop_assert_eq!(lru.stats(), cas.stats());
         }
     }
 

@@ -69,6 +69,23 @@ pub enum Stage {
         /// Payload bytes moved.
         bytes: u64,
     },
+    /// A zero-copy *mapping*: `bytes` of payload made visible to the
+    /// consumer without moving them (page remapping into a shared
+    /// region). Burns `cycles` like [`Stage::Cpu`] — the page-table and
+    /// bookkeeping cost — and records `bytes` as *mapped* on the chain's
+    /// span, so the copies-per-read ledger can distinguish moved bytes
+    /// from mapped ones. This is how a content-addressed host store
+    /// serves dedup hits below vRead's two copies per read.
+    Map {
+        /// The thread performing the mapping.
+        thread: ThreadId,
+        /// Bookkeeping cost of the mapping.
+        cycles: u64,
+        /// Accounting category.
+        cat: CpuCategory,
+        /// Payload bytes made visible.
+        bytes: u64,
+    },
 }
 
 impl Stage {
@@ -99,6 +116,16 @@ impl Stage {
     /// Convenience constructor for a data-copy stage.
     pub fn copy(thread: ThreadId, cycles: u64, cat: CpuCategory, bytes: u64) -> Stage {
         Stage::Copy {
+            thread,
+            cycles,
+            cat,
+            bytes,
+        }
+    }
+
+    /// Convenience constructor for a zero-copy mapping stage.
+    pub fn map(thread: ThreadId, cycles: u64, cat: CpuCategory, bytes: u64) -> Stage {
+        Stage::Map {
             thread,
             cycles,
             cat,

@@ -520,6 +520,21 @@ impl World {
                     self.sched_enqueue(thread, id, cycles, cat, span);
                     return;
                 }
+                Some(Stage::Map {
+                    thread,
+                    cycles,
+                    cat,
+                    bytes,
+                }) => {
+                    // Timed like a Cpu stage; the payload is recorded as
+                    // mapped, not copied, in the span ledger.
+                    self.spans.mapped(span, bytes, self.now);
+                    if cycles == 0 {
+                        continue;
+                    }
+                    self.sched_enqueue(thread, id, cycles, cat, span);
+                    return;
+                }
                 Some(Stage::Link { link, bytes }) => {
                     let t = self.links[link.index()].submit(self.now, bytes);
                     self.push_event(t, EvKind::ChainResume { chain: id });

@@ -97,6 +97,11 @@ pub struct Span {
     pub copy_bytes: u64,
     /// Number of copy operations (chunked copies count per chunk).
     pub copies: u64,
+    /// Bytes served by [`Stage::Map`](crate::Stage) stages on this span
+    /// (made visible without moving — the dedup map-serve path).
+    pub mapped_bytes: u64,
+    /// Number of map operations.
+    pub maps: u64,
     /// Run-queue wait absorbed by work on this span, in nanoseconds.
     pub queue_wait_ns: u64,
     /// Scheduler dispatches of work on this span.
@@ -116,6 +121,8 @@ impl Span {
             bytes: 0,
             copy_bytes: 0,
             copies: 0,
+            mapped_bytes: 0,
+            maps: 0,
             queue_wait_ns: 0,
             dispatches: 0,
         }
@@ -276,6 +283,19 @@ impl SpanRecorder {
         }
     }
 
+    /// Records one zero-copy mapping of `bytes` on `id` (the bookkeeping
+    /// cycles are charged separately through [`SpanRecorder::charge`]).
+    pub fn mapped(&mut self, id: SpanId, bytes: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(sp) = self.get_mut(id) {
+            sp.mapped_bytes += bytes;
+            sp.maps += 1;
+            sp.last_activity = sp.last_activity.max(now);
+        }
+    }
+
     /// Adds delivered payload bytes to `id` (the ledger denominator).
     pub fn payload(&mut self, id: SpanId, bytes: u64) {
         if !self.enabled {
@@ -362,6 +382,10 @@ pub struct LayerRow {
     pub copy_bytes: u64,
     /// Copy operations on these spans.
     pub copies: u64,
+    /// Bytes served by map stages on these spans (zero-copy).
+    pub mapped_bytes: u64,
+    /// Map operations on these spans.
+    pub maps: u64,
     /// Run-queue wait absorbed, in nanoseconds.
     pub queue_wait_ns: u64,
 }
@@ -379,6 +403,10 @@ pub struct ReadLedgerRow {
     pub copy_bytes: u64,
     /// Copy operations over the subtree.
     pub copies: u64,
+    /// Mapped (zero-copy) bytes over the subtree.
+    pub mapped_bytes: u64,
+    /// Map operations over the subtree.
+    pub maps: u64,
     /// `copy_bytes / payload_bytes` — the paper's "data copies per read".
     pub copies_per_read: f64,
 }
@@ -403,6 +431,8 @@ impl SpanReport {
                 bytes: 0,
                 copy_bytes: 0,
                 copies: 0,
+                mapped_bytes: 0,
+                maps: 0,
                 queue_wait_ns: 0,
             });
             row.count += 1;
@@ -418,6 +448,8 @@ impl SpanReport {
             row.bytes += s.bytes;
             row.copy_bytes += s.copy_bytes;
             row.copies += s.copies;
+            row.mapped_bytes += s.mapped_bytes;
+            row.maps += s.maps;
             row.queue_wait_ns += s.queue_wait_ns;
         }
         by_name.into_values().collect()
@@ -443,12 +475,14 @@ impl SpanReport {
             }
             i
         };
-        let mut copy_bytes: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        let mut rollup: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
         for (i, s) in self.spans.iter().enumerate() {
-            if s.copy_bytes > 0 || s.copies > 0 {
-                let e = copy_bytes.entry(root_of(i)).or_insert((0, 0));
+            if s.copy_bytes > 0 || s.copies > 0 || s.mapped_bytes > 0 || s.maps > 0 {
+                let e = rollup.entry(root_of(i)).or_insert((0, 0, 0, 0));
                 e.0 += s.copy_bytes;
                 e.1 += s.copies;
+                e.2 += s.mapped_bytes;
+                e.3 += s.maps;
             }
         }
         self.spans
@@ -458,13 +492,15 @@ impl SpanReport {
                 (s.parent.is_none() || !index.contains_key(&s.parent.raw())) && s.bytes > 0
             })
             .map(|(i, s)| {
-                let (cb, cp) = copy_bytes.get(&i).copied().unwrap_or((0, 0));
+                let (cb, cp, mb, mp) = rollup.get(&i).copied().unwrap_or((0, 0, 0, 0));
                 ReadLedgerRow {
                     id: s.id,
                     name: s.name,
                     payload_bytes: s.bytes,
                     copy_bytes: cb,
                     copies: cp,
+                    mapped_bytes: mb,
+                    maps: mp,
                     copies_per_read: cb as f64 / s.bytes as f64,
                 }
             })
@@ -525,11 +561,19 @@ impl SpanReport {
             }
             first = false;
             let dur_ns = s.end_time().as_nanos().saturating_sub(s.begin.as_nanos());
+            // Map fields are emitted only when set, so traces of runs
+            // without map-serves stay byte-identical to before they
+            // existed.
+            let mapped = if s.mapped_bytes > 0 || s.maps > 0 {
+                format!(",\"mapped_bytes\":{},\"maps\":{}", s.mapped_bytes, s.maps)
+            } else {
+                String::new()
+            };
             let _ = write!(
                 out,
                 "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{}.{:03},\
                  \"pid\":0,\"tid\":{},\"args\":{{\"span\":{},\"bytes\":{},\"copy_bytes\":{},\
-                 \"copies\":{},\"cycles\":{:.0},\"queue_wait_ns\":{},\"dispatches\":{}}}}}",
+                 \"copies\":{}{},\"cycles\":{:.0},\"queue_wait_ns\":{},\"dispatches\":{}}}}}",
                 s.name,
                 us(s.begin),
                 dur_ns / 1000,
@@ -539,6 +583,7 @@ impl SpanReport {
                 s.bytes,
                 s.copy_bytes,
                 s.copies,
+                mapped,
                 s.total_cycles(),
                 s.queue_wait_ns,
                 s.dispatches,
@@ -658,6 +703,33 @@ mod tests {
         assert_eq!(ledger[0].copy_bytes, 500);
         assert_eq!(ledger[0].copies, 2);
         assert!((ledger[0].copies_per_read - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapped_bytes_roll_up_separately_from_copies() {
+        let mut r = SpanRecorder::new();
+        r.enable();
+        let a = r.start("read", SpanId::NONE, t(0));
+        let b = r.start("vfd_read", a, t(1));
+        r.payload(a, 1000);
+        // dedup serve: the push is a map, only the guest pop copies
+        r.mapped(b, 1000, t(2));
+        r.copy(b, 1000, t(3));
+        for id in [b, a] {
+            r.end(id, t(10));
+        }
+        let rep = r.drain();
+        let ledger = rep.read_ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].copy_bytes, 1000);
+        assert_eq!(ledger[0].mapped_bytes, 1000);
+        assert_eq!(ledger[0].maps, 1);
+        assert!((ledger[0].copies_per_read - 1.0).abs() < 1e-9);
+        // mapped args appear in the chrome export only when present
+        let json = rep.chrome_trace_json();
+        assert!(json.contains("\"mapped_bytes\":1000,\"maps\":1"));
+        let empty = SpanReport::default().chrome_trace_json();
+        assert!(!empty.contains("mapped_bytes"));
     }
 
     #[test]
