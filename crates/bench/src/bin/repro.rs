@@ -7,7 +7,7 @@
 //! repro trace [vanilla|vread-rdma|vread-tcp|cas-dedup|all] [--trace-out FILE] [--jobs N] [--engine-threads N]
 //! repro fault-matrix [--jobs N] [--engine-threads N]
 //! repro bench-engine [--out FILE]
-//! repro lint [--format human|json]
+//! repro lint [--format text|json|sarif] [--update-baseline]
 //! ```
 //!
 //! Experiments run in parallel across `--jobs` worker threads (default:
@@ -76,27 +76,32 @@ fn main() {
                 );
                 println!("fault-matrix [--jobs N] [--engine-threads N]");
                 println!("bench-engine [--out FILE]");
-                println!("lint [--format human|json]");
+                println!("lint [--format text|json|sarif] [--update-baseline]");
                 return;
             }
             "lint" => {
-                let mut format = "human".to_owned();
+                let mut format = "text".to_owned();
+                let mut update_baseline = false;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--format" => match it.next().as_deref() {
-                            Some(f @ ("human" | "json")) => format = f.to_owned(),
+                            Some("human") => format = "text".to_owned(),
+                            Some(f @ ("text" | "json" | "sarif")) => format = f.to_owned(),
                             other => {
-                                eprintln!("--format needs `human` or `json`, got {other:?}");
+                                eprintln!(
+                                    "--format needs `text`, `json` or `sarif`, got {other:?}"
+                                );
                                 std::process::exit(2);
                             }
                         },
+                        "--update-baseline" => update_baseline = true,
                         other => {
                             eprintln!("lint: unknown argument {other:?}");
                             std::process::exit(2);
                         }
                     }
                 }
-                run_lint(&format);
+                run_lint(&format, update_baseline);
                 return;
             }
             "scenario" => {
@@ -388,10 +393,14 @@ fn scenario_cmd(files: &[String], spans: bool, jobs: usize, engine_threads: usiz
 
 // ---------------------------------------------------------------------------
 // lint: the determinism gate. Runs vread-lint over the workspace's own
-// sources; any violation (or stale allow annotation) fails the run.
+// sources; any violation (or stale allow annotation) fails the run, and
+// the suppression ratchet fails it when a per-rule violation/allow count
+// grows past the committed lint-baseline.json. Exit codes are the
+// linter's own: 1 violations, 2 usage/IO, 3 bad/stale allows, 4 ratchet
+// regression.
 // ---------------------------------------------------------------------------
 
-fn run_lint(format: &str) {
+fn run_lint(format: &str, update_baseline: bool) {
     let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
     let Some(root) = vread_lint::find_workspace_root(&cwd) else {
         eprintln!("lint: no workspace root found above {}", cwd.display());
@@ -406,10 +415,51 @@ fn run_lint(format: &str) {
     };
     match format {
         "json" => print!("{}", report.render_json()),
+        "sarif" => print!("{}", vread_lint::sarif::render_sarif(&report)),
         _ => print!("{}", report.render_human()),
     }
-    if !report.is_clean() {
-        std::process::exit(1);
+
+    let baseline_path = root.join("lint-baseline.json");
+    let counts = report.rule_counts();
+    let mut ratchet_regressed = false;
+    if update_baseline {
+        let b = vread_lint::baseline::Baseline::from_counts(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, b.render()) {
+            eprintln!("lint: cannot write {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+        eprintln!("lint: baseline written to {}", baseline_path.display());
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match vread_lint::baseline::Baseline::parse(&text) {
+                Ok(b) => {
+                    for r in b.regressions(&counts) {
+                        ratchet_regressed = true;
+                        eprintln!(
+                            "lint: ratchet: {} {} grew {} -> {} (fix the new site or \
+                             consciously run `repro lint --update-baseline`)",
+                            r.rule, r.counter, r.baseline, r.current
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lint: {}: {e}", baseline_path.display());
+                    std::process::exit(2);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match report.gate() {
+        vread_lint::Gate::Violations => std::process::exit(1),
+        vread_lint::Gate::BadAllow => std::process::exit(3),
+        vread_lint::Gate::Clean if ratchet_regressed => std::process::exit(4),
+        vread_lint::Gate::Clean => {}
     }
 }
 
@@ -486,7 +536,7 @@ fn trace_one(cell: TraceCell, engine_threads: usize) -> (bool, String, String) {
     // at least 5 times; vRead moves it exactly twice (shared ring).
     let (ok_copies, expect) = match path {
         vread_bench::ReadPath::Vanilla => (agg.min_copies_per_read >= 5.0 - 1e-9, ">=5"),
-        _ => (
+        vread_bench::ReadPath::VreadRdma | vread_bench::ReadPath::VreadTcp => (
             (agg.min_copies_per_read - 2.0).abs() < 1e-9
                 && (agg.max_copies_per_read - 2.0).abs() < 1e-9,
             "=2",

@@ -102,7 +102,10 @@ impl FaultKind {
             FaultKind::LinkFlap { duration_ms, .. }
             | FaultKind::DiskSlow { duration_ms, .. }
             | FaultKind::VhostStall { duration_ms, .. } => Some(*duration_ms),
-            _ => None,
+            FaultKind::DaemonCrash { .. }
+            | FaultKind::DaemonRestart { .. }
+            | FaultKind::CacheDrop { .. }
+            | FaultKind::VmCrash { .. } => None,
         }
     }
 }

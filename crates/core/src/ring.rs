@@ -177,7 +177,7 @@ mod tests {
                     Stage::Cpu { cycles, .. }
                     | Stage::Copy { cycles, .. }
                     | Stage::Map { cycles, .. } => *cycles,
-                    _ => 0,
+                    Stage::Link { .. } | Stage::Disk { .. } | Stage::Delay { .. } => 0,
                 })
                 .sum()
         };
@@ -197,7 +197,10 @@ mod tests {
             st.iter()
                 .map(|s| match s {
                     Stage::Cpu { cycles, .. } | Stage::Copy { cycles, .. } => *cycles,
-                    _ => 0,
+                    Stage::Link { .. }
+                    | Stage::Disk { .. }
+                    | Stage::Delay { .. }
+                    | Stage::Map { .. } => 0,
                 })
                 .sum()
         };

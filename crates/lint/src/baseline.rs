@@ -1,0 +1,310 @@
+//! The suppression ratchet: `lint-baseline.json`.
+//!
+//! The `allow(rule, "reason")` annotation is the rule catalog's
+//! pressure valve — and an unguarded valve creeps open one reasonable
+//! exception at a time. The baseline file records, per rule, how many
+//! violations and how many *used* allows the workspace currently
+//! carries. A lint run compares itself against the committed baseline
+//! and fails on any growth; `--update-baseline` rewrites the file from
+//! the current run, which is how counts ratchet *down* (deleting an
+//! allow without updating the baseline passes — shrinking is always
+//! legal — but the next `--update-baseline` locks the lower number in).
+//!
+//! The file is plain JSON with a stable field order so diffs are
+//! reviewable; parsing is hand-rolled (the crate is dependency-free by
+//! design) and tolerant of whitespace but not of structural liberties.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rule baseline counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleCounts {
+    /// Unsuppressed violations (normally 0 on a committed baseline —
+    /// the lint gate fails on any — but tracked so a deliberately
+    /// red baseline still ratchets).
+    pub violations: u64,
+    /// Used `allow(…)` annotations.
+    pub allows: u64,
+}
+
+/// The committed per-rule counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Counts keyed by rule id (catalog rules and meta rules alike).
+    pub rules: BTreeMap<String, RuleCounts>,
+}
+
+/// One counter that grew past its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule id.
+    pub rule: String,
+    /// `"violations"` or `"allows"`.
+    pub counter: &'static str,
+    /// Committed count.
+    pub baseline: u64,
+    /// Observed count.
+    pub current: u64,
+}
+
+impl Baseline {
+    /// Builds a baseline from observed per-rule counts.
+    pub fn from_counts(counts: &BTreeMap<String, RuleCounts>) -> Self {
+        Baseline {
+            rules: counts.clone(),
+        }
+    }
+
+    /// Every counter in `current` that exceeds this baseline. Rules
+    /// absent from the baseline count as 0 — a brand-new rule starts
+    /// ratcheted shut.
+    pub fn regressions(&self, current: &BTreeMap<String, RuleCounts>) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for (rule, cur) in current {
+            let base = self.rules.get(rule).copied().unwrap_or_default();
+            if cur.violations > base.violations {
+                out.push(Regression {
+                    rule: rule.clone(),
+                    counter: "violations",
+                    baseline: base.violations,
+                    current: cur.violations,
+                });
+            }
+            if cur.allows > base.allows {
+                out.push(Regression {
+                    rule: rule.clone(),
+                    counter: "allows",
+                    baseline: base.allows,
+                    current: cur.allows,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the stable JSON form (sorted rules, fixed field order —
+    /// byte-identical for equal contents).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"vread-lint-baseline\",\n  \"rules\": {\n");
+        for (i, (rule, c)) in self.rules.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"violations\": {}, \"allows\": {}}}",
+                rule, c.violations, c.allows
+            );
+            out.push_str(if i + 1 < self.rules.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the JSON form. Field order inside a rule entry is free;
+    /// unknown top-level keys are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Cursor {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let mut rules = BTreeMap::new();
+        p.expect(b'{')?;
+        loop {
+            p.ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.expect(b':')?;
+            if key == "rules" {
+                p.expect(b'{')?;
+                loop {
+                    p.ws();
+                    if p.eat(b'}') {
+                        break;
+                    }
+                    let rule = p.string()?;
+                    p.expect(b':')?;
+                    let mut counts = RuleCounts::default();
+                    p.expect(b'{')?;
+                    loop {
+                        p.ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        let field = p.string()?;
+                        p.expect(b':')?;
+                        let n = p.number()?;
+                        match field.as_str() {
+                            "violations" => counts.violations = n,
+                            "allows" => counts.allows = n,
+                            other => return Err(format!("unknown counter {other:?} in {rule:?}")),
+                        }
+                        p.ws();
+                        p.eat(b',');
+                    }
+                    rules.insert(rule, counts);
+                    p.ws();
+                    p.eat(b',');
+                }
+            } else {
+                p.skip_value()?;
+            }
+            p.ws();
+            p.eat(b',');
+        }
+        Ok(Baseline { rules })
+    }
+}
+
+/// Minimal byte cursor for the baseline's own JSON dialect.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline: expected {:?} at byte {}",
+                c as char, self.i
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err("baseline: escaped strings are not used".to_owned());
+            }
+            self.i += 1;
+        }
+        if self.i >= self.b.len() {
+            return Err("baseline: unterminated string".to_owned());
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "baseline: non-utf8 string".to_owned())?
+            .to_owned();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("baseline: expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "baseline: bad number".to_owned())
+    }
+
+    /// Skips one value (string or number) for ignored top-level keys.
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(c) if c.is_ascii_digit() => {
+                self.number()?;
+            }
+            _ => return Err("baseline: unsupported value shape".to_owned()),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u64, u64)]) -> BTreeMap<String, RuleCounts> {
+        pairs
+            .iter()
+            .map(|&(r, v, a)| {
+                (
+                    r.to_owned(),
+                    RuleCounts {
+                        violations: v,
+                        allows: a,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::from_counts(&counts(&[("wall-clock", 0, 7), ("sealed-match", 0, 1)]));
+        let parsed = Baseline::parse(&b.render()).expect("parse own output");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn growth_is_a_regression_shrink_is_not() {
+        let b = Baseline::from_counts(&counts(&[("threading", 0, 7)]));
+        assert!(b.regressions(&counts(&[("threading", 0, 7)])).is_empty());
+        assert!(b.regressions(&counts(&[("threading", 0, 6)])).is_empty());
+        let r = b.regressions(&counts(&[("threading", 0, 8)]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].counter, "allows");
+        assert_eq!((r[0].baseline, r[0].current), (7, 8));
+    }
+
+    #[test]
+    fn unknown_rule_in_current_starts_at_zero() {
+        let b = Baseline::default();
+        let r = b.regressions(&counts(&[("charge-confine", 0, 1)]));
+        assert_eq!(r.len(), 1, "{r:?}");
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_field_order() {
+        let text = "{ \"rules\" : { \"x\" : { \"allows\" : 2 , \"violations\" : 1 } } , \
+                    \"tool\" : \"vread-lint-baseline\" }";
+        let b = Baseline::parse(text).expect("parse");
+        assert_eq!(
+            b.rules["x"],
+            RuleCounts {
+                violations: 1,
+                allows: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"rules\": {\"x\": {\"bogus\": 1}}}").is_err());
+    }
+}

@@ -1,27 +1,45 @@
 //! `vread-lint` command-line entry point.
 //!
 //! ```text
-//! vread-lint [--format human|json] [--root DIR] [--list-rules] [FILE...]
+//! vread-lint [--format text|json|sarif] [--root DIR] [--list-rules]
+//!            [--baseline FILE] [--update-baseline] [FILE...]
 //! ```
 //!
 //! With no files, lints the whole workspace (found by walking up from
-//! `--root`/cwd to the first `Cargo.toml` declaring `[workspace]`).
-//! Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+//! `--root`/cwd to the first `Cargo.toml` declaring `[workspace]`) and
+//! ratchets the per-rule violation/allow counts against
+//! `<root>/lint-baseline.json` when that file exists (`--baseline`
+//! overrides the path; `--update-baseline` rewrites it from this run).
+//! Explicit file arguments skip the ratchet — partial scans would
+//! undercount.
+//!
+//! Exit codes (stable):
+//!
+//! * `0` — clean
+//! * `1` — at least one catalog-rule violation
+//! * `2` — usage or I/O error
+//! * `3` — only annotation problems (`bad-allow` / `unused-allow`)
+//! * `4` — clean, but a per-rule count grew past the baseline
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use vread_lint::Gate;
 
 fn main() -> ExitCode {
-    let mut format = "human".to_owned();
+    let mut format = "text".to_owned();
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--format" => match args.next().as_deref() {
-                Some(f @ ("human" | "json")) => format = f.to_owned(),
+                // `human` stays as an alias for the pre-SARIF spelling.
+                Some("human") => format = "text".to_owned(),
+                Some(f @ ("text" | "json" | "sarif")) => format = f.to_owned(),
                 other => {
-                    eprintln!("--format needs `human` or `json`, got {other:?}");
+                    eprintln!("--format needs `text`, `json` or `sarif`, got {other:?}");
                     return ExitCode::from(2);
                 }
             },
@@ -32,6 +50,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(f) => baseline_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--baseline needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
             "--list-rules" => {
                 for r in vread_lint::rules::RULES {
                     println!("{:<16} {}", r.id, r.summary);
@@ -43,7 +69,12 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: vread-lint [--format human|json] [--root DIR] [--list-rules] [FILE...]"
+                    "usage: vread-lint [--format text|json|sarif] [--root DIR] [--list-rules] \
+                     [--baseline FILE] [--update-baseline] [FILE...]"
+                );
+                println!(
+                    "exit codes: 0 clean, 1 violations, 2 usage/IO, 3 bad/stale allows, \
+                     4 ratchet regression"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -62,8 +93,9 @@ fn main() -> ExitCode {
             vread_lint::find_workspace_root(&cwd).unwrap_or(cwd)
         }
     };
+    let workspace_mode = files.is_empty();
 
-    let report = if files.is_empty() {
+    let report = if workspace_mode {
         vread_lint::run_workspace(&root)
     } else {
         // Expand directory arguments; lint files as given.
@@ -94,11 +126,54 @@ fn main() -> ExitCode {
 
     match format.as_str() {
         "json" => print!("{}", report.render_json()),
+        "sarif" => print!("{}", vread_lint::sarif::render_sarif(&report)),
         _ => print!("{}", report.render_human()),
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+
+    // The ratchet: workspace runs only (partial scans would undercount).
+    let mut ratchet_regressed = false;
+    if workspace_mode {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+        let counts = report.rule_counts();
+        if update_baseline {
+            let b = vread_lint::baseline::Baseline::from_counts(&counts);
+            if let Err(e) = std::fs::write(&path, b.render()) {
+                eprintln!("vread-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("vread-lint: baseline written to {}", path.display());
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match vread_lint::baseline::Baseline::parse(&text) {
+                    Ok(b) => {
+                        for r in b.regressions(&counts) {
+                            ratchet_regressed = true;
+                            eprintln!(
+                                "vread-lint: ratchet: {} {} grew {} -> {} (fix the new site \
+                                 or consciously `--update-baseline`)",
+                                r.rule, r.counter, r.baseline, r.current
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("vread-lint: {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                },
+                // No baseline committed: nothing to ratchet against.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!("vread-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    match report.gate() {
+        Gate::Violations => ExitCode::from(1),
+        Gate::BadAllow => ExitCode::from(3),
+        Gate::Clean if ratchet_regressed => ExitCode::from(4),
+        Gate::Clean => ExitCode::SUCCESS,
     }
 }

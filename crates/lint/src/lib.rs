@@ -34,16 +34,26 @@
 //! # Exit codes (stable)
 //!
 //! * `0` — clean
-//! * `1` — at least one violation
+//! * `1` — at least one catalog-rule violation
 //! * `2` — usage or I/O error
+//! * `3` — only annotation problems (`bad-allow` / `unused-allow`)
+//! * `4` — clean, but a per-rule count grew past `lint-baseline.json`
+//!   (the suppression ratchet; see [`baseline`])
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod syntax;
+pub mod syntax_rules;
+pub mod token_rules;
 
+use baseline::RuleCounts;
 use lexer::{lex, Tok};
 use rules::{check_all, is_known_rule};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -69,12 +79,62 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Used `allow(…)` annotations per rule — the suppression
+    /// ratchet's raw material (see [`baseline`]).
+    pub allow_counts: BTreeMap<String, u64>,
+}
+
+/// How a lint run classifies, in decreasing severity. The binaries map
+/// this (plus the ratchet result) onto distinct exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// At least one catalog-rule violation.
+    Violations,
+    /// Only annotation problems (`bad-allow` / `unused-allow`).
+    BadAllow,
+    /// No violations of any kind.
+    Clean,
 }
 
 impl LintReport {
     /// Whether the run found nothing.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Severity class of this run (ratchet regressions are judged
+    /// separately, against a [`baseline::Baseline`]).
+    pub fn gate(&self) -> Gate {
+        if self
+            .violations
+            .iter()
+            .any(|v| !rules::META_RULES.contains(&v.rule.as_str()))
+        {
+            Gate::Violations
+        } else if !self.violations.is_empty() {
+            Gate::BadAllow
+        } else {
+            Gate::Clean
+        }
+    }
+
+    /// Per-rule `(violations, allows)` counters for the ratchet. Every
+    /// catalog and meta rule appears, so a baseline diff lists rules
+    /// whose counts are zero too.
+    pub fn rule_counts(&self) -> BTreeMap<String, RuleCounts> {
+        let mut out: BTreeMap<String, RuleCounts> = rules::RULES
+            .iter()
+            .map(|r| r.id.to_owned())
+            .chain(rules::META_RULES.iter().map(|r| (*r).to_owned()))
+            .map(|id| (id, RuleCounts::default()))
+            .collect();
+        for v in &self.violations {
+            out.entry(v.rule.clone()).or_default().violations += 1;
+        }
+        for (rule, n) in &self.allow_counts {
+            out.entry(rule.clone()).or_default().allows += n;
+        }
+        out
     }
 
     /// Renders the human-readable report (one line per violation plus a
@@ -127,7 +187,7 @@ impl LintReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -320,6 +380,13 @@ fn standalone_span(toks: &[Tok<'_>], ix: usize) -> (u32, u32) {
 /// Lints one source text. `virtual_path` determines path-scoped rules
 /// and appears in the violations; it needs `/` separators.
 pub fn lint_source(virtual_path: &str, src: &str) -> Vec<Violation> {
+    lint_source_counted(virtual_path, src).0
+}
+
+/// Like [`lint_source`], but also returns the rule ids of every *used*
+/// allow annotation (one entry per annotation — the ratchet's unit of
+/// growth).
+pub fn lint_source_counted(virtual_path: &str, src: &str) -> (Vec<Violation>, Vec<String>) {
     let toks = lex(src);
     let code: Vec<Tok<'_>> = toks.iter().filter(|t| !t.is_comment()).copied().collect();
     let (mut allows, mut out) = parse_allows(&toks);
@@ -341,8 +408,11 @@ pub fn lint_source(virtual_path: &str, src: &str) -> Vec<Violation> {
             }),
         }
     }
+    let mut used = Vec::new();
     for a in &allows {
-        if !a.used {
+        if a.used {
+            used.push(a.rule.clone());
+        } else {
             out.push(Violation {
                 rule: "unused-allow".to_owned(),
                 file: virtual_path.to_owned(),
@@ -356,12 +426,25 @@ pub fn lint_source(virtual_path: &str, src: &str) -> Vec<Violation> {
             });
         }
     }
-    out
+    (out, used)
 }
 
-/// Directory names the workspace walk never descends into: build output,
-/// VCS state, and lint fixtures (which contain deliberate violations).
-const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+/// Directory names the workspace walk never descends into anywhere in
+/// the tree: build output, VCS state, vendored JS.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Whether `path` is the lint crate's own fixtures directory (which
+/// contains deliberate violations and must not fail the self-check).
+/// The skip is scoped to `crates/lint/…/fixtures` on purpose: a future
+/// `fixtures/` directory of *real* code anywhere else in the workspace
+/// must be scanned, not silently skipped by its bare name.
+fn is_lint_fixture_dir(name: &str, path: &Path) -> bool {
+    name == "fixtures"
+        && path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .contains("crates/lint/")
+}
 
 /// Recursively collects the workspace's `.rs` files under `root`,
 /// sorted for deterministic report order.
@@ -375,7 +458,7 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if entry.file_type()?.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !is_lint_fixture_dir(&name, &path) {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -404,7 +487,11 @@ pub fn run_files(root: &Path, files: &[PathBuf]) -> std::io::Result<LintReport> 
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        report.violations.extend(lint_source(&rel, &src));
+        let (violations, used) = lint_source_counted(&rel, &src);
+        report.violations.extend(violations);
+        for rule in used {
+            *report.allow_counts.entry(rule).or_insert(0) += 1;
+        }
         report.files_scanned += 1;
     }
     report
@@ -484,6 +571,7 @@ mod tests {
                 message: "x".into(),
             }],
             files_scanned: 1,
+            ..Default::default()
         };
         let j = report.render_json();
         assert!(j.contains("a\\\"b.rs"));

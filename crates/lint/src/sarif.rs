@@ -1,0 +1,119 @@
+//! SARIF 2.1.0 output.
+//!
+//! `--format sarif` renders the report as a minimal, schema-valid
+//! [SARIF 2.1.0](https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html)
+//! log so CI can upload it for inline PR annotation (GitHub code
+//! scanning and most SARIF viewers resolve the relative artifact URIs
+//! against the checkout root, which is exactly how the report's paths
+//! are already spelled).
+//!
+//! The output is deliberately small — one run, one driver, the rule
+//! catalog as `reportingDescriptor`s, one `result` per violation — and
+//! byte-stable: violations are already sorted by the engine and every
+//! field is emitted in a fixed order.
+
+use crate::rules::{META_RULES, RULES};
+use crate::{json_escape, LintReport};
+use std::fmt::Write as _;
+
+/// Rule ids in driver order: the catalog first, then the meta rules.
+fn driver_rule_ids() -> Vec<&'static str> {
+    RULES
+        .iter()
+        .map(|r| r.id)
+        .chain(META_RULES.iter().copied())
+        .collect()
+}
+
+/// Renders the report as a SARIF 2.1.0 log (stable field order, sorted
+/// results — byte-identical across runs).
+pub fn render_sarif(report: &LintReport) -> String {
+    let ids = driver_rule_ids();
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"vread-lint\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://github.com/vread-rs/vread-rs/tree/main/crates/lint\",\n",
+    );
+    out.push_str("          \"rules\": [\n");
+    for (i, id) in ids.iter().enumerate() {
+        let summary = RULES
+            .iter()
+            .find(|r| r.id == *id)
+            .map(|r| r.summary.to_owned())
+            .unwrap_or_else(|| {
+                format!("meta rule: a malformed or stale `allow` annotation ({id})")
+            });
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(id),
+            json_escape(&summary)
+        );
+        out.push_str(if i + 1 < ids.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        let rule_index = ids.iter().position(|id| *id == v.rule);
+        let _ = write!(out, "        {{\"ruleId\": \"{}\", ", json_escape(&v.rule));
+        if let Some(ix) = rule_index {
+            let _ = write!(out, "\"ruleIndex\": {ix}, ");
+        }
+        let _ = write!(
+            out,
+            "\"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_escape(&v.message),
+            json_escape(&v.file),
+            v.line,
+            v.col
+        );
+        out.push_str(if i + 1 < report.violations.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+
+    #[test]
+    fn sarif_carries_every_violation_with_location() {
+        let report = LintReport {
+            violations: vec![Violation {
+                rule: "sealed-match".into(),
+                file: "crates/core/src/ring.rs".into(),
+                line: 12,
+                col: 9,
+                message: "wildcard \"_\" arm".into(),
+            }],
+            ..Default::default()
+        };
+        let s = render_sarif(&report);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"sealed-match\""));
+        assert!(s.contains("\"startLine\": 12"));
+        assert!(s.contains("wildcard \\\"_\\\" arm"));
+        // Every catalog + meta rule appears exactly once in the driver.
+        for r in RULES {
+            assert_eq!(s.matches(&format!("\"id\": \"{}\"", r.id)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn sarif_is_byte_stable() {
+        let report = LintReport::default();
+        assert_eq!(render_sarif(&report), render_sarif(&report));
+    }
+}

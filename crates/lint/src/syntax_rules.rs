@@ -1,0 +1,220 @@
+//! The syntax-aware invariant rules (lint v2).
+//!
+//! Each rule here statically enforces an invariant that was previously
+//! guarded only at runtime or by reviewer discipline:
+//!
+//! * `charge-confine` — the span+unattributed == engine-total cycle
+//!   conservation proptest (DESIGN.md §12) holds because *every* cycle
+//!   charge flows through the scheduler's charge wrapper in
+//!   `crates/sim/src/sched.rs`. A new `acct.add(…)` call site anywhere
+//!   else would bypass span attribution silently.
+//! * `shard-send` — byte-identical replay at any `--engine-threads N`
+//!   (DESIGN.md §14) holds because cross-shard traffic moves only via
+//!   `post_remote` with lookahead, and the raw outbox/delivery
+//!   machinery is confined to `vread_sim::par` + `engine.rs`. Handler
+//!   code touching the outbox directly would skip the canonical
+//!   `(time, shard, seq)` barrier order.
+//! * `sealed-match` — the workspace's load-bearing enums may not be
+//!   matched with a wildcard `_` arm: adding a variant (PR 7's
+//!   `Stage::Map`) must force every consumer — ledger, report rollups,
+//!   Perfetto export — to handle it instead of silently falling
+//!   through.
+//!
+//! All three are path-scoped over-approximations in the house style:
+//! the `allow(rule, "reason")` annotation is the pressure valve, and
+//! the suppression ratchet (`lint-baseline.json`) keeps the valve from
+//! creeping open.
+
+use crate::lexer::Tok;
+use crate::rules::{cand, Candidate};
+use crate::syntax::{self, CallVia};
+
+/// Runs every syntax rule over one file's code tokens.
+pub fn check_syntax_rules(path: &str, code: &[Tok<'_>], out: &mut Vec<Candidate>) {
+    let items = syntax::parse_items(code);
+    let calls = syntax::call_paths(code);
+    charge_confine(path, code, &items, &calls, out);
+    shard_send(path, code, &items, &calls, out);
+    sealed_match(code, out);
+}
+
+/// Appends `in fn \`name\`` context when the call is inside a function.
+fn fn_context(items: &[syntax::Item], ix: usize) -> String {
+    match syntax::enclosing_fn(items, ix) {
+        Some(f) => format!(" (in fn `{}`)", f.name),
+        None => String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// charge-confine
+// ---------------------------------------------------------------------------
+
+/// Files allowed to call the raw accounting sink: the scheduler's
+/// charge wrapper (the only sanctioned caller) and the accounting
+/// structure's own module.
+const CHARGE_FILES: &[&str] = &["crates/sim/src/sched.rs", "crates/sim/src/cpu.rs"];
+
+fn charge_confine(
+    path: &str,
+    code: &[Tok<'_>],
+    items: &[syntax::Item],
+    calls: &[syntax::CallPath],
+    out: &mut Vec<Candidate>,
+) {
+    if CHARGE_FILES.iter().any(|f| path.ends_with(f)) {
+        return;
+    }
+    for c in calls {
+        let direct_sink = (c.via == CallVia::Method && c.ends_with(&["acct", "add"]))
+            || (c.via == CallVia::Path
+                && (c.ends_with(&["CpuAccounting", "add"]) || c.ends_with(&["Accounting", "add"])));
+        if direct_sink {
+            let t = &code[c.callee_ix];
+            out.push(cand(
+                "charge-confine",
+                t,
+                format!(
+                    "`{}` charges cycles directly, bypassing the sched.rs charge \
+                     wrapper that attributes them to spans; route the charge through \
+                     the scheduler so span + unattributed == engine total holds{}",
+                    c.segments.join("."),
+                    fn_context(items, c.callee_ix)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shard-send
+// ---------------------------------------------------------------------------
+
+/// Files that own the cross-shard machinery.
+const SHARD_FILES: &[&str] = &["crates/sim/src/par.rs", "crates/sim/src/engine.rs"];
+
+/// The raw machinery: outbox drain/delivery entry points and the
+/// in-flight message types. `Ctx::post_remote` is the sanctioned API
+/// and is deliberately *not* in this list.
+const SHARD_CALLEES: &[&str] = &["take_outbox", "deliver_remote"];
+const SHARD_TYPES: &[&str] = &["Outbound"];
+
+fn shard_send(
+    path: &str,
+    code: &[Tok<'_>],
+    items: &[syntax::Item],
+    calls: &[syntax::CallPath],
+    out: &mut Vec<Candidate>,
+) {
+    if SHARD_FILES.iter().any(|f| path.ends_with(f)) {
+        return;
+    }
+    for c in calls {
+        if SHARD_CALLEES.contains(&c.callee()) {
+            let t = &code[c.callee_ix];
+            out.push(cand(
+                "shard-send",
+                t,
+                format!(
+                    "`{}` touches the raw cross-shard outbox; handler code must send \
+                     via `ctx.post_remote(…)` so deliveries keep the canonical \
+                     (time, shard, seq) barrier order{}",
+                    c.segments.join("."),
+                    fn_context(items, c.callee_ix)
+                ),
+            ));
+            continue;
+        }
+        // `world.post_remote(…)` / `World::post_remote(…)`: the
+        // engine-side entry point, below the seq-stamping Ctx wrapper.
+        let raw_post = c.callee() == "post_remote"
+            && ((c.via == CallVia::Method && c.ends_with(&["world", "post_remote"]))
+                || (c.via == CallVia::Path && c.ends_with(&["World", "post_remote"])));
+        if raw_post {
+            let t = &code[c.callee_ix];
+            out.push(cand(
+                "shard-send",
+                t,
+                format!(
+                    "`{}` posts to the outbox below the Ctx wrapper; handler code \
+                     must use `ctx.post_remote(…)`{}",
+                    c.segments.join("."),
+                    fn_context(items, c.callee_ix)
+                ),
+            ));
+        }
+    }
+    // Type mentions and field access: `Outbound`, `.outbox`.
+    for (i, t) in code.iter().enumerate() {
+        if SHARD_TYPES.iter().any(|ty| t.is_ident(ty)) {
+            out.push(cand(
+                "shard-send",
+                t,
+                format!(
+                    "`{}` is the raw in-flight cross-shard message type, owned by \
+                     vread_sim::par; handler code must not construct or inspect it{}",
+                    t.text,
+                    fn_context(items, i)
+                ),
+            ));
+        }
+        if t.is_ident("outbox")
+            && matches!(i.checked_sub(1).and_then(|p| code.get(p)), Some(p) if p.is_punct('.'))
+        {
+            out.push(cand(
+                "shard-send",
+                t,
+                format!(
+                    "`.outbox` reaches into the raw cross-shard queue; handler code \
+                     must send via `ctx.post_remote(…)`{}",
+                    fn_context(items, i)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sealed-match
+// ---------------------------------------------------------------------------
+
+/// The workspace's load-bearing enums: adding a variant to any of these
+/// must be a compile-time (here: lint-time) event at every consumer.
+/// `Stage` gained `Map` in PR 7 — a wildcard arm in the ledger or the
+/// Perfetto export would have silently dropped mapped bytes.
+pub const SEALED_ENUMS: &[&str] = &[
+    "Stage",
+    "Admission",
+    "FaultKind",
+    "ReadPath",
+    "HostCacheMode",
+    "TraceKind",
+];
+
+fn sealed_match(code: &[Tok<'_>], out: &mut Vec<Candidate>) {
+    for m in syntax::parse_matches(code) {
+        // Which sealed enum (if any) do the arm *patterns* mention?
+        // Scrutinee and arm bodies are deliberately ignored: `match n {
+        // 3 => FaultKind::DiskSlow { … } }` constructs, not destructures.
+        let sealed = SEALED_ENUMS.iter().find(|e| {
+            m.arms
+                .iter()
+                .any(|a| syntax::range_mentions_path_head(code, a.pat.clone(), e))
+        });
+        let Some(sealed) = sealed else { continue };
+        for a in &m.arms {
+            if m.arm_is_wildcard(code, a) {
+                let t = &code[a.pat.start];
+                out.push(cand(
+                    "sealed-match",
+                    t,
+                    format!(
+                        "wildcard `_` arm in a match over sealed enum `{sealed}`; \
+                         list the remaining variants so adding one forces every \
+                         consumer to handle it"
+                    ),
+                ));
+            }
+        }
+    }
+}

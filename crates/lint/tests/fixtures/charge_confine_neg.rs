@@ -1,0 +1,12 @@
+// Fixture: sanctioned charge paths — everything routes via the scheduler.
+fn charge_properly(ctx: &mut Ctx) {
+    ctx.charge(CpuCategory::Daemon, 100);
+    ctx.sched.charge_span(CpuCategory::Other, 50);
+}
+
+fn not_the_sink(ledger: &mut Ledger) {
+    // `add` on something that is not the accounting sink, and an ident
+    // that merely contains `acct` — neither is the raw sink.
+    ledger.add(2);
+    ledger.acct_add(1);
+}

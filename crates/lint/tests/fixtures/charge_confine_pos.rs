@@ -1,0 +1,11 @@
+// Fixture: raw cycle charges outside the sched.rs charge wrapper.
+fn leak_cycles(acct: &mut CpuAccounting, tid: ThreadId) {
+    acct.add(tid, CpuCategory::Other, 100); //~ charge-confine
+    CpuAccounting::add(acct, tid, CpuCategory::Other, 50); //~ charge-confine
+}
+
+impl Daemon {
+    fn tick(&mut self) {
+        self.acct.add(self.tid, CpuCategory::Daemon, 1); //~ charge-confine
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: wildcard arms on the workspace's sealed enums.
+fn stage_cost(s: &Stage) -> u64 {
+    match s {
+        Stage::Cpu { cycles, .. } => *cycles,
+        Stage::Copy { cycles, .. } => *cycles,
+        _ => 0, //~ sealed-match
+    }
+}
+
+fn is_crash(k: &FaultKind) -> bool {
+    match k {
+        FaultKind::DaemonCrash { .. } | FaultKind::VmCrash { .. } => true,
+        _ => false, //~ sealed-match
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: the sanctioned cross-shard API and lookalikes.
+fn hustle(ctx: &mut Ctx, dst: usize, ev: Event) {
+    // The seq-stamping wrapper is the one true send path.
+    ctx.post_remote(dst, ev);
+}
+
+fn lookalikes(mailbox: &mut Mailbox) {
+    // `outbox` as a plain binding (no field access) and an unrelated
+    // `deliver` method are not the raw machinery.
+    let outbox = mailbox.len();
+    mailbox.deliver(outbox);
+}

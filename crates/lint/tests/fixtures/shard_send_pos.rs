@@ -1,0 +1,16 @@
+// Fixture: handler code reaching into the raw cross-shard machinery.
+fn hustle(world: &mut World, shard: usize) {
+    let pending = world.take_outbox(shard); //~ shard-send
+    for (dst, ev) in pending {
+        world.post_remote(dst, ev); //~ shard-send
+    }
+    deliver_remote(world, shard); //~ shard-send
+}
+
+fn forge(dst: usize, seq: u64) -> Outbound { //~ shard-send
+    Outbound { dst, seq } //~ shard-send
+}
+
+fn drain(world: &mut World) {
+    world.outbox.clear(); //~ shard-send
+}

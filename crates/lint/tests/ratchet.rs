@@ -1,0 +1,113 @@
+//! End-to-end suppression-ratchet round trip, driving the built binary.
+//!
+//! The scenario the ratchet exists for: a run is *clean* (every
+//! violation carries an allow), but the number of allows has crept up.
+//! `vread-lint` must fail that run with its distinguished exit code
+//! until someone consciously runs `--update-baseline`.
+//!
+//! Fixture workspaces live under `CARGO_TARGET_TMPDIR`; the violating
+//! code is embedded here as string literals, which the linter's lexer
+//! treats as opaque — this test file itself stays lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const ONE_ALLOW: &str = "pub fn stamp() {\n    \
+    let _t = std::time::Instant::now(); \
+    // vread-lint: allow(wall-clock, \"ratchet fixture\")\n}\n";
+
+const TWO_ALLOWS: &str = "pub fn stamp() {\n    \
+    let _t = std::time::Instant::now(); \
+    // vread-lint: allow(wall-clock, \"ratchet fixture\")\n}\n\
+    pub fn stamp2() {\n    \
+    let _t = std::time::Instant::now(); \
+    // vread-lint: allow(wall-clock, \"second site\")\n}\n";
+
+const NAKED_VIOLATION: &str = "pub fn stamp() {\n    let _t = std::time::Instant::now();\n}\n";
+
+const STALE_ALLOW: &str = "// vread-lint: allow(wall-clock, \"nothing here fires\")\n\
+    pub fn quiet() -> u64 {\n    7\n}\n";
+
+/// Creates a one-file workspace under the target tmpdir.
+fn setup(name: &str, src: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("src")).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(root.join("src/lib.rs"), src).unwrap();
+    root
+}
+
+/// Runs the built `vread-lint` on `root`; returns (exit code, stderr).
+fn lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vread-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run vread-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn ratchet_round_trip() {
+    let root = setup("ratchet-round-trip", ONE_ALLOW);
+
+    // No baseline committed yet: clean run, nothing to ratchet against.
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 0, "clean + no baseline must pass: {err}");
+
+    // Record the baseline (wall-clock: 1 allow).
+    let (code, err) = lint(&root, &["--update-baseline"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(root.join("lint-baseline.json").exists());
+
+    // Regress: a second allowed violation. Still *clean*, but the allow
+    // count grew — distinguished exit code 4, with a ratchet message.
+    std::fs::write(root.join("src/lib.rs"), TWO_ALLOWS).unwrap();
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 4, "allow growth must fail the ratchet: {err}");
+    assert!(err.contains("ratchet"), "{err}");
+    assert!(err.contains("wall-clock"), "{err}");
+
+    // Conscious update: ratchet re-anchors, run passes again.
+    let (code, err) = lint(&root, &["--update-baseline"]);
+    assert_eq!(code, 0, "{err}");
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 0, "post-update run must pass: {err}");
+
+    // Shrink back to one allow: strictly better, the ratchet lets it by.
+    std::fs::write(root.join("src/lib.rs"), ONE_ALLOW).unwrap();
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 0, "shrinking below baseline must pass: {err}");
+}
+
+#[test]
+fn naked_violation_exits_1_even_with_baseline_headroom() {
+    let root = setup("ratchet-violation", ONE_ALLOW);
+    let (code, _) = lint(&root, &["--update-baseline"]);
+    assert_eq!(code, 0);
+    // An unsuppressed violation is exit 1 regardless of the baseline:
+    // the ratchet governs suppressions, not violations.
+    std::fs::write(root.join("src/lib.rs"), NAKED_VIOLATION).unwrap();
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 1, "{err}");
+}
+
+#[test]
+fn stale_allow_exits_3() {
+    let root = setup("ratchet-stale", STALE_ALLOW);
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 3, "annotation-only problems are exit 3: {err}");
+}
+
+#[test]
+fn corrupt_baseline_is_an_io_error() {
+    let root = setup("ratchet-corrupt", ONE_ALLOW);
+    std::fs::write(root.join("lint-baseline.json"), "not json").unwrap();
+    let (code, err) = lint(&root, &[]);
+    assert_eq!(code, 2, "{err}");
+}

@@ -48,6 +48,25 @@ fn removing_an_allow_fails_the_run() {
 }
 
 #[test]
+fn workspace_holds_the_committed_baseline() {
+    // The suppression ratchet, run the way CI runs it: current per-rule
+    // violation/allow counts may not exceed the committed
+    // lint-baseline.json. A shrink is fine (re-anchor the baseline when
+    // convenient); growth must be a conscious `--update-baseline`.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = vread_lint::baseline::Baseline::parse(&text).expect("baseline parses");
+    let report = vread_lint::run_workspace(root).expect("walk workspace");
+    let regressions = baseline.regressions(&report.rule_counts());
+    assert!(
+        regressions.is_empty(),
+        "suppression ratchet regressed: {regressions:?}\n\
+         fix the new site, or consciously run `repro lint --update-baseline`"
+    );
+}
+
+#[test]
 fn json_report_is_byte_stable() {
     let a = vread_lint::run_workspace(workspace_root()).expect("walk");
     let b = vread_lint::run_workspace(workspace_root()).expect("walk");

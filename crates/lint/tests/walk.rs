@@ -1,0 +1,61 @@
+//! Workspace-walk scoping tests.
+//!
+//! The walk must skip the lint crate's own `tests/fixtures/` (deliberate
+//! violations live there) without blinding itself to `fixtures/`
+//! directories elsewhere in the tree — a data-fixture dir in another
+//! crate is ordinary code and must be scanned.
+
+use std::path::Path;
+
+#[test]
+fn fixture_skip_is_scoped_to_the_lint_crate() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("walk-scope");
+    let _ = std::fs::remove_dir_all(&root);
+    for d in [
+        "crates/lint/tests/fixtures",
+        "crates/core/fixtures",
+        "crates/core/src",
+    ] {
+        std::fs::create_dir_all(root.join(d)).unwrap();
+    }
+    std::fs::write(
+        root.join("crates/lint/tests/fixtures/skip_me.rs"),
+        "fn a() {}\n",
+    )
+    .unwrap();
+    std::fs::write(root.join("crates/core/fixtures/scan_me.rs"), "fn b() {}\n").unwrap();
+    std::fs::write(root.join("crates/core/src/lib.rs"), "fn c() {}\n").unwrap();
+
+    let files = vread_lint::collect_rs_files(&root).unwrap();
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    assert!(
+        names
+            .iter()
+            .any(|p| p.ends_with("crates/core/fixtures/scan_me.rs")),
+        "non-lint fixtures/ dirs must be scanned: {names:?}"
+    );
+    assert!(names.iter().any(|p| p.ends_with("crates/core/src/lib.rs")));
+    assert!(
+        !names.iter().any(|p| p.contains("lint/tests/fixtures")),
+        "the lint crate's own fixtures must stay skipped: {names:?}"
+    );
+}
+
+#[test]
+fn target_and_vcs_dirs_stay_skipped() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("walk-skip");
+    let _ = std::fs::remove_dir_all(&root);
+    for d in ["target/debug", ".git/objects", "src"] {
+        std::fs::create_dir_all(root.join(d)).unwrap();
+    }
+    std::fs::write(root.join("target/debug/gen.rs"), "fn a() {}\n").unwrap();
+    std::fs::write(root.join(".git/objects/x.rs"), "fn b() {}\n").unwrap();
+    std::fs::write(root.join("src/lib.rs"), "fn c() {}\n").unwrap();
+
+    let files = vread_lint::collect_rs_files(&root).unwrap();
+    assert_eq!(files.len(), 1, "{files:?}");
+    assert!(files[0].ends_with("src/lib.rs"));
+}
