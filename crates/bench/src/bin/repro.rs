@@ -5,6 +5,7 @@
 //! repro [--json DIR] [--jobs N] [--engine-threads N] <experiment>... | all | list
 //! repro scenario <file.json> [--spans] [--jobs N] [--engine-threads N]
 //! repro trace [vanilla|vread-rdma|vread-tcp|cas-dedup|all] [--trace-out FILE] [--jobs N] [--engine-threads N]
+//! repro timeline [<file.json>... | ramp] [--sample-ms N] [--trace-out FILE] [--jobs N] [--engine-threads N]
 //! repro fault-matrix [--jobs N] [--engine-threads N]
 //! repro bench-engine [--out FILE]
 //! repro lint [--format text|json|sarif] [--update-baseline]
@@ -73,6 +74,10 @@ fn main() {
                 println!(
                     "trace [vanilla|vread-rdma|vread-tcp|cas-dedup|all] [--trace-out FILE] [--jobs N] \
                      [--engine-threads N]"
+                );
+                println!(
+                    "timeline [<file.json>... | ramp] [--sample-ms N] [--trace-out FILE] \
+                     [--jobs N] [--engine-threads N]"
                 );
                 println!("fault-matrix [--jobs N] [--engine-threads N]");
                 println!("bench-engine [--out FILE]");
@@ -202,6 +207,75 @@ fn main() {
                     which.push(TraceCell::CasDedup);
                 }
                 trace_cmd(&which, trace_out.as_deref(), t_jobs.unwrap_or(1), t_engine);
+                return;
+            }
+            "timeline" => {
+                let mut cells: Vec<TimelineCell> = Vec::new();
+                let mut sample_ms: Option<u64> = None;
+                let mut trace_out: Option<String> = None;
+                let mut tl_jobs = jobs;
+                let mut tl_engine = engine_threads;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--sample-ms" => {
+                            let parsed = it.next().and_then(|v| v.parse::<u64>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => sample_ms = Some(n),
+                                _ => {
+                                    eprintln!("--sample-ms needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "--trace-out" => match it.next() {
+                            Some(f) => trace_out = Some(f),
+                            None => {
+                                eprintln!("--trace-out needs a file argument");
+                                std::process::exit(2);
+                            }
+                        },
+                        "--jobs" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => tl_jobs = Some(n),
+                                _ => {
+                                    eprintln!("--jobs needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "--engine-threads" => {
+                            let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                            match parsed {
+                                Some(n) if n >= 1 => tl_engine = n,
+                                _ => {
+                                    eprintln!("--engine-threads needs a positive integer");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                        "ramp" => {
+                            cells.push(TimelineCell::Ramp(vread_bench::ReadPath::Vanilla));
+                            cells.push(TimelineCell::Ramp(vread_bench::ReadPath::VreadRdma));
+                        }
+                        other if other.starts_with("--") => {
+                            eprintln!("timeline: unknown argument {other:?}");
+                            std::process::exit(2);
+                        }
+                        file => cells.push(TimelineCell::File(file.to_owned())),
+                    }
+                }
+                if cells.is_empty() {
+                    cells.push(TimelineCell::Ramp(vread_bench::ReadPath::Vanilla));
+                    cells.push(TimelineCell::Ramp(vread_bench::ReadPath::VreadRdma));
+                }
+                timeline_cmd(
+                    &cells,
+                    sample_ms,
+                    trace_out.as_deref(),
+                    tl_jobs.unwrap_or(1),
+                    tl_engine,
+                );
                 return;
             }
             "fault-matrix" => {
@@ -682,6 +756,157 @@ fn trace_cmd(which: &[TraceCell], trace_out: Option<&str>, jobs: usize, engine_t
     }
     if failed > 0 {
         eprintln!("{failed} trace cell(s) failed");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// timeline: the telemetry gate. Runs scenarios with the deterministic
+// sampler on, prints the per-window tail-latency table plus the
+// saturation verdict, and optionally exports the sampled series as
+// Perfetto counter tracks spliced into the Chrome trace. The built-in
+// `ramp` cells stagger readers onto one shared host so vanilla's p99
+// visibly saturates while vRead's stays flat.
+// ---------------------------------------------------------------------------
+
+/// One cell of the timeline gate: a scenario file, or a built-in
+/// staggered-reader ramp on one read path.
+#[derive(Clone)]
+enum TimelineCell {
+    File(String),
+    Ramp(vread_bench::ReadPath),
+}
+
+impl TimelineCell {
+    fn name(&self) -> String {
+        match self {
+            TimelineCell::File(f) => f.clone(),
+            TimelineCell::Ramp(p) => format!("ramp-{}", p.as_str()),
+        }
+    }
+}
+
+/// The ramp scenario: six reader clients start 150 ms apart on one
+/// shared 4-core host, each reading the same co-located 32 MB file in
+/// 1 MB requests. Rising concurrency drives the vanilla path's
+/// per-window p99 past the saturation multiplier; vRead's shared-ring
+/// path absorbs the same offered load.
+fn ramp_spec(path: vread_bench::ReadPath) -> vread_bench::ScenarioSpec {
+    use vread_bench::spec::WorkloadSpec;
+    let mut b = vread_bench::ScenarioSpec::builder()
+        .path(path)
+        .timeline_sample_ms(50)
+        .host("h1", 2, 2.0)
+        .datanode("dn1", "h1")
+        .file("/d", 32, &["dn1"]);
+    for i in 0..8 {
+        let client = format!("c{i}");
+        b = b.client(&client, "h1").workload_on(
+            &client,
+            i * 60,
+            WorkloadSpec::Reader {
+                path: "/d".to_owned(),
+                request_kb: 1024,
+            },
+        );
+    }
+    b.build().expect("ramp scenario is statically valid")
+}
+
+/// Runs one timeline cell: returns (report text, chrome JSON — empty
+/// unless tracing was requested).
+fn timeline_one(
+    cell: &TimelineCell,
+    sample_ms: Option<u64>,
+    want_trace: bool,
+    engine_threads: usize,
+) -> Result<(String, String), String> {
+    use std::fmt::Write as _;
+    use vread_bench::TimelineSpec;
+    let mut spec = match cell {
+        TimelineCell::File(file) => {
+            let json =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            vread_bench::ScenarioSpec::from_json(&json).map_err(|e| format!("{file}: {e}"))?
+        }
+        TimelineCell::Ramp(path) => ramp_spec(*path),
+    };
+    match sample_ms {
+        Some(ms) => spec.timeline = Some(TimelineSpec { sample_ms: ms }),
+        None => {
+            if spec.timeline.is_none() {
+                spec.timeline = Some(TimelineSpec { sample_ms: 10 });
+            }
+        }
+    }
+    spec.spans |= want_trace;
+    let report = spec
+        .run_with_engine(engine_threads)
+        .map_err(|e| format!("scenario failed: {e}"))?;
+    let tl = report
+        .timeline
+        .as_ref()
+        .expect("timeline enabled by the subcommand");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bytes={} elapsed_s={:.3} rate={:.2}",
+        report.bytes, report.elapsed_s, report.rate
+    );
+    out.push_str(&tl.render());
+    let chrome = match (&report.spans, want_trace) {
+        (Some(sp), true) => tl.splice_into_chrome_trace(&sp.report.chrome_trace_json()),
+        _ => String::new(),
+    };
+    Ok((out, chrome))
+}
+
+fn timeline_cmd(
+    cells: &[TimelineCell],
+    sample_ms: Option<u64>,
+    trace_out: Option<&str>,
+    jobs: usize,
+    engine_threads: usize,
+) {
+    let n = cells.len();
+    let results = run_indexed(n, jobs, |i| {
+        catch_unwind(AssertUnwindSafe(|| {
+            timeline_one(&cells[i], sample_ms, trace_out.is_some(), engine_threads)
+        }))
+        .unwrap_or_else(|_| Err("timeline cell panicked".to_owned()))
+    });
+    let mut failed = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let name = cells[i].name();
+        if n > 1 {
+            println!("== timeline {name} ==");
+        }
+        match result {
+            Ok((text, chrome)) => {
+                print!("{text}");
+                if let Some(base) = trace_out {
+                    if !chrome.is_empty() {
+                        let safe = name.replace(['/', '\\'], "_");
+                        let file = trace_out_name(base, &safe, n > 1);
+                        std::fs::write(&file, &chrome).unwrap_or_else(|e| {
+                            eprintln!("cannot write {file}: {e}");
+                            std::process::exit(1);
+                        });
+                        println!("[chrome trace written to {file}]");
+                    }
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("{e}");
+            }
+        }
+        if n > 1 {
+            println!();
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} timeline cell(s) failed");
         std::process::exit(1);
     }
 }

@@ -55,6 +55,9 @@ pub struct DeployPlan {
     pub files: Vec<FileSpec>,
     /// Host block-store configuration (default: per-host LRU).
     pub host_cache: HostCacheSpec,
+    /// Telemetry timeline sampling period in simulated milliseconds;
+    /// `None` (the default) leaves the timeline disabled.
+    pub timeline_sample_ms: Option<u64>,
 }
 
 impl DeployPlan {
@@ -70,6 +73,7 @@ impl DeployPlan {
             vms: Vec::new(),
             files: Vec::new(),
             host_cache: HostCacheSpec::default(),
+            timeline_sample_ms: None,
         }
     }
 
@@ -121,6 +125,12 @@ impl DeployPlan {
     /// Configures the host block store.
     pub fn host_cache(mut self, cache: HostCacheSpec) -> Self {
         self.host_cache = cache;
+        self
+    }
+
+    /// Enables the telemetry timeline with the given sampling period.
+    pub fn timeline_sample_ms(mut self, sample_ms: u64) -> Self {
+        self.timeline_sample_ms = Some(sample_ms);
         self
     }
 }
@@ -273,6 +283,50 @@ impl Deployment {
                 Placement::RoundRobin(dns)
             };
             populate_file(&mut w, &f.path, f.mb << 20, &placement);
+        }
+
+        if let Some(ms) = plan.timeline_sample_ms {
+            // Host block-store occupancy and hit/dedup rates. The store
+            // lives behind `w.ext` (vread_sim cannot depend on
+            // vread_host), so each host registers provider closures the
+            // sampler polls on every tick.
+            for (i, h) in plan.hosts.iter().enumerate() {
+                let used = move |w: &World| {
+                    w.ext
+                        .get::<Cluster>()
+                        .map_or(0.0, |cl| cl.hosts[i].cache.used_bytes() as f64)
+                };
+                let hit = move |w: &World| {
+                    w.ext.get::<Cluster>().map_or(0.0, |cl| {
+                        let st = cl.hosts[i].cache.stats();
+                        let lookups = st.hits + st.misses;
+                        if lookups == 0 {
+                            0.0
+                        } else {
+                            st.hits as f64 / lookups as f64
+                        }
+                    })
+                };
+                let dedup = move |w: &World| {
+                    w.ext.get::<Cluster>().map_or(0.0, |cl| {
+                        let st = cl.hosts[i].cache.stats();
+                        let lookups = st.hits + st.misses;
+                        if lookups == 0 {
+                            0.0
+                        } else {
+                            st.dedup_hits as f64 / lookups as f64
+                        }
+                    })
+                };
+                let name = &h.name;
+                w.timeline
+                    .register_provider(&format!("store.{name}.used_bytes"), Box::new(used));
+                w.timeline
+                    .register_provider(&format!("store.{name}.hit_rate"), Box::new(hit));
+                w.timeline
+                    .register_provider(&format!("store.{name}.dedup_rate"), Box::new(dedup));
+            }
+            w.start_timeline(SimDuration::from_millis(ms));
         }
 
         Ok(Deployment {

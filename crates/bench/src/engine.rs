@@ -190,6 +190,7 @@ pub fn partition(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             faults: Vec::new(),
             spans: spec.spans,
             host_cache: spec.host_cache.clone(),
+            timeline: spec.timeline.clone(),
         })
         .collect();
     for (h, host) in spec.hosts.iter().enumerate() {
@@ -308,6 +309,7 @@ pub fn cluster_fanout_spec(n: usize) -> ScenarioSpec {
         faults: Vec::new(),
         spans: false,
         host_cache: crate::spec::HostCacheSpec::default(),
+        timeline: None,
     };
     for i in 0..n {
         spec.hosts.push(HostSpec {

@@ -23,6 +23,7 @@ pub mod report;
 pub mod scenarios;
 pub mod spans;
 pub mod spec;
+pub mod timeline;
 
 pub use deploy::{make_read_client, DeployPlan, Deployment};
 pub use engine::{cluster_fanout_spec, partition, run_fanout_bench, run_partitioned};
@@ -32,5 +33,6 @@ pub use scenarios::{Locality, ReadPath, Testbed, TestbedOpts};
 pub use spans::{ReadAggregate, SpanSummary};
 pub use spec::{
     HostCacheReport, HostCacheSpec, ScenarioBuilder, ScenarioReport, ScenarioSpec, SpecError,
-    WorkloadBinding, WorkloadReport, WorkloadSpec,
+    TimelineSpec, WorkloadBinding, WorkloadReport, WorkloadSpec,
 };
+pub use timeline::{TimelineSeries, TimelineSummary, TimelineWindow, SATURATION_X};

@@ -35,6 +35,7 @@ use crate::faults::{collect_fault_report, FaultKind, FaultReport, FaultSpec};
 use crate::json::{n, obj, s, Json};
 use crate::scenarios::ReadPath;
 use crate::spans::SpanSummary;
+use crate::timeline::TimelineSummary;
 
 use vread_apps::dfsio::{DfsioConfig, DfsioMode, TestDfsio};
 use vread_apps::driver::{complete_job_after, run_jobs, run_jobs_settled};
@@ -110,6 +111,16 @@ pub struct HostCacheSpec {
     pub capacity_mb: Option<u64>,
     /// Store chunk size override in KiB (default: cost model).
     pub chunk_kb: Option<u64>,
+}
+
+/// Telemetry timeline configuration (the scenario's `"timeline"`
+/// block). Absent, the timeline stays disabled: no sampler ticks are
+/// scheduled and existing reports serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSpec {
+    /// Sampling period — and latency-window length — in simulated
+    /// milliseconds (must be positive).
+    pub sample_ms: u64,
 }
 
 /// The measured workload.
@@ -231,6 +242,9 @@ pub struct ScenarioSpec {
     pub spans: bool,
     /// Host block-store configuration (default: per-host LRU).
     pub host_cache: HostCacheSpec,
+    /// Telemetry timeline configuration (default: disabled). Adds a
+    /// [`TimelineSummary`] to the report; off runs serialize unchanged.
+    pub timeline: Option<TimelineSpec>,
 }
 
 /// Per-workload results (multi-workload scenarios only).
@@ -278,6 +292,9 @@ pub struct ScenarioReport {
     /// content-addressed store, so LRU reports serialize exactly as
     /// before.
     pub host_cache: Option<HostCacheReport>,
+    /// Telemetry rollup — present only when the scenario enabled the
+    /// timeline, so timeline-off reports serialize exactly as before.
+    pub timeline: Option<TimelineSummary>,
 }
 
 /// End-of-run host block-store figures, summed over all hosts
@@ -407,6 +424,9 @@ impl ScenarioReport {
         if let Some(hc) = &self.host_cache {
             fields.push(("host_cache", hc.to_json()));
         }
+        if let Some(tl) = &self.timeline {
+            fields.push(("timeline", tl.to_json()));
+        }
         obj(fields).pretty()
     }
 }
@@ -467,11 +487,12 @@ pub(crate) fn str_list(j: &Json, key: &str, ctx: &str) -> Result<Vec<String>, Sp
 
 /// Top-level scenario keys the parser understands; anything else is a
 /// typo and gets rejected rather than silently ignored.
-const TOP_LEVEL_KEYS: [&str; 10] = [
+const TOP_LEVEL_KEYS: [&str; 11] = [
     "seed",
     "path",
     "spans",
     "host_cache",
+    "timeline",
     "hosts",
     "vms",
     "files",
@@ -530,6 +551,30 @@ fn host_cache_from_json(j: &Json) -> Result<HostCacheSpec, SpecError> {
         return Err(parse_err("host_cache: \"chunk_kb\" must be positive"));
     }
     Ok(spec)
+}
+
+/// Keys the `"timeline"` block understands (same strictness as the top
+/// level: a typo is rejected, not ignored).
+const TIMELINE_KEYS: [&str; 1] = ["sample_ms"];
+
+fn timeline_from_json(j: &Json) -> Result<TimelineSpec, SpecError> {
+    if let Json::Obj(members) = j {
+        for (k, _) in members {
+            if !TIMELINE_KEYS.contains(&k.as_str()) {
+                return Err(parse_err(format!(
+                    "timeline: unknown field {k:?} (known fields: {})",
+                    TIMELINE_KEYS.join(", ")
+                )));
+            }
+        }
+    } else {
+        return Err(parse_err("scenario: field \"timeline\" must be an object"));
+    }
+    let sample_ms = req_u64(j, "sample_ms", "timeline")?;
+    if sample_ms == 0 {
+        return Err(parse_err("timeline: \"sample_ms\" must be positive"));
+    }
+    Ok(TimelineSpec { sample_ms })
 }
 
 /// Rejects duplicate host names, VM names or file paths — a duplicate
@@ -743,6 +788,11 @@ impl ScenarioSpec {
             Some(hc) => host_cache_from_json(hc)?,
         };
 
+        let timeline = match j.get("timeline") {
+            None | Some(Json::Null) => None,
+            Some(tl) => Some(timeline_from_json(tl)?),
+        };
+
         check_unique_names(&hosts, &vms, &files)?;
 
         Ok(ScenarioSpec {
@@ -755,6 +805,7 @@ impl ScenarioSpec {
             faults,
             spans,
             host_cache,
+            timeline,
         })
     }
 
@@ -866,6 +917,7 @@ impl ScenarioSpec {
             vms: self.vms.clone(),
             files: self.files.clone(),
             host_cache: self.host_cache.clone(),
+            timeline_sample_ms: self.timeline.as_ref().map(|t| t.sample_ms),
         };
         let d = Deployment::build(plan)?;
         d.first_client()?;
@@ -1215,6 +1267,12 @@ impl ScenarioSpec {
             None
         };
 
+        let timeline = if self.timeline.is_some() {
+            Some(TimelineSummary::collect(w))
+        } else {
+            None
+        };
+
         ScenarioReport {
             elapsed_s,
             bytes,
@@ -1229,6 +1287,7 @@ impl ScenarioSpec {
             },
             spans,
             host_cache,
+            timeline,
         }
     }
 }
@@ -1299,6 +1358,7 @@ pub struct ScenarioBuilder {
     faults: Vec<FaultSpec>,
     spans: bool,
     host_cache: HostCacheSpec,
+    timeline: Option<TimelineSpec>,
 }
 
 impl Default for ScenarioBuilder {
@@ -1313,6 +1373,7 @@ impl Default for ScenarioBuilder {
             faults: Vec::new(),
             spans: false,
             host_cache: HostCacheSpec::default(),
+            timeline: None,
         }
     }
 }
@@ -1423,6 +1484,13 @@ impl ScenarioBuilder {
     /// cost model's capacity).
     pub fn host_cache(mut self, cache: HostCacheSpec) -> Self {
         self.host_cache = cache;
+        self
+    }
+
+    /// Enables the telemetry timeline, sampling every `sample_ms`
+    /// simulated milliseconds (default off).
+    pub fn timeline_sample_ms(mut self, sample_ms: u64) -> Self {
+        self.timeline = Some(TimelineSpec { sample_ms });
         self
     }
 
@@ -1542,6 +1610,11 @@ impl ScenarioBuilder {
                 "host_cache chunk_kb must be positive".to_owned(),
             ));
         }
+        if self.timeline.as_ref().is_some_and(|t| t.sample_ms == 0) {
+            return Err(SpecError::Invalid(
+                "timeline sample_ms must be positive".to_owned(),
+            ));
+        }
         Ok(ScenarioSpec {
             seed: self.seed,
             path: self.path,
@@ -1552,6 +1625,7 @@ impl ScenarioBuilder {
             faults: self.faults,
             spans: self.spans,
             host_cache: self.host_cache,
+            timeline: self.timeline,
         })
     }
 }
@@ -1972,6 +2046,66 @@ mod tests {
         assert!(cas.to_json().contains("effective_capacity_x"));
         let hc = cas.host_cache.expect("cas run reports its store");
         assert!(hc.effective_capacity_x >= 1.0);
+    }
+
+    #[test]
+    fn timeline_block_parses_and_validates() {
+        // absent → no sampler, no report block
+        let spec = ScenarioSpec::from_json(SPEC).unwrap();
+        assert!(spec.timeline.is_none());
+
+        let with = SPEC.replacen(
+            "\"path\"",
+            "\"timeline\": { \"sample_ms\": 20 }, \"path\"",
+            1,
+        );
+        let spec = ScenarioSpec::from_json(&with).unwrap();
+        assert_eq!(spec.timeline, Some(TimelineSpec { sample_ms: 20 }));
+
+        // unknown keys inside the block are rejected by name
+        let bad = with.replace("\"sample_ms\"", "\"sample_sm\"");
+        match ScenarioSpec::from_json(&bad).unwrap_err() {
+            SpecError::Parse(msg) => assert!(msg.contains("sample_sm"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // a zero period is rejected
+        let bad = with.replace("20", "0");
+        assert!(matches!(
+            ScenarioSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+        // the block must be an object
+        let bad = with.replace("{ \"sample_ms\": 20 }", "20");
+        assert!(matches!(
+            ScenarioSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+        // the builder applies the same zero check
+        assert!(matches!(
+            ScenarioSpec::builder().timeline_sample_ms(0).build(),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn timeline_block_adds_report_section() {
+        let spec = ScenarioSpec::from_json(SPEC).unwrap();
+        let off = spec.run().unwrap();
+        assert!(off.timeline.is_none());
+        assert!(!off.to_json().contains("\"timeline\""));
+
+        let with = SPEC.replacen(
+            "\"path\"",
+            "\"timeline\": { \"sample_ms\": 10 }, \"path\"",
+            1,
+        );
+        let on = ScenarioSpec::from_json(&with).unwrap().run().unwrap();
+        assert_eq!(on.bytes, off.bytes, "sampling never perturbs the run");
+        assert_eq!(on.elapsed_s, off.elapsed_s, "virtual time is unchanged");
+        assert!(on.to_json().contains("\"saturation_ms\""));
+        let tl = on.timeline.expect("timeline run reports its summary");
+        assert_eq!(tl.sample_ms, 10);
+        assert!(tl.reads > 0 && tl.ticks > 0);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Timeline reporting: fold the sim's telemetry timeline
+//! ([`vread_sim::Timeline`]) into scenario reports, a per-window
+//! tail-latency table and Perfetto counter tracks.
+//!
+//! The sim layer records; this module summarizes. A scenario with a
+//! `"timeline"` block gains a `timeline` report section containing the
+//! per-window read-latency quantiles (p50/p99/p999), the whole-run
+//! quantiles, every sampled series, and the detected **saturation
+//! point** — the first window whose p99 exceeds
+//! [`SATURATION_X`] times the baseline (the first non-empty window).
+//! That is the paper's tail argument in one number: under rising
+//! concurrency the vanilla path's p99 blows past the multiplier while
+//! vRead's stays flat.
+//!
+//! Scenarios without the block produce no summary and serialize
+//! byte-identically to before the timeline existed.
+
+use std::fmt::Write as _;
+
+use crate::json::{n, obj, s, Json};
+use vread_sim::engine::World;
+
+/// Saturation multiplier: a window is saturated when its p99 exceeds
+/// this factor times the baseline window's p99.
+pub const SATURATION_X: f64 = 3.0;
+
+/// One latency window of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineWindow {
+    /// Window start in simulated milliseconds.
+    pub start_ms: u64,
+    /// Reads completing in this window.
+    pub reads: u64,
+    /// Median read latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile read latency (ms).
+    pub p99_ms: f64,
+    /// 99.9th-percentile read latency (ms).
+    pub p999_ms: f64,
+}
+
+/// One sampled series, `(time_ms, value)` per tick.
+#[derive(Debug, Clone)]
+pub struct TimelineSeries {
+    /// Series name (`sched.h1.runq`, `gauge.ring.h0.bytes`, …).
+    pub name: String,
+    /// Points in tick order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The report-side rollup of a run's telemetry timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineSummary {
+    /// Sampling period (= latency-window length) in simulated ms.
+    pub sample_ms: u64,
+    /// Sampler ticks taken.
+    pub ticks: u64,
+    /// Reads observed over the whole run.
+    pub reads: u64,
+    /// Whole-run median read latency (ms).
+    pub p50_ms: f64,
+    /// Whole-run p99 read latency (ms).
+    pub p99_ms: f64,
+    /// Whole-run p999 read latency (ms).
+    pub p999_ms: f64,
+    /// Slowest read's bucket representative (ms).
+    pub max_ms: f64,
+    /// Per-window latency rows, in time order.
+    pub windows: Vec<TimelineWindow>,
+    /// Every sampled series, in first-sample order.
+    pub series: Vec<TimelineSeries>,
+    /// Start of the first saturated window (p99 > [`SATURATION_X`] ×
+    /// baseline p99), if any.
+    pub saturation_ms: Option<u64>,
+}
+
+fn ns_ms(v: u64) -> f64 {
+    v as f64 / 1e6
+}
+
+impl TimelineSummary {
+    /// Collects the summary from a finished world's timeline.
+    pub fn collect(w: &World) -> TimelineSummary {
+        let tl = &w.timeline;
+        let sample_ms = tl.sample_every().as_nanos() / 1_000_000;
+        let windows: Vec<TimelineWindow> = tl
+            .windows()
+            .map(|(start, h)| TimelineWindow {
+                start_ms: start.as_nanos() / 1_000_000,
+                reads: h.count(),
+                p50_ms: ns_ms(h.quantile(0.5)),
+                p99_ms: ns_ms(h.quantile(0.99)),
+                p999_ms: ns_ms(h.quantile(0.999)),
+            })
+            .collect();
+        // Saturation: baseline is the first window with any reads;
+        // flag the first later window whose p99 exceeds the multiple.
+        let baseline = windows.iter().find(|w| w.reads > 0).map(|w| w.p99_ms);
+        let saturation_ms = baseline.and_then(|base| {
+            windows
+                .iter()
+                .find(|w| w.reads > 0 && w.p99_ms > SATURATION_X * base)
+                .map(|w| w.start_ms)
+        });
+        let run = tl.run_hist();
+        let series = tl
+            .series()
+            .map(|(name, pts)| TimelineSeries {
+                name: name.to_owned(),
+                points: pts
+                    .iter()
+                    .map(|&(t, v)| (t.as_nanos() as f64 / 1e6, v))
+                    .collect(),
+            })
+            .collect();
+        TimelineSummary {
+            sample_ms,
+            ticks: tl.ticks(),
+            reads: run.count(),
+            p50_ms: ns_ms(run.quantile(0.5)),
+            p99_ms: ns_ms(run.quantile(0.99)),
+            p999_ms: ns_ms(run.quantile(0.999)),
+            max_ms: ns_ms(run.max()),
+            windows,
+            series,
+            saturation_ms,
+        }
+    }
+
+    /// The per-window table plus the saturation verdict, as deterministic
+    /// fixed-point text (diffable across `--jobs` / `--engine-threads`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline: sample {} ms, {} ticks, {} series, {} reads  \
+             p50 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms  max {:.3} ms",
+            self.sample_ms,
+            self.ticks,
+            self.series.len(),
+            self.reads,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.max_ms,
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7} {:>10} {:>10} {:>10}",
+            "window_ms", "reads", "p50_ms", "p99_ms", "p999_ms"
+        );
+        for w in &self.windows {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+                w.start_ms, w.reads, w.p50_ms, w.p99_ms, w.p999_ms
+            );
+        }
+        match self.saturation_ms {
+            Some(at) => {
+                let _ = writeln!(
+                    out,
+                    "saturation: p99 exceeds {SATURATION_X:.1}x the baseline window at {at} ms"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "saturation: none (p99 stays within {SATURATION_X:.1}x of the baseline window)"
+                );
+            }
+        }
+        out
+    }
+
+    /// The report's `"timeline"` JSON block.
+    pub fn to_json(&self) -> Json {
+        let windows = Json::Arr(
+            self.windows
+                .iter()
+                .map(|w| {
+                    obj(vec![
+                        ("start_ms", n(w.start_ms as f64)),
+                        ("reads", n(w.reads as f64)),
+                        ("p50_ms", n(w.p50_ms)),
+                        ("p99_ms", n(w.p99_ms)),
+                        ("p999_ms", n(w.p999_ms)),
+                    ])
+                })
+                .collect(),
+        );
+        let series = Json::Arr(
+            self.series
+                .iter()
+                .map(|sr| {
+                    obj(vec![
+                        ("name", s(&sr.name)),
+                        (
+                            "points",
+                            Json::Arr(
+                                sr.points
+                                    .iter()
+                                    .map(|&(t, v)| Json::Arr(vec![n(t), n(v)]))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("sample_ms", n(self.sample_ms as f64)),
+            ("ticks", n(self.ticks as f64)),
+            ("reads", n(self.reads as f64)),
+            ("p50_ms", n(self.p50_ms)),
+            ("p99_ms", n(self.p99_ms)),
+            ("p999_ms", n(self.p999_ms)),
+            ("max_ms", n(self.max_ms)),
+            (
+                "saturation_ms",
+                match self.saturation_ms {
+                    Some(at) => n(at as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("windows", windows),
+            ("series", series),
+        ])
+    }
+
+    /// Splices Perfetto counter tracks (`"ph":"C"` events: one counter
+    /// per sampled series, plus a `read.p99_ms` counter per window) into
+    /// a Chrome trace produced by
+    /// [`chrome_trace_json`](vread_sim::span::SpanReport::chrome_trace_json).
+    /// Returns the trace unchanged when it isn't the expected shape.
+    pub fn splice_into_chrome_trace(&self, trace: &str) -> String {
+        const TAIL: &str = "],\"displayTimeUnit\":\"ms\"}";
+        let Some(at) = trace.rfind(TAIL) else {
+            return trace.to_owned();
+        };
+        let mut events = String::new();
+        let mut sep = !trace[..at].ends_with('[');
+        let push = |events: &mut String, sep: &mut bool, name: &str, ts_ms: f64, v: f64| {
+            if *sep {
+                events.push(',');
+            }
+            *sep = true;
+            let _ = write!(
+                events,
+                "{{\"name\":\"{}\",\"cat\":\"timeline\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":0,\
+                 \"args\":{{\"value\":{}}}}}",
+                name,
+                ts_ms * 1e3,
+                v,
+            );
+        };
+        for sr in &self.series {
+            for &(t, v) in &sr.points {
+                push(&mut events, &mut sep, &sr.name, t, v);
+            }
+        }
+        for w in &self.windows {
+            push(
+                &mut events,
+                &mut sep,
+                "read.p99_ms",
+                w.start_ms as f64,
+                w.p99_ms,
+            );
+        }
+        let mut out = String::with_capacity(trace.len() + events.len());
+        out.push_str(&trace[..at]);
+        out.push_str(&events);
+        out.push_str(&trace[at..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(p99s: &[(u64, u64, f64)]) -> TimelineSummary {
+        TimelineSummary {
+            sample_ms: 10,
+            ticks: 0,
+            reads: p99s.iter().map(|&(_, r, _)| r).sum(),
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            p999_ms: 3.0,
+            max_ms: 4.0,
+            windows: p99s
+                .iter()
+                .map(|&(start_ms, reads, p99_ms)| TimelineWindow {
+                    start_ms,
+                    reads,
+                    p50_ms: p99_ms / 2.0,
+                    p99_ms,
+                    p999_ms: p99_ms,
+                })
+                .collect(),
+            series: vec![TimelineSeries {
+                name: "sched.h1.runq".to_owned(),
+                points: vec![(0.0, 1.0), (10.0, 2.0)],
+            }],
+            saturation_ms: None,
+        }
+    }
+
+    #[test]
+    fn saturation_detects_first_exceeding_window() {
+        // baseline p99 = 1.0 (first non-empty window); 3.5 > 3x
+        let rows = [(0, 4, 1.0), (10, 4, 2.0), (20, 0, 99.0), (30, 4, 3.5)];
+        let s = summary(&rows);
+        let base = s.windows.iter().find(|w| w.reads > 0).unwrap().p99_ms;
+        let sat = s
+            .windows
+            .iter()
+            .find(|w| w.reads > 0 && w.p99_ms > SATURATION_X * base)
+            .map(|w| w.start_ms);
+        assert_eq!(sat, Some(30), "empty windows never count as saturated");
+    }
+
+    #[test]
+    fn render_and_json_are_stable() {
+        let s = summary(&[(0, 4, 1.0), (10, 2, 1.5)]);
+        let text = s.render();
+        assert!(text.contains("window_ms"));
+        assert!(text.contains("saturation: none"));
+        let j = s.to_json().pretty();
+        assert!(j.contains("\"sample_ms\": 10"));
+        assert!(j.contains("\"saturation_ms\": null"));
+        assert!(j.contains("sched.h1.runq"));
+    }
+
+    #[test]
+    fn splice_keeps_trace_valid_shape() {
+        let s = summary(&[(0, 4, 1.0)]);
+        let empty = "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+        let spliced = s.splice_into_chrome_trace(empty);
+        assert!(spliced.starts_with("{\"traceEvents\":[{\"name\":\"sched.h1.runq\""));
+        assert!(spliced.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(
+            !spliced.contains("[,"),
+            "no leading comma after empty array"
+        );
+
+        let nonempty = "{\"traceEvents\":[{\"ph\":\"X\"}],\"displayTimeUnit\":\"ms\"}";
+        let spliced = s.splice_into_chrome_trace(nonempty);
+        assert!(spliced.contains("{\"ph\":\"X\"},{\"name\":\"sched.h1.runq\""));
+
+        // unknown shape passes through untouched
+        assert_eq!(s.splice_into_chrome_trace("{}"), "{}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Determinism of the telemetry timeline across execution knobs.
+//!
+//! The sampler runs as ordinary engine events and the latency windows
+//! are log-bucket histograms whose merge is associative, so a scenario's
+//! `timeline` report block must be byte-identical whether the world is
+//! driven sequentially or through the conservative parallel engine —
+//! and scenarios without a `timeline` block must serialize exactly as
+//! they did before the timeline existed.
+
+use vread_bench::spec::WorkloadSpec;
+use vread_bench::{ReadPath, ScenarioBuilder};
+
+/// A multi-workload scenario with overlapping staggered readers: enough
+/// concurrency that per-window histograms see interleaved completions
+/// from several jobs.
+fn staggered(timeline: bool) -> ScenarioBuilder {
+    let mut b = vread_bench::ScenarioSpec::builder()
+        .seed(7)
+        .path(ReadPath::VreadRdma)
+        .host("h1", 4, 2.0)
+        .host("h2", 4, 2.0)
+        .datanode("dn1", "h1")
+        .datanode("dn2", "h2")
+        .file("/a", 16, &["dn1"])
+        .file("/b", 8, &["dn2"]);
+    for (i, path) in ["/a", "/b", "/a"].iter().enumerate() {
+        let client = format!("c{i}");
+        let host = if i % 2 == 0 { "h1" } else { "h2" };
+        b = b.client(&client, host).workload_on(
+            &client,
+            i as u64 * 25,
+            WorkloadSpec::Reader {
+                path: (*path).to_owned(),
+                request_kb: 1024,
+            },
+        );
+    }
+    if timeline {
+        b = b.timeline_sample_ms(10);
+    }
+    b
+}
+
+#[test]
+fn timeline_report_is_engine_thread_invariant() {
+    let seq = staggered(true)
+        .build()
+        .expect("spec builds")
+        .run_with_engine(1)
+        .expect("sequential run");
+    let par = staggered(true)
+        .build()
+        .expect("spec builds")
+        .run_with_engine(4)
+        .expect("parallel run");
+    let (a, b) = (seq.to_json(), par.to_json());
+    assert!(
+        a.contains("\"timeline\""),
+        "timeline block present when enabled"
+    );
+    assert!(
+        a.contains("\"windows\"") && a.contains("\"series\""),
+        "timeline block carries windows and series"
+    );
+    assert_eq!(
+        a, b,
+        "timeline-bearing report must be byte-identical at 1 and 4 engine threads"
+    );
+    let tl = seq.timeline.expect("summary collected");
+    assert!(tl.reads > 0, "readers were observed");
+    assert!(tl.ticks > 0, "sampler ticked");
+    assert!(!tl.series.is_empty(), "providers were sampled");
+}
+
+#[test]
+fn timeline_report_and_spliced_trace_reparse() {
+    use vread_bench::json::Json;
+    let report = staggered(true)
+        .spans(true)
+        .build()
+        .expect("spec builds")
+        .run_with_engine(1)
+        .expect("run");
+    let parsed = Json::parse(&report.to_json()).expect("report JSON re-parses");
+    let tl = parsed.get("timeline").expect("timeline block");
+    assert_eq!(tl.get("sample_ms").and_then(Json::as_u64), Some(10));
+    assert!(!tl.get("windows").unwrap().as_array().unwrap().is_empty());
+    assert!(!tl.get("series").unwrap().as_array().unwrap().is_empty());
+
+    let sp = report.spans.as_ref().expect("spans enabled");
+    let trace = report
+        .timeline
+        .as_ref()
+        .expect("summary collected")
+        .splice_into_chrome_trace(&sp.report.chrome_trace_json());
+    let parsed = Json::parse(&trace).expect("spliced Perfetto trace is valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    let counters = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .count();
+    assert!(counters > 0, "counter tracks were spliced in");
+}
+
+#[test]
+fn timeline_off_report_has_no_block() {
+    let report = staggered(false)
+        .build()
+        .expect("spec builds")
+        .run_with_engine(4)
+        .expect("run");
+    assert!(report.timeline.is_none());
+    assert!(
+        !report.to_json().contains("\"timeline\""),
+        "timeline-off reports serialize exactly as before the feature"
+    );
+}

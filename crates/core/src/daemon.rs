@@ -354,6 +354,10 @@ pub struct VreadDaemon {
     /// §6 ablation: bypass the host filesystem (and its page cache),
     /// reading the raw device with manual address translation.
     pub bypass_host_fs: bool,
+    /// Gauge tracking bytes currently in this host's shared ring
+    /// (chunks between daemon push and guest pop completion); the
+    /// timeline sampler turns it into an occupancy series.
+    ring_gauge: GaugeId,
 }
 
 impl VreadDaemon {
@@ -534,6 +538,7 @@ impl VreadDaemon {
                 cl.vm(client_vm).vcpu
             };
             stages.extend(ring.guest_pop_stages(&costs, vcpu, take));
+            ctx.world.metrics.gauge_add_to(self.ring_gauge, take as f64);
             ctx.chain_on(stages, me, LocalChunkDone { read, bytes: take }, span);
         }
     }
@@ -751,6 +756,9 @@ impl Actor for VreadDaemon {
         // ---- local chunk landed in the guest ----------------------------------
         let msg = match downcast::<LocalChunkDone>(msg) {
             Ok(done) => {
+                ctx.world
+                    .metrics
+                    .gauge_add_to(self.ring_gauge, -(done.bytes as f64));
                 let finished = {
                     let Some(r) = self.local_reads.get_mut(&done.read) else {
                         return;
@@ -965,6 +973,9 @@ impl Actor for VreadDaemon {
                 };
                 let mut stages = ring.daemon_push_stages(&costs, self.thread, r.bytes);
                 stages.extend(ring.guest_pop_stages(&costs, vcpu, r.bytes));
+                ctx.world
+                    .metrics
+                    .gauge_add_to(self.ring_gauge, r.bytes as f64);
                 ctx.chain_on(
                     stages,
                     me,
@@ -980,6 +991,9 @@ impl Actor for VreadDaemon {
         };
         let msg = match downcast::<RingForwarded>(msg) {
             Ok(f) => {
+                ctx.world
+                    .metrics
+                    .gauge_add_to(self.ring_gauge, -(f.bytes as f64));
                 let finished = {
                     let Some(rr) = self.remote_reads.get_mut(&f.read) else {
                         return;
@@ -1154,6 +1168,7 @@ pub fn restart_daemon(w: &mut World, host: vread_host::cluster::HostIx) -> Optio
         return None;
     }
     let (_, thread) = reg.daemons.get(&host.0).copied()?;
+    let ring_gauge = w.metrics.register_gauge(&format!("ring.h{}.bytes", host.0));
     let daemon = VreadDaemon {
         host,
         thread,
@@ -1167,6 +1182,7 @@ pub fn restart_daemon(w: &mut World, host: vread_host::cluster::HostIx) -> Optio
         open_waits: BTreeMap::new(),
         peer_conns: BTreeMap::new(),
         bypass_host_fs: false,
+        ring_gauge,
     };
     let actor = w.add_actor(&format!("vreadd{}", host.0), daemon);
     w.ext
@@ -1222,6 +1238,7 @@ pub fn deploy_vread(w: &mut World, transport: RemoteTransport) -> Vec<ActorId> {
                 }
             }
         }
+        let ring_gauge = w.metrics.register_gauge(&format!("ring.h{hix}.bytes"));
         let daemon = VreadDaemon {
             host: HostIx(hix),
             thread,
@@ -1235,6 +1252,7 @@ pub fn deploy_vread(w: &mut World, transport: RemoteTransport) -> Vec<ActorId> {
             open_waits: BTreeMap::new(),
             peer_conns: BTreeMap::new(),
             bypass_host_fs: false,
+            ring_gauge,
         };
         let actor = w.add_actor(&format!("vreadd{hix}"), daemon);
         w.ext

@@ -389,6 +389,8 @@ struct ReadReq {
     span: SpanId,
     /// `block_fetch` child span of the active fetch.
     cur_span: SpanId,
+    /// When the request arrived (timeline read-latency observation).
+    started: SimTime,
 }
 
 /// Internal watchdog for a block fetch.
@@ -457,6 +459,8 @@ pub struct DfsClient {
     /// retries them as a last resort — never silently dropping data.
     dead_nodes: HashSet<usize>,
     m_bytes_read: LazyCounter,
+    /// Level gauge of in-flight `DfsRead` requests (timeline source).
+    m_outstanding: LazyGauge,
 }
 
 /// Creates a DFSClient in `vm` using the given block read path.
@@ -476,6 +480,7 @@ pub fn add_client(w: &mut World, vm: VmId, path_impl: Box<dyn BlockReadPath>) ->
             write_conns: HashMap::new(),
             dead_nodes: HashSet::new(),
             m_bytes_read: LazyCounter::new("hdfs_bytes_read"),
+            m_outstanding: LazyGauge::new("hdfs.outstanding_reads"),
         },
     )
 }
@@ -696,6 +701,8 @@ impl DfsClient {
             ctx.world.spans.end(r.cur_span, now);
             ctx.world.spans.end(r.span, now);
             self.m_bytes_read.add(ctx.metrics(), r.bytes_done as f64);
+            self.m_outstanding.add(ctx.metrics(), -1.0);
+            ctx.world.timeline.observe_read(r.started, now);
             ctx.send(
                 r.app,
                 DfsReadDone {
@@ -895,8 +902,10 @@ impl Actor for DfsClient {
                         timeouts: 0,
                         span,
                         cur_span: SpanId::NONE,
+                        started: now,
                     },
                 );
+                self.m_outstanding.add(ctx.metrics(), 1.0);
                 if self.loc_cache.contains_key(&rd.path) {
                     self.begin_read(ctx, rid);
                 } else {

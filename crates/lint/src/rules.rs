@@ -84,6 +84,13 @@ pub const RULES: &[RuleInfo] = &[
                   Admission, FaultKind, ReadPath, HostCacheMode, TraceKind); list \
                   the variants so adding one forces every consumer to handle it.",
     },
+    RuleInfo {
+        id: "timeline-confine",
+        summary: "raw telemetry sinks (timeline.push / Hist::record_raw) outside \
+                  crates/sim/src/timeline.rs bypass the deterministic sampler; \
+                  register gauges via register_provider and report latencies via \
+                  timeline.observe_read.",
+    },
 ];
 
 /// Ids of the non-suppressible meta rules (violations about the

@@ -19,8 +19,14 @@
 //!   `Stage::Map`) must force every consumer — ledger, report rollups,
 //!   Perfetto export — to handle it instead of silently falling
 //!   through.
+//! * `timeline-confine` — timeline reports are byte-identical at any
+//!   `--engine-threads N` because every series point and histogram
+//!   sample flows through `vread_sim::timeline`'s deterministic sinks
+//!   (`Timeline::push` via the sim-tick sampler, `Hist::record_raw` via
+//!   `observe_read`). A raw push or record anywhere else would inject
+//!   host-order-dependent points past the merge discipline.
 //!
-//! All three are path-scoped over-approximations in the house style:
+//! All of these are path-scoped over-approximations in the house style:
 //! the `allow(rule, "reason")` annotation is the pressure valve, and
 //! the suppression ratchet (`lint-baseline.json`) keeps the valve from
 //! creeping open.
@@ -36,6 +42,7 @@ pub fn check_syntax_rules(path: &str, code: &[Tok<'_>], out: &mut Vec<Candidate>
     charge_confine(path, code, &items, &calls, out);
     shard_send(path, code, &items, &calls, out);
     sealed_match(code, out);
+    timeline_confine(path, code, &items, &calls, out);
 }
 
 /// Appends `in fn \`name\`` context when the call is inside a function.
@@ -168,6 +175,63 @@ fn shard_send(
                     "`.outbox` reaches into the raw cross-shard queue; handler code \
                      must send via `ctx.post_remote(…)`{}",
                     fn_context(items, i)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// timeline-confine
+// ---------------------------------------------------------------------------
+
+/// The one file allowed to feed the timeline's raw sinks: the timeline
+/// module itself (the sampler calls `push`, `observe_read` calls
+/// `record_raw`). Everyone else goes through `register_provider` /
+/// `observe_read`, which the sampler drains deterministically.
+const TIMELINE_FILES: &[&str] = &["crates/sim/src/timeline.rs"];
+
+fn timeline_confine(
+    path: &str,
+    code: &[Tok<'_>],
+    items: &[syntax::Item],
+    calls: &[syntax::CallPath],
+    out: &mut Vec<Candidate>,
+) {
+    if TIMELINE_FILES.iter().any(|f| path.ends_with(f)) {
+        return;
+    }
+    for c in calls {
+        let raw_push = (c.via == CallVia::Method && c.ends_with(&["timeline", "push"]))
+            || (c.via == CallVia::Path && c.ends_with(&["Timeline", "push"]));
+        if raw_push {
+            let t = &code[c.callee_ix];
+            out.push(cand(
+                "timeline-confine",
+                t,
+                format!(
+                    "`{}` appends a series point outside the sim-tick sampler; \
+                     register a gauge via `timeline.register_provider(…)` so every \
+                     point lands at a deterministic tick time{}",
+                    c.segments.join("."),
+                    fn_context(items, c.callee_ix)
+                ),
+            ));
+            continue;
+        }
+        let raw_record = (c.via == CallVia::Method && c.callee() == "record_raw")
+            || (c.via == CallVia::Path && c.ends_with(&["Hist", "record_raw"]));
+        if raw_record {
+            let t = &code[c.callee_ix];
+            out.push(cand(
+                "timeline-confine",
+                t,
+                format!(
+                    "`{}` records into a latency histogram directly; observations \
+                     must flow through `timeline.observe_read(start, end)` so window \
+                     assignment and shard merge stay byte-identical{}",
+                    c.segments.join("."),
+                    fn_context(items, c.callee_ix)
                 ),
             ));
         }

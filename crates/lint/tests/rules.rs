@@ -114,6 +114,21 @@ fn charge_confine_sanctioned_paths_are_silent() {
 }
 
 #[test]
+fn timeline_confine_fixtures() {
+    check("timeline_confine_pos.rs", "crates/hdfs/src/client.rs");
+    check("timeline_confine_neg.rs", "crates/hdfs/src/client.rs");
+}
+
+#[test]
+fn timeline_confine_sanctioned_path_is_silent() {
+    // The raw sinks inside the timeline module itself are the sampler
+    // and observe_read — the sanctioned implementation, not violations.
+    let src = fixture("timeline_confine_pos.rs");
+    let v = vread_lint::lint_source("crates/sim/src/timeline.rs", &src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn shard_send_fixtures() {
     check("shard_send_pos.rs", "crates/sim/src/handlers.rs");
     check("shard_send_neg.rs", "crates/sim/src/handlers.rs");

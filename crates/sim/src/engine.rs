@@ -41,6 +41,7 @@ use crate::sched::{Sched, SchedParams};
 use crate::slab::ChainSlab;
 use crate::span::{SpanId, SpanRecorder};
 use crate::time::{SimDuration, SimTime};
+use crate::timeline::Timeline;
 use crate::trace::{TraceDetail, TraceKind, TraceRef, Tracer};
 
 /// A component that receives messages and reacts by scheduling work,
@@ -55,9 +56,22 @@ pub trait Actor: 'static {
 }
 
 enum EvKind {
-    Deliver { to: ActorId, msg: BoxMsg },
-    CoreTimer { host: HostId, core: usize, gen: u64 },
-    ChainResume { chain: ChainId },
+    Deliver {
+        to: ActorId,
+        msg: BoxMsg,
+    },
+    CoreTimer {
+        host: HostId,
+        core: usize,
+        gen: u64,
+    },
+    ChainResume {
+        chain: ChainId,
+    },
+    /// Timeline sampler tick (see [`crate::timeline`]). An ordinary
+    /// `(time, seq)`-keyed event, so sampling instants replay
+    /// identically at any `--engine-threads N`.
+    TimelineTick,
 }
 
 struct HeapEv {
@@ -163,6 +177,9 @@ pub struct World {
     pub spans: SpanRecorder,
     /// Registered jobs and their completion state (see [`crate::job`]).
     pub jobs: Jobs,
+    /// Optional telemetry timeline (see [`crate::timeline`]). Disabled
+    /// by default; [`World::start_timeline`] turns sampling on.
+    pub timeline: Timeline,
     /// Cross-shard messages awaiting exchange at the next lookahead
     /// boundary (see [`crate::par`]). Always empty outside sharded runs.
     outbox: Vec<Outbound>,
@@ -212,6 +229,7 @@ impl World {
             tracer: Tracer::new(),
             spans: SpanRecorder::new(),
             jobs: Jobs::default(),
+            timeline: Timeline::default(),
             outbox: Vec::new(),
         }
     }
@@ -295,6 +313,11 @@ impl World {
     /// like packets to a dead process.
     pub fn remove_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
         self.actors.get_mut(id.index()).and_then(|s| s.actor.take())
+    }
+
+    /// Number of registered links (link ids are `0..num_links`).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
     }
 
     /// Shared access to a registered link.
@@ -635,8 +658,37 @@ impl World {
             EvKind::Deliver { to, msg } => self.dispatch(to, msg),
             EvKind::CoreTimer { host, core, gen } => self.on_core_timer(host, core, gen),
             EvKind::ChainResume { chain } => self.advance_chain(chain),
+            EvKind::TimelineTick => self.on_timeline_tick(),
         }
         true
+    }
+
+    /// Turns on timeline sampling with the given period and schedules
+    /// the first tick at `now + sample`. Idempotent in effect (calling
+    /// again reschedules an extra tick train — don't).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero sample period.
+    pub fn start_timeline(&mut self, sample: SimDuration) {
+        self.timeline.enable(sample);
+        self.push_event(self.now + sample, EvKind::TimelineTick);
+    }
+
+    /// One sampler tick: observe the world, then re-arm while there is
+    /// still work (further events, or jobs that a cap fast-forward will
+    /// finish). The stop condition makes `run()` terminate — a tick
+    /// never re-arms into an otherwise-quiet world.
+    fn on_timeline_tick(&mut self) {
+        // The timeline steps out of the world so it can read `self`
+        // without aliasing; it never touches `self.timeline` itself.
+        let mut tl = std::mem::take(&mut self.timeline);
+        tl.sample_now(self);
+        self.timeline = tl;
+        if self.next_event_time().is_some() || self.jobs.pending() > 0 {
+            let at = self.now + self.timeline.sample_every();
+            self.push_event(at, EvKind::TimelineTick);
+        }
     }
 
     /// Runs until no events remain.

@@ -65,6 +65,7 @@ pub mod sched;
 mod slab;
 pub mod span;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 
 pub use chain::{Stage, StageList};
@@ -73,13 +74,16 @@ pub use engine::{Actor, Ctx, World};
 pub use fault::{schedule_faults, FaultAction, FaultScheduler, FaultTrace, SlowDisk, StallThread};
 pub use ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ShardId, ThreadId};
 pub use job::{JobHandle, Jobs};
-pub use metrics::{CounterId, LazyCounter, LazySamples, Metrics, SampleId, Samples};
+pub use metrics::{
+    CounterId, GaugeId, LazyCounter, LazyGauge, LazySamples, Metrics, SampleId, Samples,
+};
 pub use msg::{downcast, BoxMsg, Start};
 pub use par::{run_indexed, run_indexed_streamed, run_sharded, EngineOpts, Shard};
 pub use rng::SimRng;
 pub use sched::SchedParams;
 pub use span::{Span, SpanId, SpanMark, SpanRecorder, SpanReport};
 pub use time::{SimDuration, SimTime};
+pub use timeline::{Hist, Timeline};
 pub use trace::{TraceDetail, TraceKind, TraceRef, Tracer};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -90,7 +94,7 @@ pub mod prelude {
     pub use crate::fault::{schedule_faults, FaultAction, FaultTrace};
     pub use crate::ids::{ActorId, BlockDevId, ChainId, CoreId, HostId, LinkId, ShardId, ThreadId};
     pub use crate::job::JobHandle;
-    pub use crate::metrics::{CounterId, LazyCounter, LazySamples, SampleId};
+    pub use crate::metrics::{CounterId, GaugeId, LazyCounter, LazyGauge, LazySamples, SampleId};
     pub use crate::msg::{downcast, BoxMsg, Start};
     pub use crate::par::{run_indexed, run_indexed_streamed, run_sharded, EngineOpts, Shard};
     pub use crate::rng::SimRng;

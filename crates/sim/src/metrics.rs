@@ -7,11 +7,11 @@
 //! # Interning
 //!
 //! Every key is interned once into a dense id ([`CounterId`] /
-//! [`SampleId`]); recording through an id is a plain `Vec` index with no
-//! hashing or tree walk. The string-keyed API is a thin resolve-then-record
-//! wrapper kept for tests and cold paths. Hot actors hold a
-//! [`LazyCounter`] / [`LazySamples`] that resolves its key on first use and
-//! records through the cached id afterwards.
+//! [`SampleId`] / [`GaugeId`]); recording through an id is a plain `Vec`
+//! index with no hashing or tree walk. The string-keyed API is a thin
+//! resolve-then-record wrapper kept for tests and cold paths. Hot actors
+//! hold a [`LazyCounter`] / [`LazySamples`] / [`LazyGauge`] that resolves
+//! its key on first use and records through the cached id afterwards.
 //!
 //! [`Metrics::reset`] keeps registrations (ids stay valid across warm-up /
 //! measurement phases) but clears values; keys that were never touched
@@ -62,6 +62,11 @@ impl Samples {
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0.0 when empty.
+    ///
+    /// A single-sample set returns that sample for every `q`. Sets
+    /// containing NaN sort by IEEE 754 total order (NaN above +inf)
+    /// instead of panicking, so a poisoned series still renders its
+    /// finite quantiles deterministically.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.values.is_empty() {
             return 0.0;
@@ -70,12 +75,28 @@ impl Samples {
             let mut sorted = self.sorted.borrow_mut();
             sorted.clear();
             sorted.extend_from_slice(&self.values);
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            sorted.sort_by(f64::total_cmp);
             self.sorted_valid.set(true);
         }
         let sorted = self.sorted.borrow();
         let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (`quantile(0.999)`) — the tail the paper's
+    /// saturation argument is about.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 
     /// Largest observation, or 0.0 when empty.
@@ -104,7 +125,23 @@ pub struct CounterId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SampleId(u32);
 
+/// Dense handle to an interned gauge key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(u32);
+
 /// The world's metrics registry.
+///
+/// # Gauge visibility semantics
+///
+/// A gauge holds its *last written value* — unlike a counter it can go
+/// down, and unlike a sample set it keeps no history (the timeline
+/// sampler is what turns gauges into time series). The read side mirrors
+/// counters exactly: a gauge that has not been written since the last
+/// [`Metrics::reset`] is invisible to [`Metrics::gauge_keys`] and reads
+/// as 0.0, so reports stay byte-identical when an instrumented code path
+/// never runs. `reset` clears gauge last-values along with the touched
+/// bits — a gauge must not leak a pre-reset level (e.g. in-flight reads
+/// from a warm-up phase) into the measurement phase.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counter_index: BTreeMap<String, CounterId>,
@@ -112,6 +149,9 @@ pub struct Metrics {
     counter_touched: Vec<bool>,
     sample_index: BTreeMap<String, SampleId>,
     sample_sets: Vec<Samples>,
+    gauge_index: BTreeMap<String, GaugeId>,
+    gauge_vals: Vec<f64>,
+    gauge_touched: Vec<bool>,
 }
 
 impl Metrics {
@@ -145,6 +185,18 @@ impl Metrics {
         id
     }
 
+    /// Interns a gauge key (idempotent) and returns its dense id.
+    pub fn register_gauge(&mut self, key: &str) -> GaugeId {
+        if let Some(&id) = self.gauge_index.get(key) {
+            return id;
+        }
+        let id = GaugeId(u32::try_from(self.gauge_vals.len()).expect("gauge id overflow"));
+        self.gauge_index.insert(key.to_owned(), id);
+        self.gauge_vals.push(0.0);
+        self.gauge_touched.push(false);
+        id
+    }
+
     // -- id-based hot path ---------------------------------------------------
 
     /// Adds `v` to an interned counter (O(1), no hashing).
@@ -170,6 +222,26 @@ impl Metrics {
     #[inline]
     pub fn record_to(&mut self, id: SampleId, v: f64) {
         self.sample_sets[id.0 as usize].record(v);
+    }
+
+    /// Sets an interned gauge to `v` (O(1), no hashing).
+    #[inline]
+    pub fn set_to(&mut self, id: GaugeId, v: f64) {
+        self.gauge_vals[id.0 as usize] = v;
+        self.gauge_touched[id.0 as usize] = true;
+    }
+
+    /// Adds `dv` (may be negative) to an interned gauge.
+    #[inline]
+    pub fn gauge_add_to(&mut self, id: GaugeId, dv: f64) {
+        self.gauge_vals[id.0 as usize] += dv;
+        self.gauge_touched[id.0 as usize] = true;
+    }
+
+    /// Last written value of an interned gauge.
+    #[inline]
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauge_vals[id.0 as usize]
     }
 
     // -- string API (resolve-once wrapper) -----------------------------------
@@ -203,6 +275,25 @@ impl Metrics {
         self.sample(key, d.as_millis_f64());
     }
 
+    /// Sets gauge `key` to `v` (creating it).
+    pub fn set_gauge(&mut self, key: &str, v: f64) {
+        let id = self.register_gauge(key);
+        self.set_to(id, v);
+    }
+
+    /// Adds `dv` (may be negative) to gauge `key` (creating it at 0).
+    pub fn gauge_add(&mut self, key: &str, dv: f64) {
+        let id = self.register_gauge(key);
+        self.gauge_add_to(id, dv);
+    }
+
+    /// Last written value of gauge `key` (0.0 when absent or untouched).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauge_index
+            .get(key)
+            .map_or(0.0, |&id| self.gauge_vals[id.0 as usize])
+    }
+
     /// The sample set under `key`, if any samples were recorded.
     pub fn samples(&self, key: &str) -> Option<&Samples> {
         let set = &self.sample_sets[self.sample_index.get(key)?.0 as usize];
@@ -234,6 +325,16 @@ impl Metrics {
             .map(|(k, _)| k.as_str())
     }
 
+    /// `(key, value)` of gauges written since the last reset (sorted by
+    /// key — the timeline sampler relies on this order being
+    /// deterministic).
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_index
+            .iter()
+            .filter(|(_, id)| self.gauge_touched[id.0 as usize])
+            .map(|(k, id)| (k.as_str(), self.gauge_vals[id.0 as usize]))
+    }
+
     /// Throughput helper: counter `key` divided by elapsed seconds.
     pub fn rate_per_sec(&self, key: &str, start: SimTime, end: SimTime) -> f64 {
         let secs = end.since(start).as_secs_f64();
@@ -246,13 +347,17 @@ impl Metrics {
 
     /// Clears all recorded values (used between warm-up and measurement
     /// phases). Interned ids stay valid; untouched keys disappear from the
-    /// read-side API until written again.
+    /// read-side API until written again. Gauge last-values are cleared
+    /// too — a level gauge left over from warm-up (e.g. in-flight reads)
+    /// must not be read as a measurement-phase level.
     pub fn reset(&mut self) {
         self.counter_vals.fill(0.0);
         self.counter_touched.fill(false);
         for s in &mut self.sample_sets {
             s.clear();
         }
+        self.gauge_vals.fill(0.0);
+        self.gauge_touched.fill(false);
     }
 }
 
@@ -339,6 +444,52 @@ impl LazySamples {
     #[inline]
     pub fn record_duration(&self, m: &mut Metrics, d: SimDuration) {
         self.record(m, d.as_millis_f64());
+    }
+}
+
+/// A gauge handle that resolves its key on first use.
+///
+/// See [`LazyCounter`] for the usage pattern and the [`Metrics`] docs
+/// for gauge visibility semantics.
+#[derive(Debug)]
+pub struct LazyGauge {
+    key: &'static str,
+    id: Cell<Option<GaugeId>>,
+}
+
+impl LazyGauge {
+    /// Creates an unresolved handle for `key`.
+    pub const fn new(key: &'static str) -> Self {
+        LazyGauge {
+            key,
+            id: Cell::new(None),
+        }
+    }
+
+    #[inline]
+    fn id(&self, m: &mut Metrics) -> GaugeId {
+        match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = m.register_gauge(self.key);
+                self.id.set(Some(id));
+                id
+            }
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, m: &mut Metrics, v: f64) {
+        let id = self.id(m);
+        m.set_to(id, v);
+    }
+
+    /// Adds `dv` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, m: &mut Metrics, dv: f64) {
+        let id = self.id(m);
+        m.gauge_add_to(id, dv);
     }
 }
 
@@ -438,6 +589,69 @@ mod tests {
         m.incr_to(c); // id survives the reset
         assert_eq!(m.counter("ops"), 1.0);
         assert_eq!(m.counter_keys().collect::<Vec<_>>(), vec!["ops"]);
+    }
+
+    #[test]
+    fn single_sample_serves_every_quantile() {
+        let mut s = Samples::default();
+        s.record(7.5);
+        assert_eq!(s.quantile(0.0), 7.5);
+        assert_eq!(s.p50(), 7.5);
+        assert_eq!(s.p99(), 7.5);
+        assert_eq!(s.p999(), 7.5);
+        assert_eq!(s.quantile(1.0), 7.5);
+    }
+
+    #[test]
+    fn p999_picks_the_tail() {
+        let mut s = Samples::default();
+        for i in 0..1000 {
+            s.record(f64::from(i));
+        }
+        assert_eq!(s.p50(), 500.0); // nearest-rank on 0..=999
+        assert_eq!(s.p99(), 989.0);
+        assert_eq!(s.p999(), 998.0);
+    }
+
+    #[test]
+    fn nan_samples_sort_last_not_panic() {
+        let mut s = Samples::default();
+        s.record(1.0);
+        s.record(f64::NAN);
+        s.record(3.0);
+        // total_cmp puts NaN above +inf: finite quantiles stay usable.
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.p50(), 3.0);
+        assert!(s.quantile(1.0).is_nan());
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_reset() {
+        let mut m = Metrics::new();
+        let g = m.register_gauge("inflight");
+        assert_eq!(m.gauges().count(), 0, "registered-but-unwritten hidden");
+        m.set_to(g, 4.0);
+        m.gauge_add_to(g, -1.0);
+        m.gauge_add("inflight", -1.0); // string API hits the same slot
+        assert_eq!(m.gauge("inflight"), 2.0);
+        assert_eq!(m.gauge_value(g), 2.0);
+        assert_eq!(m.gauges().collect::<Vec<_>>(), vec![("inflight", 2.0)]);
+        m.reset();
+        assert_eq!(m.gauge("inflight"), 0.0, "last-value cleared by reset");
+        assert_eq!(m.gauges().count(), 0, "untouched gauges hidden");
+        m.set_gauge("inflight", 9.0); // id survives the reset
+        assert_eq!(m.gauge_value(g), 9.0);
+    }
+
+    #[test]
+    fn lazy_gauge_resolves_once() {
+        let mut m = Metrics::new();
+        let g = LazyGauge::new("ring_bytes");
+        g.add(&mut m, 4096.0);
+        g.add(&mut m, -4096.0);
+        g.set(&mut m, 512.0);
+        assert_eq!(m.gauge("ring_bytes"), 512.0);
+        assert_eq!(m.gauges().collect::<Vec<_>>(), vec![("ring_bytes", 512.0)]);
     }
 
     #[test]

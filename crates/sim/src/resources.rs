@@ -52,6 +52,17 @@ impl Link {
         self.free_at
     }
 
+    /// Bytes still serializing (queued behind the wire) at `now` — the
+    /// free-at backlog converted back to bytes. Zero when idle. This is
+    /// the "bytes in flight" level the timeline sampler tracks.
+    pub fn backlog_bytes(&self, now: SimTime) -> f64 {
+        if self.free_at <= now {
+            0.0
+        } else {
+            self.free_at.since(now).as_secs_f64() * self.bandwidth_bps
+        }
+    }
+
     /// The conservative lookahead this link grants a sharded run: no
     /// message travelling over it can arrive at the far side sooner than
     /// its one-way propagation latency, so the parallel engine (see

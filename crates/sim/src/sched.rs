@@ -610,4 +610,30 @@ impl World {
     pub fn host_name(&self, host: HostId) -> &str {
         &self.sched.hosts[host.index()].name
     }
+
+    /// Number of registered hosts (host ids are `0..num_hosts`).
+    pub fn num_hosts(&self) -> usize {
+        self.sched.hosts.len()
+    }
+
+    /// Depth of a host's run queue: threads runnable but *not* on a core.
+    /// This is the contention signal the timeline sampler tracks — it
+    /// rises when vCPUs + I/O threads outnumber physical cores.
+    pub fn host_runq_depth(&self, host: HostId) -> usize {
+        self.sched.hosts[host.index()].runq.len()
+    }
+
+    /// Longest time any currently-queued thread on `host` has been
+    /// waiting for a core (zero when the run queue is empty). This is the
+    /// paper's I/O-thread scheduling delay, observed at one instant.
+    pub fn host_max_queued_delay(&self, host: HostId) -> SimDuration {
+        let now = self.now();
+        self.sched
+            .threads
+            .iter()
+            .filter(|th| th.host == host && th.state == TState::Queued)
+            .map(|th| now.since(th.queued_at))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
 }

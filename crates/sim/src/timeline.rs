@@ -1,0 +1,602 @@
+//! Deterministic time-series telemetry: sampled gauges and log-bucket
+//! latency histograms.
+//!
+//! The span flight recorder ([`crate::span`]) answers *where one read's
+//! cycles went*; this module answers *how the system evolved over
+//! simulated time* — run-queue depths, scheduling delay, ring and link
+//! occupancy, cache levels, and read-latency quantiles per window. That
+//! is the view the paper's saturation argument needs: tail latency
+//! (p99/p999) as concurrency rises, not just end-of-run means.
+//!
+//! # How sampling stays deterministic
+//!
+//! The sampler is driven by **ordinary engine events**: enabling the
+//! timeline ([`World::start_timeline`](crate::World::start_timeline))
+//! schedules a tick at `now + sample_every`, and each tick re-schedules
+//! the next while the world still has work. Ticks therefore carry
+//! `(time, seq)` keys like every other event and replay identically at
+//! any `--engine-threads N` — the sharded engine (see [`crate::par`])
+//! runs the same protocol at every thread count, so each tick observes
+//! the same world state. There is no wall-clock, no background thread,
+//! and no sampling skew: a tick at `t` sees the world exactly as of the
+//! last event executed at or before `t`.
+//!
+//! # Histograms vs [`Samples`](crate::metrics::Samples)
+//!
+//! Per-window latency lives in [`Hist`], a fixed log-bucket (HDR-style)
+//! histogram with **integer bucket counts**. Unlike a sorted `Vec<f64>`,
+//! element-wise `u64` addition is associative and commutative, so
+//! merging shard histograms in any grouping is bit-exact — the property
+//! the `--engine-threads` byte-identity gate rests on.
+//!
+//! # Mutation discipline
+//!
+//! All raw mutation — `Timeline::push` for series points and
+//! [`Hist::record_raw`] for bucket increments — is confined to this
+//! module (enforced by the `timeline-confine` vread-lint rule).
+//! Components feed the timeline indirectly: level gauges go through
+//! [`Metrics`](crate::metrics::Metrics) gauges (sampled on every tick),
+//! richer sources register a provider closure, and read completions call
+//! the [`Timeline::observe_read`] charge wrapper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::engine::World;
+use crate::ids::{HostId, LinkId};
+use crate::time::{SimDuration, SimTime};
+
+// ---------------------------------------------------------------------------
+// Hist — fixed log-bucket histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per power of two,
+/// bounding the relative quantile error at 1/32 ≈ 3.1%.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: one linear region below 2^SUB_BITS plus
+/// `64 - SUB_BITS` log octaves of `SUB_COUNT` sub-buckets each.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_COUNT as usize;
+
+/// Bucket index of value `v` (monotone in `v`).
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize; // exact linear region
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let octave = (msb - SUB_BITS + 1) as u64;
+    let sub = (v >> (msb - SUB_BITS)) & (SUB_COUNT - 1);
+    (octave * SUB_COUNT + sub) as usize
+}
+
+/// Highest value mapping to bucket `idx` (the quantile representative,
+/// like HDR's `highestEquivalentValue`).
+fn bucket_high(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_COUNT {
+        return idx;
+    }
+    let octave = idx >> SUB_BITS;
+    let sub = idx & (SUB_COUNT - 1);
+    let msb = octave + u64::from(SUB_BITS) - 1;
+    let unit = 1u64 << (msb - u64::from(SUB_BITS));
+    // base - 1 + span, ordered so the top bucket lands exactly on
+    // u64::MAX without intermediate overflow.
+    (1u64 << msb) - 1 + (sub + 1) * unit
+}
+
+/// A fixed log-bucket latency histogram over `u64` nanoseconds.
+///
+/// Integer bucket counts make [`Hist::merge`] element-wise `u64`
+/// addition: associative, commutative, and therefore bit-exact however
+/// shard results are grouped (property-tested in `timeline_props`).
+/// Quantiles are nearest-rank over the cumulative counts and return the
+/// bucket's highest contained value, so the reported p99 never
+/// under-states the true p99 and is off by at most 1/32 relative.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Lazily allocated (`BUCKETS` entries once the first value lands)
+    /// so empty windows and disabled timelines cost nothing.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl fmt::Debug for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hist")
+            .field("total", &self.total)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Records one raw value. This is the raw mutation sink the
+    /// `timeline-confine` lint rule restricts to this module — external
+    /// observations arrive via [`Timeline::observe_read`].
+    pub fn record_raw(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds every bucket of `other` into `self`. Element-wise integer
+    /// addition — associative and commutative, so shard merge order
+    /// cannot change the result.
+    pub fn merge(&mut self, other: &Hist) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest value with cumulative count >= rank.
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        bucket_high(BUCKETS - 1)
+    }
+
+    /// Highest recorded value's bucket representative, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => bucket_high(i),
+            None => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------------
+
+/// A named series of `(time, value)` points, appended in tick order.
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+/// A registered gauge provider: polled on every tick, in registration
+/// order, with shared access to the world.
+type Provider = Box<dyn Fn(&World) -> f64>;
+
+/// The world's telemetry timeline. Disabled by default — a disabled
+/// timeline schedules no ticks, records nothing, and keeps every
+/// existing report byte-identical.
+#[derive(Default)]
+pub struct Timeline {
+    enabled: bool,
+    sample: SimDuration,
+    series_index: BTreeMap<String, usize>,
+    series: Vec<Series>,
+    providers: Vec<(String, Provider)>,
+    /// Per-window read-latency histograms, keyed by window index
+    /// (`end_of_read / sample`).
+    windows: BTreeMap<u64, Hist>,
+    /// Whole-run read-latency histogram.
+    run_hist: Hist,
+    /// Last observed `bytes_total` per link, for per-window throughput.
+    last_link_bytes: Vec<u64>,
+    ticks: u64,
+}
+
+impl fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Timeline")
+            .field("enabled", &self.enabled)
+            .field("sample", &self.sample)
+            .field("series", &self.series.len())
+            .field("providers", &self.providers.len())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+impl Timeline {
+    /// Turns sampling on with the given period. The engine schedules the
+    /// first tick; prefer [`World::start_timeline`](crate::World::start_timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero sample period.
+    pub(crate) fn enable(&mut self, sample: SimDuration) {
+        assert!(sample > SimDuration::ZERO, "sample period must be positive");
+        self.enabled = true;
+        self.sample = sample;
+    }
+
+    /// Whether sampling is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The sampling period (also the latency-window length).
+    pub fn sample_every(&self) -> SimDuration {
+        self.sample
+    }
+
+    /// Number of ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Registers a named gauge provider, polled on every tick. Providers
+    /// run in registration order (deterministic as long as registration
+    /// itself is); they get shared world access and must not rely on
+    /// `world.timeline` (vacated during sampling).
+    pub fn register_provider(&mut self, name: &str, f: Provider) {
+        self.providers.push((name.to_owned(), f));
+    }
+
+    /// Appends one point to a named series (creating it). Raw mutation
+    /// sink — confined to this module by the `timeline-confine` lint
+    /// rule; everything external flows in via gauges, providers or
+    /// [`Timeline::observe_read`].
+    fn push(&mut self, name: &str, t: SimTime, v: f64) {
+        let ix = match self.series_index.get(name) {
+            Some(&ix) => ix,
+            None => {
+                let ix = self.series.len();
+                self.series_index.insert(name.to_owned(), ix);
+                self.series.push(Series {
+                    name: name.to_owned(),
+                    points: Vec::new(),
+                });
+                ix
+            }
+        };
+        self.series[ix].points.push((t, v));
+    }
+
+    /// Charge wrapper for read latency: records `end - start` into the
+    /// window containing `end` and into the whole-run histogram. No-op
+    /// while disabled.
+    pub fn observe_read(&mut self, start: SimTime, end: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let lat = end.since(start).as_nanos();
+        let win = end.as_nanos() / self.sample.as_nanos();
+        self.windows.entry(win).or_default().record_raw(lat);
+        self.run_hist.record_raw(lat);
+    }
+
+    /// One sampler tick: polls built-in sources (per-host run-queue
+    /// depth and scheduling delay, per-link backlog and window
+    /// throughput), every touched [`Metrics`](crate::metrics::Metrics)
+    /// gauge, and every registered provider. Called by the engine with
+    /// the timeline taken out of the world (`mem::take`), so `w` is
+    /// read-only here.
+    pub(crate) fn sample_now(&mut self, w: &World) {
+        let t = w.now();
+        // Per-host scheduler pressure: the paper's two contention
+        // signals (Fig. 5) — how many threads wait for a core, and how
+        // long the longest-waiting one has been waiting.
+        for h in 0..w.num_hosts() {
+            let host = HostId::from_raw(u16::try_from(h).expect("host id fits u16"));
+            let name = w.host_name(host).to_owned();
+            let depth = w.host_runq_depth(host) as f64;
+            let delay = w.host_max_queued_delay(host).as_millis_f64();
+            self.push(&format!("sched.{name}.runq"), t, depth);
+            self.push(&format!("sched.{name}.delay_ms"), t, delay);
+        }
+        // Per-link occupancy and window throughput.
+        self.last_link_bytes.resize(w.num_links(), 0);
+        let secs = self.sample.as_secs_f64();
+        for i in 0..w.num_links() {
+            let link = w.link(LinkId::from_raw(
+                u32::try_from(i).expect("link id fits u32"),
+            ));
+            let backlog = link.backlog_bytes(t);
+            let delta = link.bytes_total - self.last_link_bytes[i];
+            self.last_link_bytes[i] = link.bytes_total;
+            self.push(&format!("link.{i}.backlog_bytes"), t, backlog);
+            let mbps = delta as f64 / secs / 1e6;
+            self.push(&format!("link.{i}.mbps"), t, mbps);
+        }
+        // Every touched metrics gauge (BTreeMap order: deterministic).
+        let gauges: Vec<(String, f64)> =
+            w.metrics.gauges().map(|(k, v)| (k.to_owned(), v)).collect();
+        for (k, v) in gauges {
+            self.push(&format!("gauge.{k}"), t, v);
+        }
+        // Registered providers, in registration order.
+        let provided: Vec<(String, f64)> = self
+            .providers
+            .iter()
+            .map(|(name, f)| (name.clone(), f(w)))
+            .collect();
+        for (name, v) in provided {
+            self.push(&name, t, v);
+        }
+        self.ticks += 1;
+    }
+
+    /// Iterates series as `(name, points)`, in first-push order.
+    pub fn series(&self) -> impl Iterator<Item = (&str, &[(SimTime, f64)])> {
+        self.series
+            .iter()
+            .map(|s| (s.name.as_str(), s.points.as_slice()))
+    }
+
+    /// Iterates per-window latency histograms as `(window_start, hist)`,
+    /// in time order.
+    pub fn windows(&self) -> impl Iterator<Item = (SimTime, &Hist)> {
+        let sample_ns = self.sample.as_nanos();
+        self.windows
+            .iter()
+            .map(move |(&w, h)| (SimTime::from_nanos(w * sample_ns), h))
+    }
+
+    /// The whole-run read-latency histogram.
+    pub fn run_hist(&self) -> &Hist {
+        &self.run_hist
+    }
+
+    /// Merges another shard's timeline into this one (barrier-side of a
+    /// partitioned run). Histograms add bucket-wise (order-independent);
+    /// series points interleave by time with ties keeping `self` first,
+    /// so merging shards in canonical shard order is deterministic.
+    pub fn merge(&mut self, other: &Timeline) {
+        for (win, h) in &other.windows {
+            self.windows.entry(*win).or_default().merge(h);
+        }
+        self.run_hist.merge(&other.run_hist);
+        for s in &other.series {
+            match self.series_index.get(&s.name) {
+                Some(&ix) => {
+                    let mine = &mut self.series[ix].points;
+                    let mut merged = Vec::with_capacity(mine.len() + s.points.len());
+                    let mut a = mine.drain(..).peekable();
+                    let mut b = s.points.iter().copied().peekable();
+                    loop {
+                        match (a.peek(), b.peek()) {
+                            (Some(&(ta, _)), Some(&(tb, _))) => {
+                                if ta <= tb {
+                                    merged.push(a.next().expect("peeked"));
+                                } else {
+                                    merged.push(b.next().expect("peeked"));
+                                }
+                            }
+                            (Some(_), None) => merged.push(a.next().expect("peeked")),
+                            (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                            (None, None) => break,
+                        }
+                    }
+                    drop(a);
+                    self.series[ix].points = merged;
+                }
+                None => {
+                    let ix = self.series.len();
+                    self.series_index.insert(s.name.clone(), ix);
+                    self.series.push(s.clone());
+                }
+            }
+        }
+        self.ticks += other.ticks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_exact_below_32() {
+        for v in 0..SUB_COUNT {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+        let mut prev = 0;
+        for shift in 0..60 {
+            let v = 3u64 << shift;
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of not monotone at {v}");
+            prev = b;
+            assert!(bucket_high(b) >= v, "representative below value at {v}");
+            // relative error of the representative is bounded by 1/32
+            assert!((bucket_high(b) - v) as f64 <= v as f64 / 16.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn extreme_values_fit() {
+        let mut h = Hist::new();
+        h.record_raw(0);
+        h.record_raw(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record_raw(v);
+        }
+        // exact below 32; log-bucketed above with ≤ 1/32 relative error
+        assert_eq!(h.quantile(0.001), 1);
+        let p50 = h.quantile(0.5);
+        assert!((468..=532).contains(&p50), "p50 {p50}");
+        let p999 = h.quantile(0.999);
+        assert!((999..=1030).contains(&p999), "p999 {p999}");
+        assert!(h.max() >= 1000);
+    }
+
+    #[test]
+    fn single_value_hist() {
+        let mut h = Hist::new();
+        h.record_raw(500);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), bucket_high(bucket_of(500)));
+        }
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [5u64, 100, 1_000_000] {
+            a.record_raw(v);
+        }
+        for v in [7u64, 100, 40] {
+            b.record_raw(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 6);
+        // merging an empty hist is the identity
+        let mut c = ab.clone();
+        c.merge(&Hist::new());
+        assert_eq!(c, ab);
+    }
+
+    #[test]
+    fn observe_read_windows_by_completion_time() {
+        let mut tl = Timeline::default();
+        tl.enable(SimDuration::from_millis(10));
+        let t0 = SimTime::ZERO;
+        tl.observe_read(t0, t0 + SimDuration::from_millis(4)); // window 0
+        tl.observe_read(t0, t0 + SimDuration::from_millis(25)); // window 2
+        let wins: Vec<_> = tl
+            .windows()
+            .map(|(t, h)| (t.as_nanos(), h.count()))
+            .collect();
+        assert_eq!(wins, vec![(0, 1), (20_000_000, 1)]);
+        assert_eq!(tl.run_hist().count(), 2);
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut tl = Timeline::default();
+        tl.observe_read(SimTime::ZERO, SimTime::from_nanos(100));
+        assert!(tl.run_hist().is_empty());
+        assert_eq!(tl.windows().count(), 0);
+    }
+
+    #[test]
+    fn merge_interleaves_series_by_time() {
+        let mut a = Timeline::default();
+        a.enable(SimDuration::from_millis(1));
+        let mut b = Timeline::default();
+        b.enable(SimDuration::from_millis(1));
+        a.push("s", SimTime::from_nanos(10), 1.0);
+        a.push("s", SimTime::from_nanos(30), 3.0);
+        b.push("s", SimTime::from_nanos(20), 2.0);
+        b.push("other", SimTime::from_nanos(5), 9.0);
+        a.merge(&b);
+        let all: BTreeMap<&str, &[(SimTime, f64)]> = a.series().collect();
+        let s: Vec<f64> = all["s"].iter().map(|&(_, v)| v).collect();
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+        assert_eq!(all["other"].len(), 1);
+    }
+}
+
+/// Property tests of the histogram's merge algebra: element-wise
+/// integer addition must be associative and commutative, and recording
+/// a value stream split across any shard boundaries then merging must
+/// reproduce the single-shard histogram bit-exactly. This is the
+/// invariant that makes timeline reports independent of
+/// `--engine-threads`.
+#[cfg(test)]
+mod timeline_props {
+    use super::Hist;
+    use proptest::prelude::*;
+
+    /// Values spanning the linear region, the log octaves, and the
+    /// extremes of the `u64` range.
+    fn values() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(
+            prop_oneof![0u64..64, 1u64..1_000_000_000, 0u64..u64::MAX],
+            0..64,
+        )
+    }
+
+    fn hist(vals: &[u64]) -> Hist {
+        let mut h = Hist::new();
+        for &v in vals {
+            h.record_raw(v);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merge_is_commutative(a in values(), b in values()) {
+            let (ha, hb) = (hist(&a), hist(&b));
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(a in values(), b in values(), c in values()) {
+            let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn sharded_merge_equals_single_shard(vals in values(), cut in 0usize..64) {
+            let at = if vals.is_empty() { 0 } else { cut % vals.len() };
+            let whole = hist(&vals);
+            let mut sharded = hist(&vals[..at]);
+            sharded.merge(&hist(&vals[at..]));
+            prop_assert_eq!(&whole, &sharded);
+            prop_assert_eq!(whole.count(), vals.len() as u64);
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(whole.quantile(q), sharded.quantile(q));
+            }
+        }
+    }
+}
